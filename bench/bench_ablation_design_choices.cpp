@@ -1,0 +1,202 @@
+/// Ablations for the design choices DESIGN.md calls out (not a paper
+/// figure, but quantifying the paper's qualitative claims):
+///
+///  1. deep copy vs zero-copy dataset storage (paper §I: "deep or
+///     shallow copies ... configurable by the user") — full in-situ
+///     exchange timed both ways;
+///  2. run-optimized serialization vs per-point serialization (paper
+///     §IV-B(c): LowFive beats hand-written MPI because it "optimizes
+///     the serialization of contiguous regions") — packing a 3-d block
+///     selection both ways;
+///  3. the shared-file lock-contention model on vs off — how much of
+///     file-mode cost is contention rather than bandwidth;
+///  4. synchronous close-serve vs background serving (our implementation
+///     of the paper's §V-C future work): workflow makespan over several
+///     coupled rounds where producer compute and consumer analysis can
+///     overlap only in background mode.
+
+#include "runners.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+using namespace benchcommon;
+
+namespace {
+
+// --- 4: coupling ablation -------------------------------------------------
+
+/// Several producer->consumer rounds with per-round "compute" sleeps on
+/// both sides; returns the workflow makespan. Sleeps idle the CPU, so
+/// overlap is observable even on one core.
+double run_coupled(int world_size, const Params& p, bool background) {
+    Shape s = make_shape(world_size, p);
+
+    constexpr int rounds     = 3;
+    constexpr auto sim_time  = std::chrono::milliseconds(25);
+    constexpr auto ana_time  = std::chrono::milliseconds(25);
+
+    workflow::Options opts;
+    opts.mode             = workflow::Mode::in_situ();
+    opts.background_serve = background;
+
+    auto t0 = std::chrono::steady_clock::now();
+    workflow::run(
+        {
+            {"producer", s.nprod,
+             [&](workflow::Context& ctx) {
+                 for (int r = 0; r < rounds; ++r) {
+                     std::this_thread::sleep_for(sim_time); // "simulation"
+                     produce_synthetic(s, ctx.rank(), "coupled" + std::to_string(r) + ".h5",
+                                       ctx.vol);
+                 }
+             }},
+            {"consumer", s.ncons,
+             [&](workflow::Context& ctx) {
+                 for (int r = 0; r < rounds; ++r) {
+                     consume_synthetic(s, ctx.rank(), "coupled" + std::to_string(r) + ".h5",
+                                       ctx.vol, false);
+                     std::this_thread::sleep_for(ana_time); // "analysis"
+                 }
+             }},
+        },
+        {workflow::Link{0, 1, "*"}}, opts);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// --- 2: serializer ablation ---------------------------------------------------
+
+void bm_pack_runs(benchmark::State& st) {
+    const auto    n = static_cast<std::uint64_t>(st.range(0));
+    h5::Dataspace sp({n, n, n});
+    // interior block: rows are contiguous runs
+    std::uint64_t start[] = {1, 1, 1}, count[] = {n - 2, n - 2, n - 2};
+    sp.select_box(start, count);
+
+    std::vector<std::uint64_t> full(n * n * n, 7), packed(sp.npoints());
+    for (auto _ : st) {
+        pack_selection(sp, full.data(), 8, packed.data());
+        benchmark::DoNotOptimize(packed.data());
+    }
+    st.SetBytesProcessed(static_cast<std::int64_t>(st.iterations()) *
+                         static_cast<std::int64_t>(sp.npoints() * 8));
+}
+
+void bm_pack_pointwise(benchmark::State& st) {
+    const auto n = static_cast<std::uint64_t>(st.range(0));
+    // the same interior block, packed element by element (what the
+    // paper's hand-written MPI comparator does)
+    std::vector<std::uint64_t> full(n * n * n, 7), packed((n - 2) * (n - 2) * (n - 2));
+    for (auto _ : st) {
+        std::size_t k = 0;
+        for (std::uint64_t x = 1; x < n - 1; ++x)
+            for (std::uint64_t y = 1; y < n - 1; ++y)
+                for (std::uint64_t z = 1; z < n - 1; ++z)
+                    std::memcpy(&packed[k++], &full[(x * n + y) * n + z], 8);
+        benchmark::DoNotOptimize(packed.data());
+    }
+    st.SetBytesProcessed(static_cast<std::int64_t>(st.iterations()) *
+                         static_cast<std::int64_t>(packed.size() * 8));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    Params p     = Params::from_env();
+    auto   sizes = world_sizes(p);
+
+    // --- 1: copy-mode ablation (manual-timed full exchanges) -----------------
+    for (int ws : sizes) {
+        benchmark::RegisterBenchmark(
+            ("Ablation/DeepCopy/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_lowfive(ws, p, workflow::Mode::in_situ(), false);
+                    st.SetIterationTime(t);
+                    record("Deep copy", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+        benchmark::RegisterBenchmark(
+            ("Ablation/ZeroCopy/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_lowfive(ws, p, workflow::Mode::in_situ(), true);
+                    st.SetIterationTime(t);
+                    record("Zero copy", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+    }
+
+    // --- 3: lock-model ablation (file mode with/without contention) -----------
+    for (int ws : sizes) {
+        benchmark::RegisterBenchmark(
+            ("Ablation/FileModeLockOn/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    h5::PfsModel::instance().configure(1000, 2, 5);
+                    double t = run_lowfive(ws, p, workflow::Mode::file());
+                    st.SetIterationTime(t);
+                    record("File mode, lock model on", ws, t);
+                    h5::PfsModel::instance().configure(0, 0, 0);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(1);
+        benchmark::RegisterBenchmark(
+            ("Ablation/FileModeLockOff/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    h5::PfsModel::instance().configure(1000, 2, 0);
+                    double t = run_lowfive(ws, p, workflow::Mode::file());
+                    st.SetIterationTime(t);
+                    record("File mode, lock model off", ws, t);
+                    h5::PfsModel::instance().configure(0, 0, 0);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(1);
+    }
+
+    // --- 4: sync vs background coupling ----------------------------------------
+    for (int ws : sizes) {
+        benchmark::RegisterBenchmark(
+            ("Ablation/CoupledSyncServe/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_coupled(ws, p, false);
+                    st.SetIterationTime(t);
+                    record("Coupled, sync serve", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+        benchmark::RegisterBenchmark(
+            ("Ablation/CoupledBackgroundServe/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_coupled(ws, p, true);
+                    st.SetIterationTime(t);
+                    record("Coupled, background serve", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+    }
+
+    // --- 2: serializer microbenchmarks ----------------------------------------
+    benchmark::RegisterBenchmark("Ablation/PackContiguousRuns", bm_pack_runs)->Arg(32)->Arg(64);
+    benchmark::RegisterBenchmark("Ablation/PackPointwise", bm_pack_pointwise)->Arg(32)->Arg(64);
+
+    benchmark::RunSpecifiedBenchmarks();
+    print_recorded("Ablation: copy modes and file-mode lock model (seconds)", p, sizes);
+    benchmark::Shutdown();
+    return 0;
+}

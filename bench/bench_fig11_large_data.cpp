@@ -1,0 +1,67 @@
+/// Figure 11 of the paper: the three best in situ transports — LowFive
+/// memory mode, DataSpaces, and pure MPI — at 10x the payload of the
+/// earlier figures (the paper: 1e7 grid points + 1e7 particles per
+/// producer rank, 0.55 TiB at the largest scale). The question is whether
+/// the trends hold when the data get bigger; the paper found LowFive as
+/// fast as MPI and ~20% slower than DataSpaces at the largest scale.
+
+#include "runners.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace benchcommon;
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+
+    Params p = Params::from_env();
+    // 10x the default payload, exactly as the paper scales Fig. 5-9 -> Fig. 11
+    p.grid_points_per_rank *= 10;
+    p.particles_per_rank *= 10;
+    auto sizes = world_sizes(p);
+
+    for (int ws : sizes) {
+        benchmark::RegisterBenchmark(
+            ("Fig11/LowFiveMemoryMode/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_lowfive(ws, p, workflow::Mode::in_situ(), /*zerocopy=*/true);
+                    st.SetIterationTime(t);
+                    record("LowFive Memory Mode", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+        benchmark::RegisterBenchmark(
+            ("Fig11/DataSpaces/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_dataspaces(ws, p);
+                    st.SetIterationTime(t);
+                    record("DataSpaces", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+        benchmark::RegisterBenchmark(
+            ("Fig11/PureMPI/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_pure_mpi(ws, p);
+                    st.SetIterationTime(t);
+                    record("MPI", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+    }
+
+    benchmark::RunSpecifiedBenchmarks();
+    print_recorded("Figure 11: Weak Scaling at 10x Payload — LowFive vs DataSpaces vs MPI "
+                   "(completion time, seconds)",
+                   p, sizes);
+    std::printf("Expected shape (paper): same ordering as Figs. 7/8 — LowFive ~ MPI, DataSpaces "
+                "modestly faster.\n");
+    benchmark::Shutdown();
+    return 0;
+}

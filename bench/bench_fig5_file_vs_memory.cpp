@@ -1,0 +1,56 @@
+/// Figure 5 of the paper: weak scaling of LowFive communicating through a
+/// physical file vs communicating in situ over message passing. The paper
+/// ran this on Theta; file mode was hundreds of times slower. Here the
+/// file path goes to local disk through the modelled PFS (bandwidth,
+/// open latency, shared-file lock contention), the memory path through
+/// the index–serve–query protocol.
+
+#include "runners.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace benchcommon;
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+
+    h5::PfsModel::instance().configure(1000, 2, 5); // defaults; env overrides
+    h5::PfsModel::instance().configure_from_env();
+
+    Params p     = Params::from_env();
+    auto   sizes = world_sizes(p);
+
+    for (int ws : sizes) {
+        benchmark::RegisterBenchmark(
+            ("Fig5/LowFiveMemoryMode/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_lowfive(ws, p, workflow::Mode::in_situ(), /*zerocopy=*/true);
+                    st.SetIterationTime(t);
+                    record("LowFive Memory Mode", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+        benchmark::RegisterBenchmark(
+            ("Fig5/LowFiveFileMode/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_lowfive(ws, p, workflow::Mode::file());
+                    st.SetIterationTime(t);
+                    record("LowFive File Mode", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+    }
+
+    benchmark::RunSpecifiedBenchmarks();
+    print_recorded("Figure 5: Weak Scaling, LowFive File vs Memory Mode "
+                   "(completion time, seconds)",
+                   p, sizes);
+    std::printf("Expected shape (paper): file mode orders of magnitude slower; memory mode "
+                "rises slowly with scale.\n");
+    benchmark::Shutdown();
+    return 0;
+}

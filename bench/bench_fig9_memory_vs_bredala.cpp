@@ -1,0 +1,58 @@
+/// Figure 9 of the paper: LowFive memory mode vs Bredala (the Decaf
+/// transport), with Bredala's time decomposed per dataset. The particle
+/// list uses Bredala's contiguous redistribution (reasonable); the grid
+/// uses its bounding-box redistribution, whose published implementation
+/// computes and communicates the global box index redundantly and
+/// serializes per point with coordinates — which is why the grid curve
+/// blows up.
+
+#include "runners.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace benchcommon;
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+
+    Params p     = Params::from_env();
+    auto   sizes = world_sizes(p);
+
+    for (int ws : sizes) {
+        benchmark::RegisterBenchmark(
+            ("Fig9/LowFiveMemoryMode/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double t = run_lowfive(ws, p, workflow::Mode::in_situ(), /*zerocopy=*/true);
+                    st.SetIterationTime(t);
+                    record("LowFive Memory Mode", ws, t);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+        benchmark::RegisterBenchmark(
+            ("Fig9/Bredala/procs:" + std::to_string(ws)).c_str(),
+            [ws, p](benchmark::State& st) {
+                for (auto _ : st) {
+                    double grid = 0, particles = 0;
+                    double t = run_bredala(ws, p, &grid, &particles);
+                    st.SetIterationTime(t);
+                    record("Bredala total", ws, t);
+                    record("Bredala grid", ws, grid);
+                    record("Bredala particles", ws, particles);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(p.trials);
+    }
+
+    benchmark::RunSpecifiedBenchmarks();
+    print_recorded("Figure 9: Weak Scaling, LowFive Memory Mode vs Bredala "
+                   "(completion time, seconds; Bredala decomposed per dataset)",
+                   p, sizes);
+    std::printf("Expected shape (paper): LowFive much faster overall; Bredala's particle "
+                "(contiguous) time reasonable, grid (bounding-box) time dominating and scaling "
+                "poorly.\n");
+    benchmark::Shutdown();
+    return 0;
+}

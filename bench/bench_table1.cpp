@@ -1,0 +1,49 @@
+/// Table I of the paper: number of MPI processes and data sizes for the
+/// weak-scaling synthetic benchmark (1 producer task + 1 consumer task,
+/// 3:1 rank split, 1e6 grid points + 1e6 particles per producer rank on
+/// the paper's machines). This binary prints both the paper's original
+/// table and the configuration this reproduction actually runs (which is
+/// scaled by L5_BENCH_SCALE / bounded by L5_BENCH_MAX_PROCS).
+
+#include "common.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace benchcommon;
+
+int main() {
+    std::printf("=== Table I (paper): weak-scaling configuration on Theta/Cori ===\n");
+    std::printf("%-10s %-10s %-10s %-14s %-14s %-10s\n", "procs", "nprod", "ncons", "grid pts",
+                "particles", "GiB");
+    struct Row {
+        int    procs, nprod, ncons;
+        double grid, particles, gib;
+    };
+    const Row paper[] = {
+        {4, 3, 1, 3.0e6, 3.0e6, 0.06},      {16, 12, 4, 1.2e7, 1.2e7, 0.22},
+        {64, 48, 16, 4.8e7, 4.8e7, 0.99},   {256, 192, 64, 1.9e8, 1.9e8, 3.54},
+        {1024, 768, 256, 7.7e8, 7.7e8, 14.34}, {4096, 3072, 1024, 3.0e9, 3.0e9, 55.88},
+        {16384, 12288, 4096, 1.2e10, 1.2e10, 223.51},
+    };
+    for (const auto& r : paper)
+        std::printf("%-10d %-10d %-10d %-14.2e %-14.2e %-10.2f\n", r.procs, r.nprod, r.ncons,
+                    r.grid, r.particles, r.gib);
+
+    Params p = Params::from_env();
+    std::printf("\n=== Table I (this reproduction): rank-threads on this machine ===\n");
+    std::printf("(L5_BENCH_SCALE=%g of the paper's 1e6-per-rank payload; "
+                "L5_BENCH_MAX_PROCS=%d)\n",
+                static_cast<double>(p.grid_points_per_rank) / 1e6, p.max_procs);
+    std::printf("%-10s %-10s %-10s %-14s %-14s %-10s\n", "procs", "nprod", "ncons", "grid pts",
+                "particles", "GiB");
+    for (int ws : world_sizes(p)) {
+        Shape         s    = make_shape(ws, p);
+        std::uint64_t gpts = s.grid_dims[0] * s.grid_dims[1] * s.grid_dims[2];
+        double        gib  = static_cast<double>(gpts * 8 + s.total_particles * 12)
+                     / (1024.0 * 1024.0 * 1024.0);
+        std::printf("%-10d %-10d %-10d %-14" PRIu64 " %-14" PRIu64 " %-10.4f\n", ws, s.nprod,
+                    s.ncons, gpts, s.total_particles, gib);
+    }
+    return 0;
+}

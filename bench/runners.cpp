@@ -1,0 +1,312 @@
+#include "runners.hpp"
+
+#include <baselines/bredala.hpp>
+#include <baselines/dataspaces.hpp>
+#include <baselines/pure_mpi.hpp>
+
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+
+namespace benchcommon {
+
+namespace {
+
+std::string temp_file(const char* stem) {
+    static std::atomic<std::uint64_t> counter{0};
+    return (std::filesystem::temp_directory_path()
+            / (std::string(stem) + "_" + std::to_string(::getpid()) + "_"
+               + std::to_string(counter.fetch_add(1)) + ".mh5"))
+        .string();
+}
+
+/// Stash for the completion time measured inside the rank-threads.
+struct TimeSink {
+    std::mutex mutex;
+    double     seconds = 0;
+    void       set(double s) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seconds = s;
+    }
+};
+
+} // namespace
+
+double run_lowfive(int world_size, const Params& p, workflow::Mode mode, bool zerocopy) {
+    Shape s = make_shape(world_size, p);
+
+    const bool  file_mode = mode.passthru;
+    std::string fname     = file_mode ? temp_file("l5_bench") : "bench.h5";
+
+    TimeSink          sink;
+    workflow::Options opts;
+    opts.mode = mode;
+    if (zerocopy) opts.zerocopy = {{"*", "*"}};
+
+    workflow::run(
+        {
+            {"producer", s.nprod,
+             [&](workflow::Context& ctx) {
+                 double t = timed_section(ctx.world, [&] {
+                     produce_synthetic(s, ctx.rank(), fname, ctx.vol);
+                     // consumers finish inside this window: the producer's
+                     // file close serves until all consumers are done
+                     // (memory mode); in file mode the second barrier of
+                     // timed_section bounds the consumer's read
+                 });
+                 if (ctx.world.rank() == 0) sink.set(t);
+                 ctx.vol->drop_file(fname);
+             }},
+            {"consumer", s.ncons,
+             [&](workflow::Context& ctx) {
+                 (void)timed_section(ctx.world, [&] {
+                     consume_synthetic(s, ctx.rank(), fname, ctx.vol, true);
+                 });
+             }},
+        },
+        {workflow::Link{0, 1, "*"}}, opts);
+
+    if (file_mode) std::filesystem::remove(fname);
+    return sink.seconds;
+}
+
+double run_pure_hdf5(int world_size, const Params& p) {
+    Shape       s     = make_shape(world_size, p);
+    std::string fname = temp_file("hdf5_bench");
+    TimeSink    sink;
+
+    simmpi::Runtime::run(world_size, [&](simmpi::Comm& world) {
+        const bool is_prod = world.rank() < s.nprod;
+        auto       local   = world.split(is_prod ? 0 : 1);
+        auto       vol     = std::make_shared<h5::NativeVol>(local);
+
+        double t = timed_section(world, [&] {
+            if (is_prod) produce_synthetic(s, local.rank(), fname, vol);
+            world.barrier(); // the file must be complete before readers open it
+            if (!is_prod) consume_synthetic(s, local.rank(), fname, vol, true);
+        });
+        if (world.rank() == 0) sink.set(t);
+    });
+    std::filesystem::remove(fname);
+    return sink.seconds;
+}
+
+double run_pure_mpi(int world_size, const Params& p) {
+    Shape    s = make_shape(world_size, p);
+    TimeSink sink;
+
+    simmpi::Runtime::run(world_size, [&](simmpi::Comm& world) {
+        const bool is_prod = world.rank() < s.nprod;
+        auto       local   = world.split(is_prod ? 0 : 1);
+
+        std::vector<int> prod(static_cast<std::size_t>(s.nprod)),
+            cons(static_cast<std::size_t>(s.ncons));
+        std::iota(prod.begin(), prod.end(), 0);
+        std::iota(cons.begin(), cons.end(), s.nprod);
+        auto ic = simmpi::Comm::create_intercomm(world, prod, cons);
+
+        auto prod_pbounds = [&](int r) {
+            auto [lo, hi] = s.prod_particles(r);
+            diy::Bounds b(1);
+            b.min[0] = static_cast<std::int64_t>(lo);
+            b.max[0] = static_cast<std::int64_t>(hi);
+            return b;
+        };
+        auto cons_pbounds = [&](int r) {
+            auto [lo, hi] = s.cons_particles(r);
+            diy::Bounds b(1);
+            b.min[0] = static_cast<std::int64_t>(lo);
+            b.max[0] = static_cast<std::int64_t>(hi);
+            return b;
+        };
+
+        double t = timed_section(world, [&] {
+            if (is_prod) {
+                auto block  = s.prod_grid_block(local.rank());
+                auto values = grid_values(s, block);
+                baselines::pure_mpi::producer_send(
+                    ic, block, values.data(), 8, [&](int r) { return s.cons_grid_block(r); },
+                    s.ncons, 11);
+                auto [lo, hi] = s.prod_particles(local.rank());
+                auto pvals    = particle_values(lo, hi);
+                baselines::pure_mpi::producer_send(ic, prod_pbounds(local.rank()), pvals.data(),
+                                                   12, cons_pbounds, s.ncons, 12);
+            } else {
+                auto                       block = s.cons_grid_block(local.rank());
+                std::vector<std::uint64_t> gv(block.size());
+                baselines::pure_mpi::consumer_recv(
+                    ic, block, gv.data(), 8, [&](int r) { return s.prod_grid_block(r); }, s.nprod,
+                    11);
+                auto [lo, hi] = s.cons_particles(local.rank());
+                std::vector<float> pv((hi - lo) * 3);
+                baselines::pure_mpi::consumer_recv(ic, cons_pbounds(local.rank()), pv.data(), 12,
+                                                   prod_pbounds, s.nprod, 12);
+                validate_grid(s, block, gv);
+                validate_particles(lo, pv);
+            }
+        });
+        if (world.rank() == 0) sink.set(t);
+    });
+    return sink.seconds;
+}
+
+double run_dataspaces(int world_size, const Params& p, int* extra_servers) {
+    Shape     s        = make_shape(world_size, p);
+    const int nservers = std::max(1, world_size / 16);
+    if (extra_servers) *extra_servers = nservers;
+    TimeSink sink;
+
+    namespace ds = baselines::dataspaces;
+
+    simmpi::Runtime::run(world_size + nservers, [&](simmpi::Comm& world) {
+        enum Role { Prod, Cons, Serv };
+        Role role = world.rank() < s.nprod          ? Prod
+                    : world.rank() < s.nprod + s.ncons ? Cons
+                                                       : Serv;
+        auto local = world.split(role);
+
+        std::vector<int> prod(static_cast<std::size_t>(s.nprod)),
+            cons(static_cast<std::size_t>(s.ncons)), serv(static_cast<std::size_t>(nservers));
+        std::iota(prod.begin(), prod.end(), 0);
+        std::iota(cons.begin(), cons.end(), s.nprod);
+        std::iota(serv.begin(), serv.end(), s.nprod + s.ncons);
+        auto prod_serv = simmpi::Comm::create_intercomm(world, prod, serv);
+        auto cons_serv = simmpi::Comm::create_intercomm(world, cons, serv);
+        auto prod_cons = simmpi::Comm::create_intercomm(world, prod, cons);
+
+        // the timed window covers only producer+consumer ranks, so build a
+        // client-only communicator for the barriers (collective: servers
+        // participate in the split, then go serve)
+        auto clients = world.split(role == Serv ? 1 : 0);
+
+        if (role == Serv) {
+            // servers are extra resources: they do not participate in the
+            // timed client-side section (but they do the index work)
+            ds::Server::run(prod_serv, cons_serv);
+            return;
+        }
+
+        double t = timed_section(clients, [&] {
+            if (role == Prod) {
+                ds::ProducerClient client(prod_serv, prod_cons);
+                auto               block  = s.prod_grid_block(local.rank());
+                auto               values = grid_values(s, block);
+                client.put_local("grid", 0, block, values.data(), 8);
+
+                auto [lo, hi] = s.prod_particles(local.rank());
+                auto        pvals = particle_values(lo, hi);
+                diy::Bounds pb(1);
+                pb.min[0] = static_cast<std::int64_t>(lo);
+                pb.max[0] = static_cast<std::int64_t>(hi);
+                client.put_local("particles", 0, pb, pvals.data(), 12);
+
+                client.serve_pulls();
+                client.finalize();
+            } else {
+                ds::ConsumerClient client(cons_serv, prod_cons);
+                auto               block = s.cons_grid_block(local.rank());
+                std::vector<std::uint64_t> gv(block.size());
+                client.get("grid", 0, s.nprod, block, gv.data(), 8);
+
+                auto [lo, hi] = s.cons_particles(local.rank());
+                diy::Bounds pb(1);
+                pb.min[0] = static_cast<std::int64_t>(lo);
+                pb.max[0] = static_cast<std::int64_t>(hi);
+                std::vector<float> pv((hi - lo) * 3);
+                client.get("particles", 0, s.nprod, pb, pv.data(), 12);
+
+                client.done();
+                client.finalize();
+                validate_grid(s, block, gv);
+                validate_particles(lo, pv);
+            }
+        });
+        if (clients.rank() == 0 && role == Prod) sink.set(t);
+    });
+    return sink.seconds;
+}
+
+double run_bredala(int world_size, const Params& p, double* grid_seconds,
+                   double* particle_seconds) {
+    Shape    s = make_shape(world_size, p);
+    TimeSink sink, grid_sink, part_sink;
+
+    namespace br = baselines::bredala;
+
+    simmpi::Runtime::run(world_size, [&](simmpi::Comm& world) {
+        const bool is_prod = world.rank() < s.nprod;
+        auto       local   = world.split(is_prod ? 0 : 1);
+
+        std::vector<int> prod(static_cast<std::size_t>(s.nprod)),
+            cons(static_cast<std::size_t>(s.ncons));
+        std::iota(prod.begin(), prod.end(), 0);
+        std::iota(cons.begin(), cons.end(), s.nprod);
+        auto ic = simmpi::Comm::create_intercomm(world, prod, cons);
+
+        std::map<std::string, double> times;
+        double t = timed_section(world, [&] {
+            if (is_prod) {
+                br::Container c;
+                br::Field     grid;
+                grid.name   = "grid";
+                grid.policy = br::RedistPolicy::BBox;
+                grid.elem   = 8;
+                grid.domain = s.domain();
+                grid.bounds = s.prod_grid_block(local.rank());
+                auto values = grid_values(s, grid.bounds);
+                grid.data.resize(values.size() * 8);
+                std::memcpy(grid.data.data(), values.data(), grid.data.size());
+                c.append(std::move(grid));
+
+                br::Field parts;
+                parts.name         = "particles";
+                parts.policy       = br::RedistPolicy::Contiguous;
+                parts.elem         = 12;
+                parts.global_count = s.total_particles;
+                auto [lo, hi]      = s.prod_particles(local.rank());
+                parts.offset       = lo;
+                auto pvals         = particle_values(lo, hi);
+                parts.data.resize(pvals.size() * 4);
+                std::memcpy(parts.data.data(), pvals.data(), parts.data.size());
+                c.append(std::move(parts));
+
+                br::redistribute_producer(c, local, ic, &times);
+            } else {
+                br::Container c;
+                br::Field     grid;
+                grid.name   = "grid";
+                grid.policy = br::RedistPolicy::BBox;
+                grid.elem   = 8;
+                grid.domain = s.domain();
+                c.append(std::move(grid));
+                br::Field parts;
+                parts.name         = "particles";
+                parts.policy       = br::RedistPolicy::Contiguous;
+                parts.elem         = 12;
+                parts.global_count = s.total_particles;
+                c.append(std::move(parts));
+
+                br::redistribute_consumer(c, local, ic, &times);
+            }
+        });
+
+        auto max_time = [&](const char* key) {
+            double v = times.count(key) ? times.at(key) : 0.0;
+            return world.allreduce(v, [](double a, double b) { return std::max(a, b); });
+        };
+        double gt = max_time("grid");
+        double pt = max_time("particles");
+        if (world.rank() == 0) {
+            sink.set(t);
+            grid_sink.set(gt);
+            part_sink.set(pt);
+        }
+    });
+
+    if (grid_seconds) *grid_seconds = grid_sink.seconds;
+    if (particle_seconds) *particle_seconds = part_sink.seconds;
+    return sink.seconds;
+}
+
+} // namespace benchcommon

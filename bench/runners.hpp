@@ -1,0 +1,32 @@
+#pragma once
+
+/// One-shot exchange runners shared by the figure benchmarks: each runs
+/// a complete producer→consumer exchange of the synthetic workload at a
+/// given world size through one transport and returns the barrier-bounded
+/// completion time in seconds (what the paper's y-axes plot).
+
+#include "common.hpp"
+
+namespace benchcommon {
+
+/// LowFive in the given mode (memory = Figs. 5/7/8/9/11, file = Figs. 5/6).
+double run_lowfive(int world_size, const Params& p, workflow::Mode mode, bool zerocopy = false);
+
+/// Writing and reading the shared file directly through the native VOL,
+/// without the LowFive layer ("Pure HDF5", Fig. 6).
+double run_pure_hdf5(int world_size, const Params& p);
+
+/// The hand-written point-to-point redistribution ("Pure MPI", Figs. 7/11).
+double run_pure_mpi(int world_size, const Params& p);
+
+/// DataSpaces-like staging (Figs. 8/11). `extra_servers` receives the
+/// number of additional server ranks used (the paper reports these as
+/// extra resources).
+double run_dataspaces(int world_size, const Params& p, int* extra_servers = nullptr);
+
+/// Bredala-like container transport (Fig. 9). Per-dataset times (the
+/// decomposition plotted in Fig. 9) are returned through the out params.
+double run_bredala(int world_size, const Params& p, double* grid_seconds = nullptr,
+                   double* particle_seconds = nullptr);
+
+} // namespace benchcommon

@@ -1,0 +1,94 @@
+/// Quickstart: the paper's core scenario in ~100 lines.
+///
+/// A producer task (3 ranks) writes an HDF5-style file containing a 2-d
+/// grid; a consumer task (2 ranks) reads it back with a *different*
+/// decomposition. Run with no arguments the exchange happens entirely in
+/// situ — no file touches disk; set L5_MODE=file and the same task code
+/// communicates through a physical file instead. That mode switch without
+/// changing a line of task code is LowFive's central claim.
+///
+///   ./quickstart              # in situ (memory mode)
+///   L5_MODE=file ./quickstart # through physical storage
+///   L5_MODE=both ./quickstart # in situ + checkpoint on disk
+
+#include <lowfive/lowfive.hpp>
+#include <workflow/workflow.hpp>
+
+#include <cstdio>
+#include <vector>
+
+using workflow::Context;
+
+namespace {
+
+constexpr std::uint64_t rows = 64, cols = 64;
+
+void producer(Context& ctx) {
+    // decompose the grid row-wise among producer ranks
+    auto r0 = rows * static_cast<std::uint64_t>(ctx.rank()) / static_cast<std::uint64_t>(ctx.size());
+    auto r1 = rows * static_cast<std::uint64_t>(ctx.rank() + 1) / static_cast<std::uint64_t>(ctx.size());
+
+    std::vector<double> mine((r1 - r0) * cols);
+    for (std::uint64_t r = r0; r < r1; ++r)
+        for (std::uint64_t c = 0; c < cols; ++c)
+            mine[(r - r0) * cols + c] = static_cast<double>(r * cols + c);
+
+    // plain MiniH5 API calls: nothing here knows about LowFive
+    h5::File f = h5::File::create("quickstart.h5", ctx.vol);
+    f.write_attribute("step", 1);
+    auto g = f.create_group("fields");
+    auto d = g.create_dataset("values", h5::dt::float64(), h5::Dataspace({rows, cols}));
+
+    h5::Dataspace sel({rows, cols});
+    std::uint64_t start[] = {r0, 0}, count[] = {r1 - r0, cols};
+    sel.select_box(start, count);
+    d.write(mine.data(), sel);
+
+    f.close(); // in memory mode, this serves the consumers in situ
+    std::printf("[producer %d/%d] wrote rows %llu..%llu\n", ctx.rank(), ctx.size(),
+                static_cast<unsigned long long>(r0), static_cast<unsigned long long>(r1));
+}
+
+void consumer(Context& ctx) {
+    // read column-wise: a decomposition the producer knows nothing about
+    auto c0 = cols * static_cast<std::uint64_t>(ctx.rank()) / static_cast<std::uint64_t>(ctx.size());
+    auto c1 = cols * static_cast<std::uint64_t>(ctx.rank() + 1) / static_cast<std::uint64_t>(ctx.size());
+
+    h5::File f = h5::File::open("quickstart.h5", ctx.vol);
+    auto     d = f.open_dataset("fields/values");
+
+    h5::Dataspace sel({rows, cols});
+    std::uint64_t start[] = {0, c0}, count[] = {rows, c1 - c0};
+    sel.select_box(start, count);
+    auto mine = d.read_vector<double>(sel);
+    f.close();
+
+    // validate the redistribution
+    std::uint64_t errors = 0;
+    for (std::uint64_t r = 0; r < rows; ++r)
+        for (std::uint64_t c = c0; c < c1; ++c)
+            if (mine[r * (c1 - c0) + (c - c0)] != static_cast<double>(r * cols + c)) ++errors;
+
+    std::printf("[consumer %d/%d] read cols %llu..%llu: %s\n", ctx.rank(), ctx.size(),
+                static_cast<unsigned long long>(c0), static_cast<unsigned long long>(c1),
+                errors ? "MISMATCH" : "all values correct");
+}
+
+} // namespace
+
+int main() {
+    h5::PfsModel::instance().configure_from_env();
+    workflow::Mode mode = workflow::Mode::from_env();
+    std::printf("quickstart: mode = %s%s\n", mode.memory ? "memory" : "",
+                mode.passthru ? (mode.memory ? "+file" : "file") : "");
+
+    workflow::run(
+        {
+            {"producer", 3, producer},
+            {"consumer", 2, consumer},
+        },
+        {workflow::Link{0, 1, "*"}});
+
+    std::printf("quickstart: done\n");
+    return 0;
+}

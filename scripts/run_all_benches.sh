@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation.
+# Usage: scripts/run_all_benches.sh [output_file]
+# Knobs: L5_BENCH_SCALE, L5_BENCH_MAX_PROCS, L5_BENCH_TRIALS, L5_PFS_*.
+set -u
+out="${1:-bench_output.txt}"
+build="$(dirname "$0")/../build"
+{
+  for b in "$build"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "=== $(basename "$b") ==="
+    "$b"
+  done
+} 2>&1 | tee "$out"

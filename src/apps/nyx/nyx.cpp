@@ -1,0 +1,336 @@
+#include "nyx.hpp"
+
+#include "plotfile.hpp"
+
+#include <diy/serialization.hpp>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+namespace nyx {
+
+namespace {
+
+diy::Bounds cube_domain(std::int64_t n) {
+    diy::Bounds d(3);
+    d.max = {n, n, n};
+    return d;
+}
+
+std::int64_t wrap(std::int64_t v, std::int64_t n) { return ((v % n) + n) % n; }
+
+float wrapf(float v, float n) {
+    v = std::fmod(v, n);
+    return v < 0 ? v + n : v;
+}
+
+} // namespace
+
+Simulation::Simulation(simmpi::Comm local, const Config& cfg)
+    : local_(std::move(local)), cfg_(cfg), decomposer_(cube_domain(cfg.grid_size), local_.size()),
+      block_(decomposer_.block_bounds(local_.rank())), density_(block_.size(), 0.0) {
+    const auto   n_total = static_cast<double>(cfg_.particles_per_rank) * local_.size();
+    const double cells   = std::pow(static_cast<double>(cfg_.grid_size), 3);
+    particle_mass_       = cells / n_total; // mean density 1
+
+    std::mt19937 rng(cfg_.seed + static_cast<unsigned>(local_.rank()) * 7919u);
+    std::uniform_real_distribution<float> ux(static_cast<float>(block_.min[0]),
+                                             static_cast<float>(block_.max[0]));
+    std::uniform_real_distribution<float> uy(static_cast<float>(block_.min[1]),
+                                             static_cast<float>(block_.max[1]));
+    std::uniform_real_distribution<float> uz(static_cast<float>(block_.min[2]),
+                                             static_cast<float>(block_.max[2]));
+    std::normal_distribution<float>       uv(0.f, 0.05f);
+
+    particles_.resize(cfg_.particles_per_rank);
+    for (auto& p : particles_) p = {ux(rng), uy(rng), uz(rng), uv(rng), uv(rng), uv(rng)};
+
+    if (cfg_.poisson_iters > 0) {
+        phi_.emplace(decomposer_, local_);
+        scratch_.emplace(decomposer_, local_);
+    }
+    deposit_density();
+}
+
+double& Simulation::cell(std::int64_t x, std::int64_t y, std::int64_t z) {
+    auto idx = (static_cast<std::uint64_t>(x - block_.min[0])
+                    * static_cast<std::uint64_t>(block_.max[1] - block_.min[1])
+                + static_cast<std::uint64_t>(y - block_.min[1]))
+                   * static_cast<std::uint64_t>(block_.max[2] - block_.min[2])
+               + static_cast<std::uint64_t>(z - block_.min[2]);
+    return density_[idx];
+}
+
+double Simulation::cell_or_zero(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    if (x < block_.min[0] || x >= block_.max[0] || y < block_.min[1] || y >= block_.max[1]
+        || z < block_.min[2] || z >= block_.max[2])
+        return 0.0;
+    return const_cast<Simulation*>(this)->cell(x, y, z);
+}
+
+void Simulation::deposit_density() {
+    std::fill(density_.begin(), density_.end(), 0.0);
+    const auto n = cfg_.grid_size;
+    for (const auto& p : particles_) {
+        auto x = wrap(static_cast<std::int64_t>(p.x), n);
+        auto y = wrap(static_cast<std::int64_t>(p.y), n);
+        auto z = wrap(static_cast<std::int64_t>(p.z), n);
+        // particles are kept within the local block by migrate_particles
+        cell(x, y, z) += particle_mass_;
+    }
+}
+
+void Simulation::solve_gravity() {
+    // periodic Poisson solve: laplacian(phi) = 4*pi*G*(rho - mean), mean
+    // density is exactly 1 by construction of particle_mass_
+    auto& phi     = *phi_;
+    auto& scratch = *scratch_;
+
+    diy::GhostField rho(decomposer_, local_);
+    rho.load_interior(density_);
+    rho.exchange();
+
+    const double four_pi_g = 4.0 * 3.14159265358979323846 * cfg_.gravity;
+    for (int it = 0; it < cfg_.poisson_iters; ++it) {
+        phi.exchange();
+        for (auto x = block_.min[0]; x < block_.max[0]; ++x)
+            for (auto y = block_.min[1]; y < block_.max[1]; ++y)
+                for (auto z = block_.min[2]; z < block_.max[2]; ++z) {
+                    double nb = phi.at(x - 1, y, z) + phi.at(x + 1, y, z) + phi.at(x, y - 1, z)
+                                + phi.at(x, y + 1, z) + phi.at(x, y, z - 1) + phi.at(x, y, z + 1);
+                    scratch.at(x, y, z) = (nb - four_pi_g * (rho.at(x, y, z) - 1.0)) / 6.0;
+                }
+        phi.swap(scratch);
+    }
+    phi.exchange(); // fresh ghosts for the gradient in kick_drift
+}
+
+void Simulation::kick_drift() {
+    const auto  n  = static_cast<float>(cfg_.grid_size);
+    const float dt = static_cast<float>(cfg_.dt);
+    for (auto& p : particles_) {
+        auto x = static_cast<std::int64_t>(p.x);
+        auto y = static_cast<std::int64_t>(p.y);
+        auto z = static_cast<std::int64_t>(p.z);
+        float gx, gy, gz;
+        if (phi_) {
+            // acceleration a = -grad(phi), central differences
+            const auto& phi = *phi_;
+            gx = static_cast<float>(-(phi.at(x + 1, y, z) - phi.at(x - 1, y, z)) * 0.5);
+            gy = static_cast<float>(-(phi.at(x, y + 1, z) - phi.at(x, y - 1, z)) * 0.5);
+            gz = static_cast<float>(-(phi.at(x, y, z + 1) - phi.at(x, y, z - 1)) * 0.5);
+        } else {
+            // no-solver fallback: local density-gradient toy force
+            gx = static_cast<float>(cfg_.gravity
+                                    * (cell_or_zero(x + 1, y, z) - cell_or_zero(x - 1, y, z)));
+            gy = static_cast<float>(cfg_.gravity
+                                    * (cell_or_zero(x, y + 1, z) - cell_or_zero(x, y - 1, z)));
+            gz = static_cast<float>(cfg_.gravity
+                                    * (cell_or_zero(x, y, z + 1) - cell_or_zero(x, y, z - 1)));
+        }
+        p.vx += gx * dt;
+        p.vy += gy * dt;
+        p.vz += gz * dt;
+        p.x = wrapf(p.x + p.vx * dt, n);
+        p.y = wrapf(p.y + p.vy * dt, n);
+        p.z = wrapf(p.z + p.vz * dt, n);
+    }
+}
+
+void Simulation::migrate_particles() {
+    std::vector<std::vector<std::byte>> outgoing(static_cast<std::size_t>(local_.size()));
+    std::vector<Particle>               keep;
+    keep.reserve(particles_.size());
+
+    for (const auto& p : particles_) {
+        int owner = decomposer_.point_to_block({static_cast<std::int64_t>(p.x),
+                                                static_cast<std::int64_t>(p.y),
+                                                static_cast<std::int64_t>(p.z)});
+        if (owner < 0) owner = 0; // numeric edge after wrapping
+        if (owner == local_.rank()) {
+            keep.push_back(p);
+        } else {
+            auto& buf = outgoing[static_cast<std::size_t>(owner)];
+            buf.resize(buf.size() + sizeof(Particle));
+            std::memcpy(buf.data() + buf.size() - sizeof(Particle), &p, sizeof(Particle));
+        }
+    }
+
+    auto incoming = local_.alltoall(std::move(outgoing));
+    particles_    = std::move(keep);
+    for (auto& buf : incoming) {
+        if (buf.empty()) continue;
+        auto count = buf.size() / sizeof(Particle);
+        auto base  = particles_.size();
+        particles_.resize(base + count);
+        std::memcpy(particles_.data() + base, buf.data(), buf.size());
+    }
+}
+
+void Simulation::step() {
+    if (phi_) solve_gravity();
+    kick_drift();
+    migrate_particles();
+    deposit_density();
+    ++step_;
+}
+
+std::uint64_t Simulation::total_particles() const {
+    return local_.allreduce(static_cast<std::uint64_t>(particles_.size()));
+}
+
+double Simulation::total_mass() const {
+    double mine = 0;
+    for (double d : density_) mine += d;
+    return local_.allreduce(mine);
+}
+
+h5::Datatype Simulation::position_type() {
+    return h5::Datatype::compound(12)
+        .insert("x", 0, h5::dt::float32())
+        .insert("y", 4, h5::dt::float32())
+        .insert("z", 8, h5::dt::float32());
+}
+
+std::vector<Simulation::Patch> Simulation::find_patches() const {
+    std::vector<Patch> patches;
+    const std::int64_t ps = 4; // patch covers 4^3 parent cells, refined 2x
+
+    auto in_existing = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+        for (const auto& p : patches)
+            if (x >= p.origin[0] && x < p.origin[0] + ps && y >= p.origin[1]
+                && y < p.origin[1] + ps && z >= p.origin[2] && z < p.origin[2] + ps)
+                return true;
+        return false;
+    };
+
+    for (auto x = block_.min[0]; x < block_.max[0]; ++x) {
+        for (auto y = block_.min[1]; y < block_.max[1]; ++y) {
+            for (auto z = block_.min[2]; z < block_.max[2]; ++z) {
+                if (static_cast<int>(patches.size()) >= cfg_.max_patches_per_rank) return patches;
+                if (cell_or_zero(x, y, z) < cfg_.refine_threshold || in_existing(x, y, z)) continue;
+
+                Patch p;
+                p.origin = {std::max(block_.min[0], std::min(x, block_.max[0] - ps)),
+                            std::max(block_.min[1], std::min(y, block_.max[1] - ps)),
+                            std::max(block_.min[2], std::min(z, block_.max[2] - ps))};
+                // refine by replicating each parent cell into 2^3 subcells
+                for (std::int64_t i = 0; i < 8; ++i)
+                    for (std::int64_t j = 0; j < 8; ++j)
+                        for (std::int64_t k = 0; k < 8; ++k)
+                            p.values[static_cast<std::size_t>((i * 8 + j) * 8 + k)] =
+                                cell_or_zero(p.origin[0] + i / 2, p.origin[1] + j / 2,
+                                             p.origin[2] + k / 2);
+                patches.push_back(p);
+            }
+        }
+    }
+    return patches;
+}
+
+void Simulation::write_snapshot_h5(const std::string& name, const h5::VolPtr& vol) const {
+    const auto n = static_cast<std::uint64_t>(cfg_.grid_size);
+
+    h5::File f = h5::File::create(name, vol);
+    f.write_attribute("step", std::int32_t{step_});
+    f.write_attribute("time", time());
+    f.write_attribute("grid_size", static_cast<std::int64_t>(cfg_.grid_size));
+
+    // level-0 density, written one AMReX-style sub-box at a time
+    auto gf = f.create_group("native_fields");
+    auto dd = gf.create_dataset("baryon_density", h5::dt::float64(), h5::Dataspace({n, n, n}));
+    const auto mgs = std::max<std::int64_t>(1, cfg_.max_grid_size);
+    for (auto x0 = block_.min[0]; x0 < block_.max[0]; x0 += mgs)
+        for (auto y0 = block_.min[1]; y0 < block_.max[1]; y0 += mgs)
+            for (auto z0 = block_.min[2]; z0 < block_.max[2]; z0 += mgs) {
+                diy::Bounds box(3);
+                box.min = {x0, y0, z0};
+                box.max = {std::min(x0 + mgs, block_.max[0]), std::min(y0 + mgs, block_.max[1]),
+                           std::min(z0 + mgs, block_.max[2])};
+                h5::Dataspace fsel({n, n, n});
+                fsel.select_box(box);
+                // the source buffer is the full block; describe it as a
+                // memory space selecting the sub-box (zero repacking here)
+                h5::Dataspace msel({static_cast<std::uint64_t>(block_.max[0] - block_.min[0]),
+                                    static_cast<std::uint64_t>(block_.max[1] - block_.min[1]),
+                                    static_cast<std::uint64_t>(block_.max[2] - block_.min[2])});
+                diy::Bounds   local = box;
+                for (int i = 0; i < 3; ++i) {
+                    auto u = static_cast<std::size_t>(i);
+                    local.min[u] -= block_.min[u];
+                    local.max[u] -= block_.min[u];
+                }
+                msel.select_box(local);
+                dd.write(density_.data(), msel, fsel);
+            }
+
+    // particle positions: contiguous global list, offsets by exclusive scan
+    auto counts = local_.allgather_value(static_cast<std::uint64_t>(particles_.size()));
+    std::uint64_t total = 0, offset = 0;
+    for (int r = 0; r < local_.size(); ++r) {
+        if (r == local_.rank()) offset = total;
+        total += counts[static_cast<std::size_t>(r)];
+    }
+    auto gp = f.create_group("particles");
+    auto dp = gp.create_dataset("position", position_type(), h5::Dataspace({total}));
+    std::vector<float> pos(particles_.size() * 3);
+    for (std::size_t i = 0; i < particles_.size(); ++i) {
+        pos[i * 3]     = particles_[i].x;
+        pos[i * 3 + 1] = particles_[i].y;
+        pos[i * 3 + 2] = particles_[i].z;
+    }
+    h5::Dataspace psel({total});
+    diy::Bounds   prange(1);
+    prange.min[0] = static_cast<std::int64_t>(offset);
+    prange.max[0] = static_cast<std::int64_t>(offset + particles_.size());
+    psel.select_box(prange);
+    dp.write(pos.data(), psel);
+
+    // AMR level-1 patches (variable count: sized collectively)
+    auto patches = find_patches();
+    auto pcounts = local_.allgather_value(static_cast<std::uint64_t>(patches.size()));
+    std::uint64_t ptotal = 0, poffset = 0;
+    for (int r = 0; r < local_.size(); ++r) {
+        if (r == local_.rank()) poffset = ptotal;
+        ptotal += pcounts[static_cast<std::size_t>(r)];
+    }
+    auto ga = f.create_group("amr");
+    ga.write_attribute("n_patches", ptotal);
+    if (ptotal > 0) {
+        auto dor = ga.create_dataset("patch_origin", h5::dt::int64(), h5::Dataspace({ptotal, 3}));
+        auto dpd = ga.create_dataset("patch_density", h5::dt::float64(),
+                                     h5::Dataspace({ptotal, 8, 8, 8}));
+        if (!patches.empty()) {
+            std::vector<std::int64_t> origins(patches.size() * 3);
+            std::vector<double>       values(patches.size() * 512);
+            for (std::size_t i = 0; i < patches.size(); ++i) {
+                for (int k = 0; k < 3; ++k)
+                    origins[i * 3 + static_cast<std::size_t>(k)] = patches[i].origin[static_cast<std::size_t>(k)];
+                std::copy(patches[i].values.begin(), patches[i].values.end(),
+                          values.begin() + static_cast<std::ptrdiff_t>(i * 512));
+            }
+            h5::Dataspace osel({ptotal, 3});
+            diy::Bounds   ob(2);
+            ob.min = {static_cast<std::int64_t>(poffset), 0};
+            ob.max = {static_cast<std::int64_t>(poffset + patches.size()), 3};
+            osel.select_box(ob);
+            dor.write(origins.data(), osel);
+
+            h5::Dataspace vsel({ptotal, 8, 8, 8});
+            diy::Bounds   vb(4);
+            vb.min = {static_cast<std::int64_t>(poffset), 0, 0, 0};
+            vb.max = {static_cast<std::int64_t>(poffset + patches.size()), 8, 8, 8};
+            vsel.select_box(vb);
+            dpd.write(values.data(), vsel);
+        }
+    }
+    f.close(); // in LowFive memory mode this is where serving happens
+}
+
+void Simulation::write_snapshot_plotfile(const std::string& dir) const {
+    PlotfileWriter::write(local_, dir, cfg_.grid_size, block_, density_, particles_.data(),
+                          particles_.size() * sizeof(Particle));
+}
+
+} // namespace nyx

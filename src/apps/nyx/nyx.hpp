@@ -1,0 +1,110 @@
+#pragma once
+
+#include <diy/decomposer.hpp>
+#include <diy/ghost.hpp>
+#include <h5/api.hpp>
+#include <simmpi/comm.hpp>
+
+#include <optional>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nyx {
+
+/// MiniNyx: a stand-in for the Nyx cosmological simulation of the paper's
+/// use case (§IV-C). It is a toy particle–mesh code — particles deposit
+/// density on a block-decomposed 3-d grid, feel the local density
+/// gradient, and drift with periodic wrapping; cells above a threshold
+/// spawn 2× refined AMR patches — but its I/O surface is the real thing:
+/// snapshots are written through the MiniH5 API (and therefore through
+/// whatever VOL is plugged in, LowFive included, with zero changes here)
+/// or as AMReX-style plotfiles. Density values are reproducible for a
+/// given (seed, grid, ranks) so consumers can be validated.
+struct Config {
+    std::int64_t  grid_size          = 64;   ///< N for an N^3 level-0 grid
+    std::uint64_t particles_per_rank = 8192;
+    double        dt                 = 0.1;
+    double        refine_threshold   = 4.0; ///< density triggering an AMR patch
+    int           max_patches_per_rank = 8;
+    /// AMReX-style box chopping: each rank's block is written as sub-boxes
+    /// of at most this side length (AMReX max_grid_size). Many small
+    /// interleaved writes are exactly what makes single-shared-file output
+    /// expensive on a parallel file system.
+    std::int64_t  max_grid_size      = 16;
+    /// Jacobi sweeps of the periodic Poisson solve per step (0 = fall
+    /// back to the local density-gradient toy force, no communication).
+    int           poisson_iters      = 12;
+    double        gravity            = 0.05; ///< G in grad(phi) = 4*pi*G*(rho - mean)
+    unsigned      seed               = 12345;
+};
+
+struct Particle {
+    float x, y, z;
+    float vx, vy, vz;
+};
+
+class Simulation {
+public:
+    Simulation(simmpi::Comm local, const Config& cfg);
+
+    /// Advance one timestep: deposit density, kick from the local density
+    /// gradient, drift with periodic wrapping, and migrate particles that
+    /// crossed block boundaries (all-to-all over the task communicator).
+    void step();
+
+    int    current_step() const { return step_; }
+    double time() const { return static_cast<double>(step_) * cfg_.dt; }
+
+    /// Write a snapshot (density grid + particle positions + AMR patches
+    /// + attributes) through the MiniH5 API. Collective over the task.
+    void write_snapshot_h5(const std::string& name, const h5::VolPtr& vol) const;
+
+    /// Write an AMReX-style plotfile directory. Collective over the task.
+    void write_snapshot_plotfile(const std::string& dir) const;
+
+    // --- introspection (used by tests and validation) ----------------------
+    const Config&                cfg() const { return cfg_; }
+    const diy::Bounds&           block() const { return block_; }
+    const std::vector<double>&   density() const { return density_; }
+    const std::vector<Particle>& particles() const { return particles_; }
+    std::uint64_t                total_particles() const;
+    double                       total_mass() const; ///< globally reduced
+
+    /// Datatype of the particle-position dataset rows.
+    static h5::Datatype position_type();
+
+private:
+    void deposit_density();
+    /// Periodic Poisson solve for the gravitational potential: Jacobi
+    /// sweeps with face-ghost exchange over the block decomposition.
+    void solve_gravity();
+    void kick_drift();
+    void migrate_particles();
+
+    /// AMR: (origin, 8^3 refined density values) for each local patch.
+    struct Patch {
+        std::array<std::int64_t, 3> origin;
+        std::array<double, 512>     values;
+    };
+    std::vector<Patch> find_patches() const;
+
+    double&      cell(std::int64_t x, std::int64_t y, std::int64_t z);
+    double       cell_or_zero(std::int64_t x, std::int64_t y, std::int64_t z) const;
+
+    simmpi::Comm           local_;
+    Config                 cfg_;
+    diy::RegularDecomposer decomposer_;
+    diy::Bounds            block_;
+    std::vector<double>    density_; ///< row-major within block_
+    std::vector<Particle>  particles_;
+    double                 particle_mass_ = 1.0;
+    int                    step_          = 0;
+
+    // gravity state (constructed when poisson_iters > 0); phi_ is kept
+    // across steps as the Jacobi warm start
+    std::optional<diy::GhostField> phi_, scratch_;
+};
+
+} // namespace nyx

@@ -1,0 +1,127 @@
+#include "plotfile.hpp"
+
+#include <h5/storage.hpp>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace nyx {
+
+namespace {
+
+std::string cell_file(const std::string& dir, int rank) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "Cell_D_%05d", rank);
+    return dir + "/Level_0/" + buf;
+}
+
+} // namespace
+
+void PlotfileWriter::write(const simmpi::Comm& local, const std::string& dir,
+                           std::int64_t grid_size, const diy::Bounds& block,
+                           const std::vector<double>& density, const void* particles,
+                           std::size_t particle_bytes) {
+    if (local.rank() == 0) {
+        std::filesystem::create_directories(dir + "/Level_0");
+
+        // gather every rank's bounds for the header
+        std::vector<diy::Bounds> blocks(static_cast<std::size_t>(local.size()));
+        blocks[0] = block;
+        for (int r = 1; r < local.size(); ++r) {
+            std::vector<std::byte> raw;
+            local.recv(r, 71, raw);
+            diy::BinaryBuffer bb{std::move(raw)};
+            blocks[static_cast<std::size_t>(r)] = diy::Bounds::load(bb);
+        }
+
+        std::ostringstream header;
+        header << "MiniNyxPlotfile-1\n"
+               << "ncomp 1\ndensity\n"
+               << "grid_size " << grid_size << "\n"
+               << "nblocks " << local.size() << "\n";
+        for (const auto& b : blocks) {
+            for (int i = 0; i < 3; ++i)
+                header << b.min[static_cast<std::size_t>(i)] << " "
+                       << b.max[static_cast<std::size_t>(i)] << " ";
+            header << "\n";
+        }
+        const std::string text = header.str();
+        auto              io   = h5::FileIO::create(dir + "/Header");
+        io.pwrite(text.data(), text.size(), 0);
+    } else {
+        diy::BinaryBuffer bb;
+        block.save(bb);
+        local.send(0, 71, std::move(bb).take());
+    }
+    local.barrier(); // directory must exist before anyone writes a cell file
+
+    auto io = h5::FileIO::create(cell_file(dir, local.rank()));
+    io.pwrite(density.data(), density.size() * sizeof(double), 0);
+
+    if (particles && particle_bytes) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "Particles_D_%05d", local.rank());
+        auto pio = h5::FileIO::create(dir + "/Level_0/" + buf);
+        pio.pwrite(particles, particle_bytes, 0);
+    }
+    local.barrier(); // plotfile complete
+}
+
+PlotfileReader::PlotfileReader(const std::string& dir) : dir_(dir) {
+    // the Header is small; read it through the throttled layer then parse
+    auto                   io = h5::FileIO::open_ro(dir + "/Header");
+    std::vector<char>      text(io.size());
+    io.pread(text.data(), text.size(), 0);
+    std::istringstream in(std::string(text.begin(), text.end()));
+
+    std::string line, word;
+    std::getline(in, line);
+    if (line != "MiniNyxPlotfile-1")
+        throw h5::Error("plotfile: bad header in " + dir);
+    int ncomp = 0;
+    in >> word >> ncomp;
+    std::string comp_name;
+    in >> comp_name;
+    int nblocks = 0;
+    in >> word >> grid_size_ >> word >> nblocks;
+    blocks_.resize(static_cast<std::size_t>(nblocks), diy::Bounds(3));
+    for (auto& b : blocks_)
+        for (int i = 0; i < 3; ++i)
+            in >> b.min[static_cast<std::size_t>(i)] >> b.max[static_cast<std::size_t>(i)];
+    if (!in) throw h5::Error("plotfile: truncated header in " + dir);
+}
+
+void PlotfileReader::read_region(const diy::Bounds& want, std::vector<double>& out) const {
+    out.assign(want.size(), 0.0);
+
+    for (int r = 0; r < nblocks(); ++r) {
+        const auto& b      = blocks_[static_cast<std::size_t>(r)];
+        auto        common = diy::intersect(b, want);
+        if (!common) continue;
+
+        // naive reader: pull the whole block file, then crop
+        auto                io = h5::FileIO::open_ro(cell_file(dir_, r));
+        std::vector<double> blockdata(b.size());
+        io.pread(blockdata.data(), blockdata.size() * sizeof(double), 0);
+
+        auto offset_in = [](const diy::Bounds& box, std::int64_t x, std::int64_t y, std::int64_t z) {
+            return (static_cast<std::uint64_t>(x - box.min[0])
+                        * static_cast<std::uint64_t>(box.max[1] - box.min[1])
+                    + static_cast<std::uint64_t>(y - box.min[1]))
+                       * static_cast<std::uint64_t>(box.max[2] - box.min[2])
+                   + static_cast<std::uint64_t>(z - box.min[2]);
+        };
+        for (auto x = common->min[0]; x < common->max[0]; ++x)
+            for (auto y = common->min[1]; y < common->max[1]; ++y) {
+                auto src = offset_in(b, x, y, common->min[2]);
+                auto dst = offset_in(want, x, y, common->min[2]);
+                std::copy_n(blockdata.begin() + static_cast<std::ptrdiff_t>(src),
+                            common->max[2] - common->min[2],
+                            out.begin() + static_cast<std::ptrdiff_t>(dst));
+            }
+    }
+}
+
+} // namespace nyx

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <diy/bounds.hpp>
+#include <simmpi/comm.hpp>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nyx {
+
+/// AMReX-style plotfile layout (the paper's "plotfiles" scenario in
+/// Table II): a directory with an ASCII `Header` describing the domain
+/// and per-block bounds, and one binary cell file per writer rank under
+/// `Level_0/`. Unlike the single shared HDF5 file, data are split into
+/// separate files among the simulation processes — the format AMReX
+/// designed to sidestep shared-file contention.
+///
+/// All I/O goes through the throttled FileIO layer, so plotfile writes
+/// compete for the same modelled PFS bandwidth as everything else.
+class PlotfileWriter {
+public:
+    /// Collective over `local`. `block` is this rank's sub-box of the
+    /// N^3 domain; `density` its row-major values. `particles` (raw
+    /// bytes, any record layout) goes to a per-rank particle file, as
+    /// AMReX plotfiles carry the particle data too.
+    static void write(const simmpi::Comm& local, const std::string& dir, std::int64_t grid_size,
+                      const diy::Bounds& block, const std::vector<double>& density,
+                      const void* particles = nullptr, std::size_t particle_bytes = 0);
+};
+
+/// The unoptimized plotfile reader (the paper reports that reading
+/// plotfiles was slow and unrepresentative; ours is the same naive shape:
+/// every reader rank reads *entire* writer block files that intersect its
+/// region, then crops).
+class PlotfileReader {
+public:
+    explicit PlotfileReader(const std::string& dir);
+
+    std::int64_t                    grid_size() const { return grid_size_; }
+    int                             nblocks() const { return static_cast<int>(blocks_.size()); }
+    const std::vector<diy::Bounds>& blocks() const { return blocks_; }
+
+    /// Fill `out` (row-major within `want`) from the block files.
+    void read_region(const diy::Bounds& want, std::vector<double>& out) const;
+
+private:
+    std::string              dir_;
+    std::int64_t             grid_size_ = 0;
+    std::vector<diy::Bounds> blocks_;
+};
+
+} // namespace nyx

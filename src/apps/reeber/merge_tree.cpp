@@ -1,0 +1,188 @@
+#include "merge_tree.hpp"
+
+#include <diy/decomposer.hpp>
+#include <diy/serialization.hpp>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace reeber {
+
+namespace {
+
+/// Union–find over the active (already swept) vertices, tracking each
+/// component's peak.
+class PeakUnionFind {
+public:
+    explicit PeakUnionFind(std::size_t n)
+        : parent_(n, no_vertex), peak_(n, 0) {}
+
+    static constexpr std::size_t no_vertex = ~std::size_t{0};
+
+    bool active(std::size_t v) const { return parent_[v] != no_vertex; }
+
+    void activate(std::size_t v) {
+        parent_[v] = v;
+        peak_[v]   = v;
+    }
+
+    std::size_t find(std::size_t v) {
+        std::size_t root = v;
+        while (parent_[root] != root) root = parent_[root];
+        while (parent_[v] != root) {
+            auto next  = parent_[v];
+            parent_[v] = root;
+            v          = next;
+        }
+        return root;
+    }
+
+    std::size_t peak(std::size_t root) const { return peak_[root]; }
+
+    /// Union two roots; the surviving root keeps the higher peak.
+    /// Returns the peak vertex of the component that *died*.
+    template <typename Higher>
+    std::size_t merge(std::size_t ra, std::size_t rb, Higher&& higher) {
+        std::size_t pa = peak_[ra], pb = peak_[rb];
+        std::size_t survivor_peak = higher(pa, pb) ? pa : pb;
+        std::size_t dead_peak     = higher(pa, pb) ? pb : pa;
+        parent_[rb] = ra;
+        peak_[ra]   = survivor_peak;
+        return dead_peak;
+    }
+
+private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> peak_;
+};
+
+} // namespace
+
+MergeTree MergeTree::build(std::int64_t n, const std::vector<double>& field, double floor) {
+    const auto total = static_cast<std::size_t>(n) * static_cast<std::size_t>(n)
+                       * static_cast<std::size_t>(n);
+    if (field.size() != total)
+        throw std::invalid_argument("reeber::MergeTree: field size does not match n^3");
+
+    // vertices above the floor, sorted by decreasing value; ties broken by
+    // index so the sweep order is a strict total order (simulation of
+    // simplicity)
+    std::vector<std::uint32_t> order;
+    order.reserve(total / 4);
+    for (std::size_t v = 0; v < total; ++v)
+        if (field[v] >= floor) order.push_back(static_cast<std::uint32_t>(v));
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return field[a] != field[b] ? field[a] > field[b] : a < b;
+    });
+
+    auto higher = [&](std::size_t a, std::size_t b) {
+        return field[a] != field[b] ? field[a] > field[b] : a < b;
+    };
+
+    PeakUnionFind uf(total);
+    MergeTree     tree;
+
+    const auto nn = static_cast<std::size_t>(n);
+    for (auto v : order) {
+        uf.activate(v);
+        const std::size_t z = v % nn, y = (v / nn) % nn, x = v / (nn * nn);
+
+        auto try_union = [&](std::size_t u) {
+            if (!uf.active(u)) return;
+            auto rv = uf.find(v), ru = uf.find(u);
+            if (rv == ru) return;
+            // two superlevel components join at value field[v]: the one
+            // with the lower peak dies here; zero-persistence pairs
+            // (flat-region artifacts of the tie-breaking) are discarded,
+            // as is standard
+            auto dead_peak = uf.merge(rv, ru, higher);
+            if (field[dead_peak] > field[v])
+                tree.pairs_.push_back({static_cast<std::uint64_t>(dead_peak), field[dead_peak],
+                                       field[v]});
+        };
+        if (x > 0) try_union(v - nn * nn);
+        if (x + 1 < nn) try_union(v + nn * nn);
+        if (y > 0) try_union(v - nn);
+        if (y + 1 < nn) try_union(v + nn);
+        if (z > 0) try_union(v - 1);
+        if (z + 1 < nn) try_union(v + 1);
+    }
+
+    // survivors die at the floor
+    std::vector<std::size_t> roots;
+    for (auto v : order) {
+        auto r = uf.find(v);
+        roots.push_back(r);
+    }
+    std::sort(roots.begin(), roots.end());
+    roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+    for (auto r : roots) {
+        auto p = uf.peak(r);
+        tree.pairs_.push_back({static_cast<std::uint64_t>(p), field[p], floor});
+    }
+
+    std::sort(tree.pairs_.begin(), tree.pairs_.end(),
+              [](const PersistencePair& a, const PersistencePair& b) {
+                  return a.prominence() > b.prominence();
+              });
+    return tree;
+}
+
+std::size_t MergeTree::count_features(double prominence_cutoff) const {
+    std::size_t k = 0;
+    for (const auto& p : pairs_)
+        if (p.prominence() >= prominence_cutoff) ++k;
+    return k;
+}
+
+std::vector<PersistencePair> distributed_persistence(const simmpi::Comm& comm, std::int64_t n,
+                                                     const std::vector<double>& local_block,
+                                                     double floor) {
+    diy::Bounds domain(3);
+    domain.max = {n, n, n};
+    diy::RegularDecomposer dec(domain, comm.size());
+    const diy::Bounds      block = dec.block_bounds(comm.rank());
+    if (local_block.size() != block.size())
+        throw std::invalid_argument("reeber: local block size does not match the decomposition");
+
+    // gather blocks at rank 0 into the full field
+    auto parts = comm.gather(
+        std::span<const std::byte>(reinterpret_cast<const std::byte*>(local_block.data()),
+                                   local_block.size() * sizeof(double)),
+        0);
+
+    diy::BinaryBuffer result;
+    if (comm.rank() == 0) {
+        std::vector<double> field(static_cast<std::size_t>(n * n * n));
+        for (int r = 0; r < comm.size(); ++r) {
+            const auto  rb   = dec.block_bounds(r);
+            const auto* vals = reinterpret_cast<const double*>(parts[static_cast<std::size_t>(r)].data());
+            std::size_t k    = 0;
+            for (auto x = rb.min[0]; x < rb.max[0]; ++x)
+                for (auto y = rb.min[1]; y < rb.max[1]; ++y)
+                    for (auto z = rb.min[2]; z < rb.max[2]; ++z)
+                        field[static_cast<std::size_t>((x * n + y) * n + z)] = vals[k++];
+        }
+        auto tree = MergeTree::build(n, field, floor);
+        result.save<std::uint64_t>(tree.pairs().size());
+        for (const auto& p : tree.pairs()) {
+            result.save(p.peak_vertex);
+            result.save(p.birth);
+            result.save(p.death);
+        }
+    }
+    std::vector<std::byte> blob = std::move(result).take();
+    comm.bcast(blob, 0);
+
+    diy::BinaryBuffer            bb{std::move(blob)};
+    std::vector<PersistencePair> pairs(bb.load<std::uint64_t>());
+    for (auto& p : pairs) {
+        bb.load(p.peak_vertex);
+        bb.load(p.birth);
+        bb.load(p.death);
+    }
+    return pairs;
+}
+
+} // namespace reeber

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <simmpi/comm.hpp>
+
+#include <cstdint>
+#include <vector>
+
+namespace reeber {
+
+/// A persistence pair of the superlevel-set filtration: a maximum born
+/// at `birth` (its density value) dies at `death` when its component
+/// merges into one with a higher peak. `prominence() = birth - death`
+/// ranks how significant the feature is — the merge-tree-based notion of
+/// "is this density peak a real halo", after Reeber's merge-tree halo
+/// analysis (Friesen et al.; Smirnov & Morozov's triplet merge trees).
+struct PersistencePair {
+    std::uint64_t peak_vertex = 0; ///< global cell id of the maximum
+    double        birth       = 0; ///< density at the maximum
+    double        death       = 0; ///< density at the merge (saddle), or
+                                   ///< the sweep floor for the last survivor
+    double prominence() const { return birth - death; }
+};
+
+/// Merge tree of the superlevel sets of a scalar field on an n^3 grid
+/// (6-connectivity): tracks how components of {v : f(v) >= t} appear at
+/// maxima and join at saddles as t sweeps downward. Built with a sorted
+/// union–find sweep; vertices below `floor` are ignored (the halo
+/// analysis never descends below the background density).
+class MergeTree {
+public:
+    /// `field` is the full row-major n^3 field.
+    static MergeTree build(std::int64_t n, const std::vector<double>& field, double floor);
+
+    /// All persistence pairs, most prominent first. Components still
+    /// alive at the floor die there (their death is the floor value).
+    const std::vector<PersistencePair>& pairs() const { return pairs_; }
+
+    /// Number of features with prominence >= cutoff — the
+    /// persistence-simplified halo count.
+    std::size_t count_features(double prominence_cutoff) const;
+
+    /// Number of maxima (leaves of the tree).
+    std::size_t n_maxima() const { return pairs_.size(); }
+
+private:
+    std::vector<PersistencePair> pairs_;
+};
+
+/// Distributed convenience used by the analysis task: gathers the
+/// block-decomposed field to rank 0 (the blocks must follow
+/// RegularDecomposer(n^3, comm.size())), builds the tree there, and
+/// broadcasts the pairs. Collective over `comm`. MiniReeber's
+/// steady-state halo finding stays fully distributed (HaloFinder); the
+/// merge tree is the deeper, occasional analysis, so the gather is
+/// acceptable at the sizes it runs on.
+std::vector<PersistencePair> distributed_persistence(const simmpi::Comm& comm, std::int64_t n,
+                                                     const std::vector<double>& local_block,
+                                                     double floor);
+
+} // namespace reeber

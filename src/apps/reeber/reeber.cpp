@@ -1,0 +1,260 @@
+#include "reeber.hpp"
+
+#include <diy/serialization.hpp>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <numeric>
+
+namespace reeber {
+
+namespace {
+
+constexpr int tag_faces = 81;
+
+/// Local union–find with path compression.
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n) {
+        std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    }
+    std::size_t find(std::size_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x          = parent_[x];
+        }
+        return x;
+    }
+    void unite(std::size_t a, std::size_t b) {
+        a = find(a);
+        b = find(b);
+        if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+    }
+
+private:
+    std::vector<std::size_t> parent_;
+};
+
+diy::Bounds cube_domain(std::int64_t n) {
+    diy::Bounds d(3);
+    d.max = {n, n, n};
+    return d;
+}
+
+} // namespace
+
+std::vector<Halo> HaloFinder::find_halos(std::int64_t n, const diy::Bounds& block,
+                                         const std::vector<double>& density) {
+    diy::RegularDecomposer dec(cube_domain(n), local_.size());
+    if (!(dec.block_bounds(local_.rank()) == block))
+        throw std::runtime_error("reeber: block must match the task's regular decomposition");
+
+    const auto ey = block.max[1] - block.min[1];
+    const auto ez = block.max[2] - block.min[2];
+
+    auto lidx = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+        return static_cast<std::size_t>(((x - block.min[0]) * ey + (y - block.min[1])) * ez
+                                        + (z - block.min[2]));
+    };
+    auto gid = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+        return (static_cast<std::uint64_t>(x) * static_cast<std::uint64_t>(n)
+                + static_cast<std::uint64_t>(y))
+                   * static_cast<std::uint64_t>(n)
+               + static_cast<std::uint64_t>(z);
+    };
+    auto above = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+        return density[lidx(x, y, z)] >= threshold_;
+    };
+
+    // --- 1. local connected components (6-connectivity) ---------------------
+    UnionFind uf(block.size());
+    for (auto x = block.min[0]; x < block.max[0]; ++x)
+        for (auto y = block.min[1]; y < block.max[1]; ++y)
+            for (auto z = block.min[2]; z < block.max[2]; ++z) {
+                if (!above(x, y, z)) continue;
+                if (x + 1 < block.max[0] && above(x + 1, y, z)) uf.unite(lidx(x, y, z), lidx(x + 1, y, z));
+                if (y + 1 < block.max[1] && above(x, y + 1, z)) uf.unite(lidx(x, y, z), lidx(x, y + 1, z));
+                if (z + 1 < block.max[2] && above(x, y, z + 1)) uf.unite(lidx(x, y, z), lidx(x, y, z + 1));
+            }
+
+    // component label = smallest global cell id in the component (so far);
+    // flat array indexed by local root index (hot path — no tree lookups)
+    constexpr std::uint64_t    no_label = ~std::uint64_t{0};
+    std::vector<std::uint64_t> label(block.size(), no_label);
+    for (auto x = block.min[0]; x < block.max[0]; ++x)
+        for (auto y = block.min[1]; y < block.max[1]; ++y)
+            for (auto z = block.min[2]; z < block.max[2]; ++z) {
+                if (!above(x, y, z)) continue;
+                auto root = uf.find(lidx(x, y, z));
+                auto g    = gid(x, y, z);
+                if (g < label[root]) label[root] = g;
+            }
+
+    // --- 2. which ranks are face-adjacent to my block -----------------------
+    std::vector<int> neighbors;
+    for (int axis = 0; axis < 3; ++axis)
+        for (int side = 0; side < 2; ++side) {
+            diy::Bounds slab = block;
+            auto        u    = static_cast<std::size_t>(axis);
+            if (side == 0) {
+                slab.max[u] = block.min[u];
+                slab.min[u] = block.min[u] - 1;
+            } else {
+                slab.min[u] = block.max[u];
+                slab.max[u] = block.max[u] + 1;
+            }
+            for (int r : dec.intersecting_blocks(slab))
+                if (r != local_.rank()) neighbors.push_back(r);
+        }
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()), neighbors.end());
+
+    // --- 3. label-merge rounds until global fixpoint -------------------------
+    for (;;) {
+        // (receiver cell gid, sender label) per neighbor
+        std::map<int, diy::BinaryBuffer> outgoing;
+        for (int r : neighbors) outgoing[r]; // ensure one (possibly empty) message each
+
+        auto emit_face = [&](int axis, int side) {
+            auto        u    = static_cast<std::size_t>(axis);
+            diy::Bounds face = block;
+            if (side == 0)
+                face.max[u] = block.min[u] + 1;
+            else
+                face.min[u] = block.max[u] - 1;
+            for (auto x = face.min[0]; x < face.max[0]; ++x)
+                for (auto y = face.min[1]; y < face.max[1]; ++y)
+                    for (auto z = face.min[2]; z < face.max[2]; ++z) {
+                        if (!above(x, y, z)) continue;
+                        std::array<std::int64_t, diy::max_dim> adj{x, y, z};
+                        adj[u] += side == 0 ? -1 : 1;
+                        if (adj[u] < 0 || adj[u] >= n) continue;
+                        int owner = dec.point_to_block(adj);
+                        if (owner == local_.rank() || owner < 0) continue;
+                        auto root = uf.find(lidx(x, y, z));
+                        outgoing[owner].save(gid(adj[0], adj[1], adj[2]));
+                        outgoing[owner].save(label[root]);
+                    }
+        };
+        for (int axis = 0; axis < 3; ++axis)
+            for (int side = 0; side < 2; ++side) emit_face(axis, side);
+
+        for (auto& [r, buf] : outgoing) local_.send(r, tag_faces, std::move(buf).take());
+
+        bool changed = false;
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            std::vector<std::byte> raw;
+            local_.recv(simmpi::any_source, tag_faces, raw);
+            diy::BinaryBuffer bb{std::move(raw)};
+            while (!bb.exhausted()) {
+                auto cell_gid  = bb.load<std::uint64_t>();
+                auto remote_lb = bb.load<std::uint64_t>();
+                // decode my cell from the global id
+                auto z = static_cast<std::int64_t>(cell_gid % static_cast<std::uint64_t>(n));
+                auto y = static_cast<std::int64_t>((cell_gid / static_cast<std::uint64_t>(n))
+                                                   % static_cast<std::uint64_t>(n));
+                auto x = static_cast<std::int64_t>(cell_gid
+                                                   / (static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n)));
+                if (!block.contains({x, y, z}) || !above(x, y, z)) continue;
+                auto root = uf.find(lidx(x, y, z));
+                if (remote_lb < label[root]) {
+                    label[root] = remote_lb;
+                    changed     = true;
+                }
+            }
+        }
+        if (!local_.allreduce(changed ? 1 : 0)) break;
+    }
+
+    // --- 4. per-label partial statistics, merged globally ---------------------
+    std::map<std::uint64_t, Halo> stats;
+    for (auto x = block.min[0]; x < block.max[0]; ++x)
+        for (auto y = block.min[1]; y < block.max[1]; ++y)
+            for (auto z = block.min[2]; z < block.max[2]; ++z) {
+                if (!above(x, y, z)) continue;
+                auto  lb = label[uf.find(lidx(x, y, z))];
+                auto& h  = stats[lb];
+                h.id     = lb;
+                h.n_cells += 1;
+                h.mass += density[lidx(x, y, z)];
+                h.peak = std::max(h.peak, density[lidx(x, y, z)]);
+            }
+
+    diy::BinaryBuffer mine;
+    mine.save<std::uint64_t>(stats.size());
+    for (const auto& [lb, h] : stats) {
+        mine.save(h.id);
+        mine.save(h.n_cells);
+        mine.save(h.mass);
+        mine.save(h.peak);
+    }
+    auto all = local_.gather(std::span<const std::byte>(mine.data().data(), mine.size()), 0);
+
+    diy::BinaryBuffer result;
+    if (local_.rank() == 0) {
+        std::map<std::uint64_t, Halo> merged;
+        for (auto& raw : all) {
+            diy::BinaryBuffer bb{std::move(raw)};
+            auto              k = bb.load<std::uint64_t>();
+            for (std::uint64_t i = 0; i < k; ++i) {
+                Halo h;
+                bb.load(h.id);
+                bb.load(h.n_cells);
+                bb.load(h.mass);
+                bb.load(h.peak);
+                auto& m = merged[h.id];
+                m.id    = h.id;
+                m.n_cells += h.n_cells;
+                m.mass += h.mass;
+                m.peak = std::max(m.peak, h.peak);
+            }
+        }
+        result.save<std::uint64_t>(merged.size());
+        for (const auto& [lb, h] : merged) {
+            result.save(h.id);
+            result.save(h.n_cells);
+            result.save(h.mass);
+            result.save(h.peak);
+        }
+    }
+    std::vector<std::byte> blob = std::move(result).take();
+    local_.bcast(blob, 0);
+
+    diy::BinaryBuffer bb{std::move(blob)};
+    std::vector<Halo> halos(bb.load<std::uint64_t>());
+    for (auto& h : halos) {
+        bb.load(h.id);
+        bb.load(h.n_cells);
+        bb.load(h.mass);
+        bb.load(h.peak);
+    }
+    return halos;
+}
+
+std::vector<Halo> HaloFinder::run(const std::string& file_name, const std::string& dset_path,
+                                  const h5::VolPtr& vol) {
+    h5::File f = h5::File::open(file_name, vol);
+    auto     d = f.open_dataset(dset_path);
+
+    auto dims = d.space().dims();
+    if (dims.size() != 3 || dims[0] != dims[1] || dims[1] != dims[2])
+        throw std::runtime_error("reeber: expected a cubic 3-d density dataset");
+    auto n = static_cast<std::int64_t>(dims[0]);
+
+    diy::RegularDecomposer dec(cube_domain(n), local_.size());
+    diy::Bounds            block = dec.block_bounds(local_.rank());
+
+    h5::Dataspace sel({dims[0], dims[1], dims[2]});
+    sel.select_box(block);
+
+    auto                t0      = std::chrono::steady_clock::now();
+    std::vector<double> density = d.read_vector<double>(sel);
+    read_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    f.close(); // releases the producer in LowFive memory mode
+    return find_halos(n, block, density);
+}
+
+} // namespace reeber

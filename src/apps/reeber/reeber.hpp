@@ -1,0 +1,53 @@
+#pragma once
+
+#include <diy/decomposer.hpp>
+#include <h5/api.hpp>
+#include <simmpi/comm.hpp>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reeber {
+
+/// A halo found by the analysis: a connected component of cells whose
+/// density exceeds the threshold.
+struct Halo {
+    std::uint64_t id        = 0; ///< smallest global cell id in the component
+    std::uint64_t n_cells   = 0;
+    double        mass      = 0; ///< sum of density over the component
+    double        peak      = 0; ///< maximum density
+};
+
+/// MiniReeber: stand-in for the Reeber halo finder of the paper's use
+/// case. Reads the density field written by the simulation — with its own
+/// block decomposition, which generally differs from the producer's, so
+/// the read exercises real n→m redistribution — then finds halos with a
+/// distributed connected-component pass: local union–find per block,
+/// followed by label-merging rounds across block faces until a global
+/// fixpoint (a simplified local–global merge, after Nigmetov & Morozov).
+class HaloFinder {
+public:
+    HaloFinder(simmpi::Comm local, double threshold) : local_(std::move(local)), threshold_(threshold) {}
+
+    /// Read `dset_path` from `file_name` through the given VOL (LowFive,
+    /// native, anything) and find halos. Collective over the task;
+    /// returns the globally merged halo list on every rank, sorted by id.
+    std::vector<Halo> run(const std::string& file_name, const std::string& dset_path,
+                          const h5::VolPtr& vol);
+
+    /// Core analysis on an already-loaded block (exposed for testing and
+    /// for plotfile input): `block` is this rank's sub-box of an n^3 grid.
+    std::vector<Halo> find_halos(std::int64_t grid_size, const diy::Bounds& block,
+                                 const std::vector<double>& density);
+
+    /// Wall time spent inside dataset reads by the last run() call.
+    double last_read_seconds() const { return read_seconds_; }
+
+private:
+    simmpi::Comm local_;
+    double       threshold_;
+    double       read_seconds_ = 0;
+};
+
+} // namespace reeber

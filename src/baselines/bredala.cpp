@@ -1,0 +1,176 @@
+#include "bredala.hpp"
+
+#include <diy/decomposer.hpp>
+#include <diy/serialization.hpp>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace baselines::bredala {
+
+namespace {
+
+constexpr int tag_field = 31;
+
+std::pair<std::uint64_t, std::uint64_t> contiguous_target(std::uint64_t global_count, int rank,
+                                                          int nranks) {
+    auto lo = global_count * static_cast<std::uint64_t>(rank) / static_cast<std::uint64_t>(nranks);
+    auto hi = global_count * static_cast<std::uint64_t>(rank + 1) / static_cast<std::uint64_t>(nranks);
+    return {lo, hi};
+}
+
+std::uint64_t offset_in(const diy::Bounds& box, const std::array<std::int64_t, diy::max_dim>& pt) {
+    std::uint64_t off = 0;
+    for (int i = 0; i < box.dim; ++i) {
+        auto u = static_cast<std::size_t>(i);
+        off    = off * static_cast<std::uint64_t>(box.max[u] - box.min[u])
+              + static_cast<std::uint64_t>(pt[u] - box.min[u]);
+    }
+    return off;
+}
+
+template <typename Fn>
+void for_each_point(const diy::Bounds& box, Fn&& fn) {
+    if (box.empty()) return;
+    std::array<std::int64_t, diy::max_dim> pt{};
+    for (int i = 0; i < box.dim; ++i) pt[static_cast<std::size_t>(i)] = box.min[static_cast<std::size_t>(i)];
+    for (;;) {
+        fn(pt);
+        int i = box.dim - 1;
+        for (; i >= 0; --i) {
+            auto u = static_cast<std::size_t>(i);
+            if (++pt[u] < box.max[u]) break;
+            pt[u] = box.min[u];
+        }
+        if (i < 0) break;
+    }
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+} // namespace
+
+Field* Container::find(const std::string& name) {
+    for (auto& f : fields_)
+        if (f.name == name) return &f;
+    return nullptr;
+}
+const Field* Container::find(const std::string& name) const {
+    for (const auto& f : fields_)
+        if (f.name == name) return &f;
+    return nullptr;
+}
+
+void redistribute_producer(const Container& c, const simmpi::Comm& local,
+                           const simmpi::Comm& intercomm,
+                           std::map<std::string, double>* field_seconds) {
+    const int m = intercomm.peer_size();
+
+    for (const auto& f : c.fields()) {
+        auto t0 = std::chrono::steady_clock::now();
+
+        if (f.policy == RedistPolicy::Contiguous) {
+            // split/merge of a linear list: contiguous slices, no reordering
+            const auto my_lo = f.offset;
+            const auto my_hi = f.offset + f.count();
+            for (int r = 0; r < m; ++r) {
+                auto [lo, hi] = contiguous_target(f.global_count, r, m);
+                auto s_lo     = std::max(lo, my_lo);
+                auto s_hi     = std::min(hi, my_hi);
+
+                diy::BinaryBuffer msg;
+                if (s_lo < s_hi) {
+                    msg.save<std::uint64_t>(s_lo);
+                    msg.save<std::uint64_t>(s_hi - s_lo);
+                    msg.save_raw(f.data.data() + (s_lo - my_lo) * f.elem, (s_hi - s_lo) * f.elem);
+                } else {
+                    msg.save<std::uint64_t>(0);
+                    msg.save<std::uint64_t>(0);
+                }
+                intercomm.send(r, tag_field, std::move(msg).take());
+            }
+        } else {
+            // BBox policy, as published: gather the global index of producer
+            // boxes, ship it along redundantly, and serialize per point with
+            // coordinates attached
+            diy::BinaryBuffer mine;
+            f.bounds.save(mine);
+            auto all_boxes = local.allgather(
+                std::span<const std::byte>(mine.data().data(), mine.size()));
+
+            diy::RegularDecomposer dec(f.domain, m);
+            for (int r = 0; r < m; ++r) {
+                diy::BinaryBuffer msg;
+                // the index of every producer's box travels with every message
+                msg.save<std::uint64_t>(all_boxes.size());
+                for (const auto& raw : all_boxes) msg.save_raw(raw.data(), raw.size());
+
+                auto common = diy::intersect(f.bounds, dec.block_bounds(r));
+                msg.save<std::uint64_t>(common ? common->size() : 0);
+                if (common) {
+                    for_each_point(*common, [&](const std::array<std::int64_t, diy::max_dim>& pt) {
+                        for (int i = 0; i < f.domain.dim; ++i)
+                            msg.save<std::int64_t>(pt[static_cast<std::size_t>(i)]);
+                        msg.save_raw(f.data.data() + offset_in(f.bounds, pt) * f.elem, f.elem);
+                    });
+                }
+                intercomm.send(r, tag_field, std::move(msg).take());
+            }
+        }
+
+        if (field_seconds) (*field_seconds)[f.name] += seconds_since(t0);
+    }
+}
+
+void redistribute_consumer(Container& c, const simmpi::Comm& local,
+                           const simmpi::Comm& intercomm,
+                           std::map<std::string, double>* field_seconds) {
+    const int n = intercomm.peer_size();
+
+    for (auto& f : c.fields()) {
+        auto t0 = std::chrono::steady_clock::now();
+
+        if (f.policy == RedistPolicy::Contiguous) {
+            auto [lo, hi] = contiguous_target(f.global_count, local.rank(), local.size());
+            f.offset      = lo;
+            f.data.assign((hi - lo) * f.elem, std::byte{0});
+            for (int p = 0; p < n; ++p) {
+                std::vector<std::byte> raw;
+                intercomm.recv(p, tag_field, raw);
+                diy::BinaryBuffer msg{std::move(raw)};
+                auto              s_lo  = msg.load<std::uint64_t>();
+                auto              count = msg.load<std::uint64_t>();
+                if (count) msg.load_raw(f.data.data() + (s_lo - lo) * f.elem, count * f.elem);
+            }
+        } else {
+            diy::RegularDecomposer dec(f.domain, local.size());
+            f.bounds = dec.block_bounds(local.rank());
+            f.data.assign(f.bounds.size() * f.elem, std::byte{0});
+            for (int p = 0; p < n; ++p) {
+                std::vector<std::byte> raw;
+                intercomm.recv(p, tag_field, raw);
+                diy::BinaryBuffer msg{std::move(raw)};
+                // parse (and discard) the redundant index
+                auto nboxes = msg.load<std::uint64_t>();
+                for (std::uint64_t b = 0; b < nboxes; ++b) (void)diy::Bounds::load(msg);
+
+                auto npoints = msg.load<std::uint64_t>();
+                std::array<std::int64_t, diy::max_dim> pt{};
+                for (std::uint64_t k = 0; k < npoints; ++k) {
+                    for (int i = 0; i < f.domain.dim; ++i)
+                        pt[static_cast<std::size_t>(i)] = msg.load<std::int64_t>();
+                    if (!f.bounds.contains(pt))
+                        throw std::runtime_error("bredala: point outside target bounds");
+                    msg.load_raw(f.data.data() + offset_in(f.bounds, pt) * f.elem, f.elem);
+                }
+            }
+        }
+
+        if (field_seconds) (*field_seconds)[f.name] += seconds_since(t0);
+    }
+}
+
+} // namespace baselines::bredala

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <diy/bounds.hpp>
+#include <simmpi/comm.hpp>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace baselines::dataspaces {
+
+/// A DataSpaces-like staging service (the paper's Fig. 8/11 comparator):
+/// a set of dedicated *server* ranks maintains a bounding-box index of
+/// N-dimensional array regions; producers register regions with
+/// `put_local` (data stays in producer memory — the
+/// `dspaces_put_local` mode the paper used); consumers ask the server
+/// which producers hold intersecting regions and pull the data directly.
+///
+/// Architectural contrasts with LowFive that the paper discusses, all
+/// reproduced here: extra dedicated resources (the server ranks), a
+/// restricted data model (n-d regular arrays of fixed-size tuples, no
+/// hierarchy), no file-close synchronization (versions become visible as
+/// soon as all parts are registered), and modification of user code
+/// (put/get API instead of intercepted HDF5 calls).
+class Server {
+public:
+    /// Serve index traffic until every producer and consumer rank has
+    /// sent its finalize message. Call on each server rank.
+    /// `producers_ic` / `consumers_ic` connect the server task to the
+    /// client tasks.
+    static void run(const simmpi::Comm& producers_ic, const simmpi::Comm& consumers_ic);
+};
+
+class ProducerClient {
+public:
+    /// `servers_ic` connects to the staging servers; `consumers_ic`
+    /// directly to the consumer task (pulls are producer<->consumer).
+    ProducerClient(simmpi::Comm servers_ic, simmpi::Comm consumers_ic);
+
+    /// Register my region of array (name, version). The caller's buffer
+    /// (row-major within `bounds`) must stay valid until serve_pulls
+    /// returns — put_local semantics.
+    void put_local(const std::string& name, int version, const diy::Bounds& bounds,
+                   const void* data, std::size_t elem);
+
+    /// Answer consumer pulls until every consumer rank signals done.
+    void serve_pulls();
+
+    /// Tell the servers this client is finished (call once, at the end).
+    void finalize();
+
+private:
+    struct Entry {
+        std::string name;
+        int         version;
+        diy::Bounds bounds;
+        const void* data;
+        std::size_t elem;
+    };
+
+    simmpi::Comm       servers_;
+    simmpi::Comm       consumers_;
+    std::vector<Entry> entries_;
+};
+
+class ConsumerClient {
+public:
+    ConsumerClient(simmpi::Comm servers_ic, simmpi::Comm producers_ic);
+
+    /// Fetch my box of array (name, version) into `out` (row-major within
+    /// `box`). `nparts` is the number of producer regions making up the
+    /// version (the query blocks at the server until all are registered).
+    void get(const std::string& name, int version, int nparts, const diy::Bounds& box, void* out,
+             std::size_t elem);
+
+    /// Signal all producers that this consumer rank needs no more pulls.
+    void done();
+
+    void finalize();
+
+private:
+    simmpi::Comm servers_;
+    simmpi::Comm producers_;
+};
+
+} // namespace baselines::dataspaces

@@ -1,0 +1,76 @@
+#include "pure_mpi.hpp"
+
+#include <cstring>
+
+namespace baselines::pure_mpi {
+
+namespace {
+
+/// Row-major offset of a point within a box.
+std::uint64_t offset_in(const diy::Bounds& box, const std::array<std::int64_t, diy::max_dim>& pt) {
+    std::uint64_t off = 0;
+    for (int i = 0; i < box.dim; ++i) {
+        auto u = static_cast<std::size_t>(i);
+        off    = off * static_cast<std::uint64_t>(box.max[u] - box.min[u])
+              + static_cast<std::uint64_t>(pt[u] - box.min[u]);
+    }
+    return off;
+}
+
+/// Visit every point of `box` in row-major order — the deliberately naive
+/// per-point loop of the hand-written comparator.
+template <typename Fn>
+void for_each_point(const diy::Bounds& box, Fn&& fn) {
+    std::array<std::int64_t, diy::max_dim> pt{};
+    for (int i = 0; i < box.dim; ++i) pt[static_cast<std::size_t>(i)] = box.min[static_cast<std::size_t>(i)];
+    if (box.empty()) return;
+    for (;;) {
+        fn(pt);
+        int i = box.dim - 1;
+        for (; i >= 0; --i) {
+            auto u = static_cast<std::size_t>(i);
+            if (++pt[u] < box.max[u]) break;
+            pt[u] = box.min[u];
+        }
+        if (i < 0) break;
+    }
+}
+
+} // namespace
+
+void producer_send(const simmpi::Comm& intercomm, const diy::Bounds& mine, const void* data,
+                   std::size_t elem, const BoundsFn& consumer_bounds, int nconsumers, int tag) {
+    const auto* src = static_cast<const std::byte*>(data);
+    for (int c = 0; c < nconsumers; ++c) {
+        auto common = diy::intersect(mine, consumer_bounds(c));
+        if (!common) continue;
+
+        diy::BinaryBuffer msg;
+        common->save(msg);
+        for_each_point(*common, [&](const std::array<std::int64_t, diy::max_dim>& pt) {
+            msg.save_raw(src + offset_in(mine, pt) * elem, elem);
+        });
+        intercomm.send(c, tag, std::move(msg).take());
+    }
+}
+
+void consumer_recv(const simmpi::Comm& intercomm, const diy::Bounds& mine, void* out,
+                   std::size_t elem, const BoundsFn& producer_bounds, int nproducers, int tag) {
+    auto* dst = static_cast<std::byte*>(out);
+
+    int expected = 0;
+    for (int p = 0; p < nproducers; ++p)
+        if (diy::intersects(producer_bounds(p), mine)) ++expected;
+
+    for (int k = 0; k < expected; ++k) {
+        std::vector<std::byte> raw;
+        intercomm.recv(simmpi::any_source, tag, raw);
+        diy::BinaryBuffer msg{std::move(raw)};
+        diy::Bounds       common = diy::Bounds::load(msg);
+        for_each_point(common, [&](const std::array<std::int64_t, diy::max_dim>& pt) {
+            msg.load_raw(dst + offset_in(mine, pt) * elem, elem);
+        });
+    }
+}
+
+} // namespace baselines::pure_mpi

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <diy/bounds.hpp>
+#include <diy/serialization.hpp>
+#include <simmpi/comm.hpp>
+
+#include <functional>
+
+namespace baselines::pure_mpi {
+
+/// The paper's "Pure MPI" comparator (Fig. 7): a hand-written
+/// redistribution where producer and consumer know each other's
+/// decompositions analytically (no metadata layer), exchange directly
+/// over the intercommunicator, and — as the paper describes — serialize
+/// by "simply iterating over all the data points in the intersection of
+/// bounding boxes ... one point at a time". LowFive's run-optimized
+/// serializer beats this at small scale; that behaviour is part of what
+/// Fig. 7 shows.
+///
+/// `BoundsFn(i)` returns the bounds owned by rank i of the other task.
+using BoundsFn = std::function<diy::Bounds(int)>;
+
+/// Producer side: `data` holds the elements of `mine`, row-major within
+/// the box. Sends one message per intersecting consumer.
+void producer_send(const simmpi::Comm& intercomm, const diy::Bounds& mine, const void* data,
+                   std::size_t elem, const BoundsFn& consumer_bounds, int nconsumers,
+                   int tag = 11);
+
+/// Consumer side: fills `out` (row-major within `mine`) from every
+/// intersecting producer.
+void consumer_recv(const simmpi::Comm& intercomm, const diy::Bounds& mine, void* out,
+                   std::size_t elem, const BoundsFn& producer_bounds, int nproducers,
+                   int tag = 11);
+
+} // namespace baselines::pure_mpi

@@ -1,0 +1,128 @@
+#include "decomposer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace diy {
+
+std::vector<int> RegularDecomposer::factor(int n, int d) {
+    if (n <= 0 || d <= 0) throw std::invalid_argument("diy: factor requires n>0, d>0");
+    std::vector<int> factors(static_cast<std::size_t>(d), 1);
+
+    // prime factors of n, largest first
+    std::vector<int> primes;
+    int              m = n;
+    for (int p = 2; p * p <= m; ++p)
+        while (m % p == 0) {
+            primes.push_back(p);
+            m /= p;
+        }
+    if (m > 1) primes.push_back(m);
+    std::sort(primes.rbegin(), primes.rend());
+
+    // greedily multiply each prime into the currently smallest factor,
+    // keeping the d factors as balanced as possible
+    for (int p : primes) {
+        auto it = std::min_element(factors.begin(), factors.end());
+        *it *= p;
+    }
+    std::sort(factors.rbegin(), factors.rend());
+    return factors;
+}
+
+RegularDecomposer::RegularDecomposer(const Bounds& domain, int nblocks)
+    : domain_(domain), nblocks_(nblocks) {
+    if (domain.dim <= 0 || domain.dim > max_dim)
+        throw std::invalid_argument("diy: bad domain dimension");
+    if (nblocks <= 0) throw std::invalid_argument("diy: nblocks must be positive");
+
+    // assign the largest factors to the dimensions with the largest extents
+    std::vector<int> fac = factor(nblocks, domain.dim); // descending
+    std::vector<int> dims(static_cast<std::size_t>(domain.dim));
+    std::iota(dims.begin(), dims.end(), 0);
+    std::stable_sort(dims.begin(), dims.end(), [&](int a, int b) {
+        auto ea = domain.max[static_cast<std::size_t>(a)] - domain.min[static_cast<std::size_t>(a)];
+        auto eb = domain.max[static_cast<std::size_t>(b)] - domain.min[static_cast<std::size_t>(b)];
+        return ea > eb;
+    });
+    shape_.assign(static_cast<std::size_t>(domain.dim), 1);
+    for (std::size_t i = 0; i < dims.size(); ++i)
+        shape_[static_cast<std::size_t>(dims[i])] = fac[i];
+}
+
+std::int64_t RegularDecomposer::chunk_lo(int dimension, int chunk) const {
+    auto u      = static_cast<std::size_t>(dimension);
+    auto extent = domain_.max[u] - domain_.min[u];
+    auto k      = static_cast<std::int64_t>(shape_[u]);
+    return domain_.min[u] + extent * chunk / k;
+}
+
+int RegularDecomposer::chunk_of(int dimension, std::int64_t coord) const {
+    auto u      = static_cast<std::size_t>(dimension);
+    auto extent = domain_.max[u] - domain_.min[u];
+    auto k      = static_cast<std::int64_t>(shape_[u]);
+    if (coord < domain_.min[u] || coord >= domain_.max[u]) return -1;
+    auto c = (coord - domain_.min[u]) * k / extent; // first guess, then fix up
+    while (c + 1 < k && chunk_lo(dimension, static_cast<int>(c) + 1) <= coord) ++c;
+    while (c > 0 && chunk_lo(dimension, static_cast<int>(c)) > coord) --c;
+    return static_cast<int>(c);
+}
+
+Bounds RegularDecomposer::block_bounds(int gid) const {
+    if (gid < 0 || gid >= nblocks_) throw std::out_of_range("diy: block gid out of range");
+    Bounds b(domain_.dim);
+    int    rem = gid;
+    // row-major: last dimension varies fastest
+    for (int i = domain_.dim - 1; i >= 0; --i) {
+        auto u = static_cast<std::size_t>(i);
+        int  c = rem % shape_[u];
+        rem /= shape_[u];
+        b.min[u] = chunk_lo(i, c);
+        b.max[u] = chunk_lo(i, c + 1);
+    }
+    return b;
+}
+
+int RegularDecomposer::point_to_block(const std::array<std::int64_t, max_dim>& pt) const {
+    int gid = 0;
+    for (int i = 0; i < domain_.dim; ++i) {
+        int c = chunk_of(i, pt[static_cast<std::size_t>(i)]);
+        if (c < 0) return -1;
+        gid = gid * shape_[static_cast<std::size_t>(i)] + c;
+    }
+    return gid;
+}
+
+std::vector<int> RegularDecomposer::intersecting_blocks(const Bounds& box) const {
+    auto clipped = intersect(box, domain_);
+    if (!clipped) return {};
+
+    // per-dimension chunk ranges [lo, hi]
+    std::array<int, max_dim> lo{}, hi{};
+    for (int i = 0; i < domain_.dim; ++i) {
+        auto u = static_cast<std::size_t>(i);
+        lo[u]  = chunk_of(i, clipped->min[u]);
+        hi[u]  = chunk_of(i, clipped->max[u] - 1);
+    }
+
+    std::vector<int>         gids;
+    std::array<int, max_dim> cur = lo;
+    for (;;) {
+        int gid = 0;
+        for (int i = 0; i < domain_.dim; ++i)
+            gid = gid * shape_[static_cast<std::size_t>(i)] + cur[static_cast<std::size_t>(i)];
+        gids.push_back(gid);
+
+        int i = domain_.dim - 1;
+        for (; i >= 0; --i) {
+            auto u = static_cast<std::size_t>(i);
+            if (++cur[u] <= hi[u]) break;
+            cur[u] = lo[u];
+        }
+        if (i < 0) break;
+    }
+    return gids;
+}
+
+} // namespace diy

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "bounds.hpp"
+
+#include <vector>
+
+namespace diy {
+
+/// Regular block decomposition of a d-dimensional domain into n blocks —
+/// the paper's *common decomposition* (§III-B): n is factored into d
+/// factors as close to each other as possible, the domain is cut into
+/// n1 × ... × nd blocks, and block i belongs to producer process i.
+class RegularDecomposer {
+public:
+    /// Factor `nblocks` into `dim` near-equal factors (largest factors on
+    /// the dimensions with the largest extents of `domain`).
+    RegularDecomposer(const Bounds& domain, int nblocks);
+
+    int           nblocks() const { return nblocks_; }
+    int           dim() const { return domain_.dim; }
+    const Bounds& domain() const { return domain_; }
+    const std::vector<int>& shape() const { return shape_; }
+
+    /// Bounds of block `gid` (row-major order over the block grid).
+    Bounds block_bounds(int gid) const;
+
+    /// Block containing a point; -1 when outside the domain.
+    int point_to_block(const std::array<std::int64_t, max_dim>& pt) const;
+
+    /// All block gids whose bounds intersect `box`.
+    std::vector<int> intersecting_blocks(const Bounds& box) const;
+
+    /// Factor n into d near-equal factors (exposed for testing).
+    static std::vector<int> factor(int n, int d);
+
+private:
+    // per-dimension chunk boundary: index of first grid point of chunk c
+    std::int64_t chunk_lo(int dimension, int chunk) const;
+    int          chunk_of(int dimension, std::int64_t coord) const;
+
+    Bounds           domain_;
+    int              nblocks_;
+    std::vector<int> shape_; ///< blocks per dimension, product == nblocks
+};
+
+} // namespace diy

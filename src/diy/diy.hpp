@@ -1,0 +1,9 @@
+#pragma once
+
+/// Umbrella header for the diy block-parallel helpers: integer bounds
+/// boxes, the regular decomposer implementing the paper's common
+/// decomposition, and binary serialization buffers.
+
+#include "bounds.hpp"        // IWYU pragma: export
+#include "decomposer.hpp"    // IWYU pragma: export
+#include "serialization.hpp" // IWYU pragma: export

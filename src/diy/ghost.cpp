@@ -1,0 +1,114 @@
+#include "ghost.hpp"
+
+#include <algorithm>
+
+namespace diy {
+
+namespace {
+constexpr int tag_base = 91; // tags 91..96, one per face
+}
+
+GhostField::GhostField(const RegularDecomposer& dec, const simmpi::Comm& comm)
+    : dec_(dec), comm_(comm), block_(dec.block_bounds(comm.rank())) {
+    if (dec.dim() != 3) throw std::invalid_argument("diy::GhostField requires a 3-d decomposition");
+    if (dec.nblocks() != comm.size())
+        throw std::invalid_argument("diy::GhostField requires one block per rank");
+
+    const auto ex = static_cast<std::size_t>(block_.max[0] - block_.min[0]);
+    const auto ey = static_cast<std::size_t>(block_.max[1] - block_.min[1]);
+    const auto ez = static_cast<std::size_t>(block_.max[2] - block_.min[2]);
+    stride_z_     = ez + 2;
+    stride_y_     = (ey + 2) * stride_z_;
+    data_.assign((ex + 2) * (ey + 2) * (ez + 2), 0.0);
+
+    const Bounds domain = dec.domain();
+
+    // the ghost slab of rank q's face f, wrapped into the domain, plus the
+    // shift that maps wrapped coordinates back to q's unwrapped margin
+    auto wrapped_slab = [&](int q, int face, std::array<std::int64_t, 3>& shift) {
+        const Bounds qb   = dec.block_bounds(q);
+        const int    axis = face / 2, side = face % 2;
+        Bounds       slab = qb;
+        auto         u    = static_cast<std::size_t>(axis);
+        if (side == 0) {
+            slab.min[u] = qb.min[u] - 1;
+            slab.max[u] = qb.min[u];
+        } else {
+            slab.min[u] = qb.max[u];
+            slab.max[u] = qb.max[u] + 1;
+        }
+        shift = {0, 0, 0};
+        const auto ext = domain.max[u] - domain.min[u];
+        if (slab.min[u] < domain.min[u]) {
+            slab.min[u] += ext;
+            slab.max[u] += ext;
+            shift[u] = -ext; // wrapped + shift = unwrapped ghost coordinate
+        } else if (slab.min[u] >= domain.max[u]) {
+            slab.min[u] -= ext;
+            slab.max[u] -= ext;
+            shift[u] = ext;
+        }
+        return slab;
+    };
+
+    // receives: what my six ghost faces need, and from whom
+    for (int face = 0; face < 6; ++face) {
+        std::array<std::int64_t, 3> shift{};
+        Bounds                      slab = wrapped_slab(comm_.rank(), face, shift);
+        for (int owner : dec.intersecting_blocks(slab)) {
+            auto region = intersect(slab, dec.block_bounds(owner));
+            if (!region) continue;
+            recvs_.push_back({owner, face, *region, shift});
+        }
+    }
+    // sends: which other ranks' ghost faces overlap my block
+    for (int q = 0; q < comm_.size(); ++q) {
+        for (int face = 0; face < 6; ++face) {
+            std::array<std::int64_t, 3> shift{};
+            Bounds                      slab = wrapped_slab(q, face, shift);
+            if (q == comm_.rank()) continue; // self-copies handled on the recv side
+            auto region = intersect(slab, block_);
+            if (region) sends_.push_back({q, face, *region, shift});
+        }
+    }
+}
+
+void GhostField::load_interior(const std::vector<double>& interior) {
+    if (interior.size() != block_.size())
+        throw std::invalid_argument("diy::GhostField::load_interior size mismatch");
+    std::size_t k = 0;
+    for (auto x = block_.min[0]; x < block_.max[0]; ++x)
+        for (auto y = block_.min[1]; y < block_.max[1]; ++y)
+            for (auto z = block_.min[2]; z < block_.max[2]; ++z) at(x, y, z) = interior[k++];
+}
+
+void GhostField::exchange() {
+    // post all sends (buffered), then satisfy the receives
+    for (const auto& t : sends_) {
+        std::vector<double> payload(t.region.size());
+        std::size_t         k = 0;
+        for (auto x = t.region.min[0]; x < t.region.max[0]; ++x)
+            for (auto y = t.region.min[1]; y < t.region.max[1]; ++y)
+                for (auto z = t.region.min[2]; z < t.region.max[2]; ++z) payload[k++] = at(x, y, z);
+        comm_.send_span<double>(t.rank, tag_base + t.face, payload);
+    }
+
+    for (const auto& t : recvs_) {
+        if (t.rank == comm_.rank()) {
+            // periodic self-neighbor (single block along an axis): copy
+            for (auto x = t.region.min[0]; x < t.region.max[0]; ++x)
+                for (auto y = t.region.min[1]; y < t.region.max[1]; ++y)
+                    for (auto z = t.region.min[2]; z < t.region.max[2]; ++z)
+                        at(x + t.shift[0], y + t.shift[1], z + t.shift[2]) = at(x, y, z);
+            continue;
+        }
+        auto        payload = comm_.recv_vector<double>(t.rank, tag_base + t.face);
+        std::size_t k       = 0;
+        for (auto x = t.region.min[0]; x < t.region.max[0]; ++x)
+            for (auto y = t.region.min[1]; y < t.region.max[1]; ++y)
+                for (auto z = t.region.min[2]; z < t.region.max[2]; ++z)
+                    at(x + t.shift[0], y + t.shift[1], z + t.shift[2]) = payload[k++];
+    }
+}
+
+} // namespace diy

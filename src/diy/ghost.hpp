@@ -1,0 +1,76 @@
+#pragma once
+
+#include "decomposer.hpp"
+
+#include <simmpi/comm.hpp>
+
+#include <vector>
+
+namespace diy {
+
+/// A scalar (double) field over one block of a 3-d regular decomposition,
+/// stored with a one-cell ghost margin, plus the face-ghost exchange
+/// between neighboring blocks (periodic across the domain boundary) that
+/// stencil codes need. One block per rank: block gid == comm rank.
+///
+/// This is the block-parallel helper a DIY-based simulation would use for
+/// its halo exchange; MiniNyx's Poisson solver runs on it. Message tags
+/// 91..96 on the given communicator are reserved by exchange().
+class GhostField {
+public:
+    /// Collective setup over `comm` (dimensions only; no communication).
+    GhostField(const RegularDecomposer& dec, const simmpi::Comm& comm);
+
+    const Bounds& block() const { return block_; }
+
+    /// Access by *global* coordinates; valid for the block plus the
+    /// one-cell ghost margin around it (unwrapped coordinates).
+    double& at(std::int64_t x, std::int64_t y, std::int64_t z) {
+        return data_[index(x, y, z)];
+    }
+    double at(std::int64_t x, std::int64_t y, std::int64_t z) const {
+        return data_[index(x, y, z)];
+    }
+
+    void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+    /// Copy interior values from a row-major (margin-less) block buffer.
+    void load_interior(const std::vector<double>& interior);
+
+    /// Refresh the face ghost layers from the neighboring blocks
+    /// (periodic wrap at the domain boundary). Collective: every rank of
+    /// the communicator must call it the same number of times.
+    void exchange();
+
+    /// Swap payloads with another field of the same geometry (cheap
+    /// double-buffering for Jacobi sweeps).
+    void swap(GhostField& other) { data_.swap(other.data_); }
+
+private:
+    std::size_t index(std::int64_t x, std::int64_t y, std::int64_t z) const {
+        // margin of 1: local coordinate = global - min + 1
+        auto lx = static_cast<std::size_t>(x - block_.min[0] + 1);
+        auto ly = static_cast<std::size_t>(y - block_.min[1] + 1);
+        auto lz = static_cast<std::size_t>(z - block_.min[2] + 1);
+        return lx * stride_y_ + ly * stride_z_ + lz;
+    }
+
+    /// The region of my block that rank q's ghost margin needs (empty
+    /// bounds if none); also yields the unwrap shift to apply.
+    struct Transfer {
+        int    rank;      ///< peer rank
+        int    face;      ///< 0..5 (axis*2 + side), from the *receiver's* view
+        Bounds region;    ///< in the *sender's* (unwrapped) coordinates
+        std::array<std::int64_t, 3> shift; ///< sender coords + shift = receiver ghost coords
+    };
+
+    RegularDecomposer   dec_;
+    simmpi::Comm        comm_;
+    Bounds              block_;
+    std::size_t         stride_y_ = 0, stride_z_ = 0;
+    std::vector<double> data_;
+    std::vector<Transfer> sends_; ///< regions of my data others need
+    std::vector<Transfer> recvs_; ///< regions of others' data my ghosts need
+};
+
+} // namespace diy

@@ -1,0 +1,173 @@
+#include "convert.hpp"
+
+#include <cstring>
+
+namespace h5 {
+
+namespace {
+
+/// Widest intermediates: every atomic value round-trips through one of
+/// these according to its class.
+union Intermediate {
+    std::int64_t  i;
+    std::uint64_t u;
+    double        f;
+};
+
+Intermediate load_value(const Datatype& t, const std::byte* p) {
+    Intermediate v{};
+    switch (t.type_class()) {
+    case TypeClass::Int:
+        switch (t.size()) {
+        case 1: v.i = *reinterpret_cast<const std::int8_t*>(p); break;
+        case 2: v.i = *reinterpret_cast<const std::int16_t*>(p); break;
+        case 4: v.i = *reinterpret_cast<const std::int32_t*>(p); break;
+        case 8: v.i = *reinterpret_cast<const std::int64_t*>(p); break;
+        default: throw Error("h5: unsupported integer width " + std::to_string(t.size()));
+        }
+        break;
+    case TypeClass::UInt:
+        switch (t.size()) {
+        case 1: v.u = *reinterpret_cast<const std::uint8_t*>(p); break;
+        case 2: v.u = *reinterpret_cast<const std::uint16_t*>(p); break;
+        case 4: v.u = *reinterpret_cast<const std::uint32_t*>(p); break;
+        case 8: v.u = *reinterpret_cast<const std::uint64_t*>(p); break;
+        default: throw Error("h5: unsupported integer width " + std::to_string(t.size()));
+        }
+        break;
+    case TypeClass::Float:
+        switch (t.size()) {
+        case 4: v.f = static_cast<double>(*reinterpret_cast<const float*>(p)); break;
+        case 8: v.f = *reinterpret_cast<const double*>(p); break;
+        default: throw Error("h5: unsupported float width " + std::to_string(t.size()));
+        }
+        break;
+    case TypeClass::Compound:
+        throw Error("h5: load_value on a compound type");
+    }
+    return v;
+}
+
+/// Convert the intermediate between class representations.
+Intermediate reclass(Intermediate v, TypeClass from, TypeClass to) {
+    if (from == to) return v;
+    Intermediate out{};
+    double       d = from == TypeClass::Float ? v.f
+                     : from == TypeClass::Int ? static_cast<double>(v.i)
+                                              : static_cast<double>(v.u);
+    switch (to) {
+    case TypeClass::Int:
+        out.i = from == TypeClass::Float ? static_cast<std::int64_t>(v.f)
+                : from == TypeClass::UInt ? static_cast<std::int64_t>(v.u)
+                                          : v.i;
+        break;
+    case TypeClass::UInt:
+        out.u = from == TypeClass::Float ? static_cast<std::uint64_t>(v.f)
+                : from == TypeClass::Int ? static_cast<std::uint64_t>(v.i)
+                                         : v.u;
+        break;
+    case TypeClass::Float:
+        out.f = d;
+        break;
+    case TypeClass::Compound:
+        throw Error("h5: reclass to compound");
+    }
+    return out;
+}
+
+void store_value(const Datatype& t, Intermediate v, std::byte* p) {
+    switch (t.type_class()) {
+    case TypeClass::Int:
+        switch (t.size()) {
+        case 1: *reinterpret_cast<std::int8_t*>(p) = static_cast<std::int8_t>(v.i); break;
+        case 2: *reinterpret_cast<std::int16_t*>(p) = static_cast<std::int16_t>(v.i); break;
+        case 4: *reinterpret_cast<std::int32_t*>(p) = static_cast<std::int32_t>(v.i); break;
+        case 8: *reinterpret_cast<std::int64_t*>(p) = v.i; break;
+        default: throw Error("h5: unsupported integer width");
+        }
+        break;
+    case TypeClass::UInt:
+        switch (t.size()) {
+        case 1: *reinterpret_cast<std::uint8_t*>(p) = static_cast<std::uint8_t>(v.u); break;
+        case 2: *reinterpret_cast<std::uint16_t*>(p) = static_cast<std::uint16_t>(v.u); break;
+        case 4: *reinterpret_cast<std::uint32_t*>(p) = static_cast<std::uint32_t>(v.u); break;
+        case 8: *reinterpret_cast<std::uint64_t*>(p) = v.u; break;
+        default: throw Error("h5: unsupported integer width");
+        }
+        break;
+    case TypeClass::Float:
+        switch (t.size()) {
+        case 4: *reinterpret_cast<float*>(p) = static_cast<float>(v.f); break;
+        case 8: *reinterpret_cast<double*>(p) = v.f; break;
+        default: throw Error("h5: unsupported float width");
+        }
+        break;
+    case TypeClass::Compound:
+        throw Error("h5: store_value on a compound type");
+    }
+}
+
+bool atomic_supported(const Datatype& t) {
+    switch (t.type_class()) {
+    case TypeClass::Int:
+    case TypeClass::UInt: return t.size() == 1 || t.size() == 2 || t.size() == 4 || t.size() == 8;
+    case TypeClass::Float: return t.size() == 4 || t.size() == 8;
+    case TypeClass::Compound: return false;
+    }
+    return false;
+}
+
+} // namespace
+
+bool convertible(const Datatype& from, const Datatype& to) {
+    if (from.is_compound() != to.is_compound()) return false;
+    if (from.is_compound()) {
+        for (std::size_t m = 0; m < to.n_members(); ++m) {
+            // each destination member either matches a source member by
+            // name (and is itself convertible) or is zero-filled
+            for (std::size_t s = 0; s < from.n_members(); ++s)
+                if (from.member_name(s) == to.member_name(m)
+                    && !convertible(from.member_type(s), to.member_type(m)))
+                    return false;
+        }
+        return true;
+    }
+    return atomic_supported(from) && atomic_supported(to);
+}
+
+void convert_values(const Datatype& from, const void* src, const Datatype& to, void* dst,
+                    std::uint64_t n) {
+    if (from == to) {
+        std::memcpy(dst, src, n * from.size());
+        return;
+    }
+    if (!convertible(from, to))
+        throw Error("h5: cannot convert " + from.str() + " to " + to.str());
+
+    const auto* s = static_cast<const std::byte*>(src);
+    auto*       d = static_cast<std::byte*>(dst);
+
+    if (from.is_compound()) {
+        for (std::uint64_t k = 0; k < n; ++k) {
+            const std::byte* se = s + k * from.size();
+            std::byte*       de = d + k * to.size();
+            std::memset(de, 0, to.size());
+            for (std::size_t m = 0; m < to.n_members(); ++m) {
+                for (std::size_t sm = 0; sm < from.n_members(); ++sm) {
+                    if (from.member_name(sm) != to.member_name(m)) continue;
+                    convert_values(from.member_type(sm), se + from.member_offset(sm),
+                                   to.member_type(m), de + to.member_offset(m), 1);
+                    break;
+                }
+            }
+        }
+        return;
+    }
+
+    for (std::uint64_t k = 0; k < n; ++k) {
+        auto v = load_value(from, s + k * from.size());
+        store_value(to, reclass(v, from.type_class(), to.type_class()), d + k * to.size());
+    }
+}
+
+} // namespace h5

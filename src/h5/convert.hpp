@@ -1,0 +1,23 @@
+#pragma once
+
+#include "types.hpp"
+#include "dataspace.hpp"
+
+#include <cstdint>
+
+namespace h5 {
+
+/// Convert `n` values between atomic datatypes — HDF5's automatic type
+/// conversion (H5Dread with a memory type differing from the file type):
+/// any width of signed/unsigned integer and IEEE float converts to any
+/// other, with the usual C semantics for narrowing and int<->float.
+/// Compound types are converted member-by-member matched *by name*
+/// (members missing from `to` are dropped; members missing from `from`
+/// are zero-filled). Throws on unsupported combinations.
+void convert_values(const Datatype& from, const void* src, const Datatype& to, void* dst,
+                    std::uint64_t n);
+
+/// True when conversion between the two types is supported.
+bool convertible(const Datatype& from, const Datatype& to);
+
+} // namespace h5

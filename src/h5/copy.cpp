@@ -1,0 +1,73 @@
+#include "copy.hpp"
+
+namespace h5 {
+
+namespace {
+
+void copy_attributes(const NodeRef& from, const NodeRef& to) {
+    for (const auto& name : from.attributes()) {
+        auto info = from.vol().attribute_info(from.handle(), name);
+        if (!info) continue;
+        std::vector<std::byte> buf(info->space.npoints() * info->type.size());
+        from.vol().attribute_read(from.handle(), name, buf.data());
+        to.write_attribute(name, info->type, info->space, buf.data());
+    }
+}
+
+void copy_dataset(const Dataset& src, const NodeRef& dst, const std::string& name) {
+    auto type  = src.type();
+    auto space = src.space();
+    auto out   = dst.create_dataset(name, type, Dataspace(space.dims()));
+
+    std::vector<std::byte> data(space.extent_npoints() * type.size());
+    if (!data.empty()) {
+        src.read(data.data());
+        out.write(data.data());
+    }
+    copy_attributes(src, out);
+}
+
+void copy_group_tree(const Group& src, const NodeRef& dst, const std::string& name) {
+    auto out = dst.create_group(name);
+    copy_attributes(src, out);
+    for (const auto& child : src.children()) {
+        // dataset-or-group dispatch through the public API
+        bool copied = false;
+        try {
+            auto d = src.open_dataset(child);
+            copy_dataset(d, out, child);
+            copied = true;
+        } catch (const Error&) {
+        }
+        if (!copied) copy_group_tree(src.open_group(child), out, child);
+    }
+}
+
+} // namespace
+
+void copy_object(const NodeRef& src, const std::string& src_path, const NodeRef& dst,
+                 const std::string& dst_name) {
+    if (dst.exists(dst_name))
+        throw Error("h5: copy destination '" + dst_name + "' already exists");
+
+    // create intermediate groups for a multi-component destination
+    NodeRef     parent = dst;
+    std::string leaf   = dst_name;
+    std::size_t pos;
+    while ((pos = leaf.find('/')) != std::string::npos) {
+        std::string head = leaf.substr(0, pos);
+        leaf             = leaf.substr(pos + 1);
+        parent = parent.exists(head) ? NodeRef(parent.open_group(head))
+                                     : NodeRef(parent.create_group(head));
+    }
+
+    try {
+        auto d = src.open_dataset(src_path);
+        copy_dataset(d, parent, leaf);
+        return;
+    } catch (const Error&) {
+    }
+    copy_group_tree(src.open_group(src_path), parent, leaf);
+}
+
+} // namespace h5

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "api.hpp"
+
+namespace h5 {
+
+/// Deep-copy an object (group subtree or dataset) from one location to
+/// another, possibly across files and across VOLs — the H5Ocopy
+/// analogue, and the engine of the mh5copy tool. Attributes and dataset
+/// contents are copied; `dst_name` must not already exist under `dst`.
+///
+/// Because it is written purely against the public API, it also moves
+/// data between *transports*: copying from a LowFive in-memory file into
+/// a native file checkpoints it, and vice versa.
+void copy_object(const NodeRef& src, const std::string& src_path, const NodeRef& dst,
+                 const std::string& dst_name);
+
+} // namespace h5

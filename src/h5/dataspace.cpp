@@ -1,0 +1,476 @@
+#include "dataspace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace h5 {
+
+namespace {
+using Run = SelRun;
+} // namespace
+
+std::vector<SelRun> selection_runs(const Dataspace& space) {
+    std::vector<SelRun> runs;
+    space.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
+        runs.push_back({fo, n, po});
+    });
+    return runs;
+}
+
+namespace {
+std::vector<Run> collect_runs(const Dataspace& space) { return selection_runs(space); }
+} // namespace
+
+Dataspace::Dataspace(Extent dims) : dims_(std::move(dims)) {
+    if (dims_.empty() || dims_.size() > static_cast<std::size_t>(diy::max_dim))
+        throw Error("h5: dataspace rank must be in [1, " + std::to_string(diy::max_dim) + "]");
+}
+
+std::uint64_t Dataspace::extent_npoints() const {
+    std::uint64_t n = 1;
+    for (auto d : dims_) n *= d;
+    return n;
+}
+
+diy::Bounds Dataspace::extent_bounds() const {
+    diy::Bounds b(dim());
+    for (int i = 0; i < dim(); ++i) {
+        b.min[static_cast<std::size_t>(i)] = 0;
+        b.max[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(dims_[static_cast<std::size_t>(i)]);
+    }
+    return b;
+}
+
+Dataspace& Dataspace::select_all() {
+    all_ = true;
+    boxes_.clear();
+    return *this;
+}
+
+Dataspace& Dataspace::select_none() {
+    all_ = false;
+    boxes_.clear();
+    return *this;
+}
+
+Dataspace& Dataspace::select_box(std::span<const std::uint64_t> start,
+                                 std::span<const std::uint64_t> count) {
+    if (static_cast<int>(start.size()) != dim() || static_cast<int>(count.size()) != dim())
+        throw Error("h5: select_box rank mismatch");
+    diy::Bounds b(dim());
+    for (int i = 0; i < dim(); ++i) {
+        auto u   = static_cast<std::size_t>(i);
+        b.min[u] = static_cast<std::int64_t>(start[u]);
+        b.max[u] = static_cast<std::int64_t>(start[u] + count[u]);
+    }
+    return select_box(b);
+}
+
+Dataspace& Dataspace::select_box(const diy::Bounds& b) {
+    select_none();
+    return add_box(b);
+}
+
+Dataspace& Dataspace::add_box(const diy::Bounds& b) {
+    if (b.dim != dim()) throw Error("h5: add_box rank mismatch");
+    for (int i = 0; i < dim(); ++i) {
+        auto u = static_cast<std::size_t>(i);
+        if (b.min[u] < 0 || b.max[u] > static_cast<std::int64_t>(dims_[u]))
+            throw Error("h5: selection box " + b.str() + " outside extent");
+    }
+    if (all_) throw Error("h5: add_box on an all-selection; call select_none first");
+    for (const auto& existing : boxes_)
+        if (diy::intersects(existing, b))
+            throw Error("h5: selection boxes must be disjoint (" + existing.str() + " vs " + b.str() + ")");
+    if (!b.empty()) boxes_.push_back(b);
+    return *this;
+}
+
+Dataspace& Dataspace::select_hyperslab(std::span<const std::uint64_t> start,
+                                       std::span<const std::uint64_t> stride,
+                                       std::span<const std::uint64_t> count,
+                                       std::span<const std::uint64_t> block) {
+    const auto d = static_cast<std::size_t>(dim());
+    if (start.size() != d || stride.size() != d || count.size() != d || block.size() != d)
+        throw Error("h5: select_hyperslab rank mismatch");
+
+    std::uint64_t nblocks = 1;
+    for (std::size_t i = 0; i < d; ++i) nblocks *= count[i];
+    if (nblocks > 1'000'000)
+        throw Error("h5: hyperslab expands to too many blocks (" + std::to_string(nblocks) + ")");
+
+    select_none();
+    if (nblocks == 0) return *this;
+    std::vector<std::uint64_t> idx(d, 0);
+    for (;;) {
+        diy::Bounds b(dim());
+        for (std::size_t i = 0; i < d; ++i) {
+            std::uint64_t st = stride[i] ? stride[i] : block[i];
+            std::uint64_t lo = start[i] + idx[i] * st;
+            b.min[i]         = static_cast<std::int64_t>(lo);
+            b.max[i]         = static_cast<std::int64_t>(lo + block[i]);
+        }
+        add_box(b);
+
+        std::size_t i = d;
+        while (i > 0) {
+            --i;
+            if (++idx[i] < count[i]) break;
+            idx[i] = 0;
+            if (i == 0) return *this;
+        }
+    }
+}
+
+Dataspace& Dataspace::select_elements(
+    std::span<const std::array<std::int64_t, diy::max_dim>> points) {
+    // duplicate detection in O(n log n) via linearized indices, then the
+    // boxes are inserted without the pairwise disjointness scan
+    std::vector<std::uint64_t> linear;
+    linear.reserve(points.size());
+    for (const auto& pt : points) {
+        std::uint64_t off = 0;
+        for (int i = 0; i < dim(); ++i) {
+            auto u = static_cast<std::size_t>(i);
+            if (pt[u] < 0 || pt[u] >= static_cast<std::int64_t>(dims_[u]))
+                throw Error("h5: select_elements point outside extent");
+            off = off * dims_[u] + static_cast<std::uint64_t>(pt[u]);
+        }
+        linear.push_back(off);
+    }
+    auto sorted = linear;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+        throw Error("h5: select_elements points must be distinct");
+
+    select_none();
+    all_ = false;
+    boxes_.reserve(points.size());
+    for (const auto& pt : points) {
+        diy::Bounds b(dim());
+        for (int i = 0; i < dim(); ++i) {
+            auto u   = static_cast<std::size_t>(i);
+            b.min[u] = pt[u];
+            b.max[u] = pt[u] + 1;
+        }
+        boxes_.push_back(b); // disjoint by the uniqueness check above
+    }
+    return *this;
+}
+
+Dataspace& Dataspace::grow_extent(const Extent& new_dims) {
+    if (new_dims.size() != dims_.size())
+        throw Error("h5: grow_extent cannot change the rank");
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        if (new_dims[i] < dims_[i])
+            throw Error("h5: grow_extent cannot shrink dimension " + std::to_string(i));
+    dims_ = new_dims;
+    return select_all();
+}
+
+Dataspace Dataspace::with_dims(const Extent& new_dims) const {
+    Dataspace out(new_dims);
+    if (out.dim() != dim()) throw Error("h5: with_dims cannot change the rank");
+    if (all_) {
+        // "all" of the old extent becomes an explicit box selection
+        out.select_none();
+        resolve();
+    } else {
+        out.select_none();
+    }
+    for (const auto& b : boxes_) out.add_box(b);
+    return out;
+}
+
+void Dataspace::resolve() const {
+    if (all_ && boxes_.empty() && extent_npoints() > 0) {
+        diy::Bounds b(dim());
+        for (int i = 0; i < dim(); ++i) {
+            auto u   = static_cast<std::size_t>(i);
+            b.min[u] = 0;
+            b.max[u] = static_cast<std::int64_t>(dims_[u]);
+        }
+        boxes_.push_back(b);
+    }
+}
+
+const std::vector<diy::Bounds>& Dataspace::boxes() const {
+    resolve();
+    return boxes_;
+}
+
+std::uint64_t Dataspace::npoints() const {
+    if (all_) return extent_npoints();
+    std::uint64_t n = 0;
+    for (const auto& b : boxes_) n += b.size();
+    return n;
+}
+
+diy::Bounds Dataspace::bounding_box() const {
+    resolve();
+    if (boxes_.empty()) return diy::Bounds(dim());
+    diy::Bounds bb = boxes_.front();
+    for (const auto& b : boxes_) {
+        for (int i = 0; i < dim(); ++i) {
+            auto u    = static_cast<std::size_t>(i);
+            bb.min[u] = std::min(bb.min[u], b.min[u]);
+            bb.max[u] = std::max(bb.max[u], b.max[u]);
+        }
+    }
+    return bb;
+}
+
+void Dataspace::for_each_run(
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& fn) const {
+    resolve();
+    const int d = dim();
+
+    // row-major strides of the full extent
+    std::array<std::uint64_t, diy::max_dim> stride{};
+    stride[static_cast<std::size_t>(d - 1)] = 1;
+    for (int i = d - 2; i >= 0; --i)
+        stride[static_cast<std::size_t>(i)] =
+            stride[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+
+    std::uint64_t packed = 0;
+    for (const auto& b : boxes_) {
+        if (b.empty()) continue;
+        const auto last    = static_cast<std::size_t>(d - 1);
+        const auto row_len = static_cast<std::uint64_t>(b.max[last] - b.min[last]);
+
+        // iterate over all rows (multi-index over dims 0..d-2)
+        std::array<std::int64_t, diy::max_dim> coord{};
+        for (int i = 0; i < d; ++i) coord[static_cast<std::size_t>(i)] = b.min[static_cast<std::size_t>(i)];
+        for (;;) {
+            std::uint64_t off = 0;
+            for (int i = 0; i < d; ++i)
+                off += static_cast<std::uint64_t>(coord[static_cast<std::size_t>(i)]) * stride[static_cast<std::size_t>(i)];
+            fn(off, row_len, packed);
+            packed += row_len;
+
+            int i = d - 2;
+            for (; i >= 0; --i) {
+                auto u = static_cast<std::size_t>(i);
+                if (++coord[u] < b.max[u]) break;
+                coord[u] = b.min[u];
+            }
+            if (i < 0) break;
+        }
+    }
+}
+
+void Dataspace::save(diy::BinaryBuffer& bb) const {
+    bb.save(dims_);
+    bb.save<std::uint8_t>(all_ ? 1 : 0);
+    if (!all_) {
+        bb.save<std::uint64_t>(boxes_.size());
+        for (const auto& b : boxes_) {
+            bb.save<std::int32_t>(b.dim);
+            for (int i = 0; i < b.dim; ++i) {
+                bb.save(b.min[static_cast<std::size_t>(i)]);
+                bb.save(b.max[static_cast<std::size_t>(i)]);
+            }
+        }
+    }
+}
+
+Dataspace Dataspace::load(diy::BinaryBuffer& bb) {
+    Extent dims;
+    bb.load(dims);
+    Dataspace sp(std::move(dims));
+    if (bb.load<std::uint8_t>() == 0) {
+        sp.select_none();
+        auto n = bb.load<std::uint64_t>();
+        for (std::uint64_t k = 0; k < n; ++k) {
+            diy::Bounds b(bb.load<std::int32_t>());
+            for (int i = 0; i < b.dim; ++i) {
+                bb.load(b.min[static_cast<std::size_t>(i)]);
+                bb.load(b.max[static_cast<std::size_t>(i)]);
+            }
+            sp.add_box(b);
+        }
+    }
+    return sp;
+}
+
+std::string Dataspace::str() const {
+    std::string s = "extent(";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        s += std::to_string(dims_[i]);
+        if (i + 1 < dims_.size()) s += "x";
+    }
+    s += ")";
+    if (all_) return s + " all";
+    s += " sel{";
+    for (const auto& b : boxes_) s += b.str();
+    return s + "}";
+}
+
+// --- selection algebra -------------------------------------------------------
+
+std::vector<diy::Bounds> intersect_selections(const Dataspace& a, const Dataspace& b) {
+    if (a.dim() != b.dim()) throw Error("h5: intersecting selections of different rank");
+    std::vector<diy::Bounds> out;
+    for (const auto& ba : a.boxes())
+        for (const auto& bb : b.boxes())
+            if (auto r = diy::intersect(ba, bb)) out.push_back(*r);
+    return out;
+}
+
+void pack_selection(const Dataspace& space, const void* full, std::size_t elem, void* packed) {
+    const auto* src = static_cast<const std::byte*>(full);
+    auto*       dst = static_cast<std::byte*>(packed);
+    space.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
+        std::memcpy(dst + po * elem, src + fo * elem, n * elem);
+    });
+}
+
+void unpack_selection(const Dataspace& space, const void* packed, std::size_t elem, void* full) {
+    const auto* src = static_cast<const std::byte*>(packed);
+    auto*       dst = static_cast<std::byte*>(full);
+    space.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
+        std::memcpy(dst + fo * elem, src + po * elem, n * elem);
+    });
+}
+
+void copy_selected(const Dataspace& src_space, const void* src, const Dataspace& dst_space,
+                   void* dst, std::size_t elem) {
+    if (src_space.npoints() != dst_space.npoints())
+        throw Error("h5: copy_selected selection sizes differ (" + std::to_string(src_space.npoints())
+                    + " vs " + std::to_string(dst_space.npoints()) + ")");
+
+    auto sruns = collect_runs(src_space);
+    auto druns = collect_runs(dst_space);
+
+    const auto* sbuf = static_cast<const std::byte*>(src);
+    auto*       dbuf = static_cast<std::byte*>(dst);
+
+    std::size_t   si = 0, di = 0;
+    std::uint64_t soff = 0, doff = 0; // consumed within current runs
+    while (si < sruns.size() && di < druns.size()) {
+        const auto&   sr = sruns[si];
+        const auto&   dr = druns[di];
+        std::uint64_t n  = std::min(sr.len - soff, dr.len - doff);
+        std::memcpy(dbuf + (dr.file_off + doff) * elem, sbuf + (sr.file_off + soff) * elem, n * elem);
+        soff += n;
+        doff += n;
+        if (soff == sr.len) { ++si; soff = 0; }
+        if (doff == dr.len) { ++di; doff = 0; }
+    }
+}
+
+void extract_from_packed(const Dataspace& piece_space, const void* piece_packed,
+                         const Dataspace& want, std::size_t elem, std::vector<std::byte>& out) {
+    auto pruns = collect_runs(piece_space);
+    std::sort(pruns.begin(), pruns.end(), [](const Run& a, const Run& b) { return a.file_off < b.file_off; });
+
+    const auto* src       = static_cast<const std::byte*>(piece_packed);
+    const auto  base      = out.size();
+    out.resize(base + want.npoints() * elem);
+    auto* dst = out.data() + base;
+
+    want.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
+        std::uint64_t copied = 0;
+        while (copied < n) {
+            std::uint64_t target = fo + copied;
+            // last piece run with file_off <= target
+            auto it = std::upper_bound(pruns.begin(), pruns.end(), target,
+                                       [](std::uint64_t v, const Run& r) { return v < r.file_off; });
+            if (it == pruns.begin())
+                throw Error("h5: extract_from_packed: requested element not covered by piece");
+            --it;
+            if (target >= it->file_off + it->len)
+                throw Error("h5: extract_from_packed: requested element not covered by piece");
+            std::uint64_t within = target - it->file_off;
+            std::uint64_t avail  = it->len - within;
+            std::uint64_t take   = std::min(avail, n - copied);
+            std::memcpy(dst + (po + copied) * elem, src + (it->packed_off + within) * elem, take * elem);
+            copied += take;
+        }
+    });
+}
+
+void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const Dataspace& sub,
+                         const void* sub_packed, std::size_t elem) {
+    auto druns = collect_runs(dest_space);
+    std::sort(druns.begin(), druns.end(),
+              [](const Run& a, const Run& b) { return a.file_off < b.file_off; });
+
+    auto*       dst = static_cast<std::byte*>(dest_packed);
+    const auto* src = static_cast<const std::byte*>(sub_packed);
+
+    sub.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
+        std::uint64_t copied = 0;
+        while (copied < n) {
+            std::uint64_t target = fo + copied;
+            auto it = std::upper_bound(druns.begin(), druns.end(), target,
+                                       [](std::uint64_t v, const Run& r) { return v < r.file_off; });
+            if (it == druns.begin())
+                throw Error("h5: scatter_into_packed: element not covered by destination");
+            --it;
+            if (target >= it->file_off + it->len)
+                throw Error("h5: scatter_into_packed: element not covered by destination");
+            std::uint64_t within = target - it->file_off;
+            std::uint64_t avail  = it->len - within;
+            std::uint64_t take   = std::min(avail, n - copied);
+            std::memcpy(dst + (it->packed_off + within) * elem, src + (po + copied) * elem, take * elem);
+            copied += take;
+        }
+    });
+}
+
+void extract_via_mapping(const Dataspace& filespace, const Dataspace& memspace,
+                         const void* membuf, const Dataspace& want, std::size_t elem,
+                         std::vector<std::byte>& out) {
+    if (filespace.npoints() != memspace.npoints())
+        throw Error("h5: extract_via_mapping: filespace/memspace sizes differ");
+
+    auto fruns = collect_runs(filespace);
+    std::sort(fruns.begin(), fruns.end(),
+              [](const Run& a, const Run& b) { return a.file_off < b.file_off; });
+    auto mruns = collect_runs(memspace); // increasing packed_off by construction
+
+    const auto* src  = static_cast<const std::byte*>(membuf);
+    const auto  base = out.size();
+    out.resize(base + want.npoints() * elem);
+    auto* dst = out.data() + base;
+
+    // enumeration position -> memory buffer offset
+    auto mem_locate = [&](std::uint64_t pos, std::uint64_t& buf_off, std::uint64_t& avail) {
+        auto it = std::upper_bound(mruns.begin(), mruns.end(), pos,
+                                   [](std::uint64_t v, const Run& r) { return v < r.packed_off; });
+        if (it == mruns.begin()) throw Error("h5: extract_via_mapping: bad enumeration position");
+        --it;
+        std::uint64_t within = pos - it->packed_off;
+        if (within >= it->len) throw Error("h5: extract_via_mapping: bad enumeration position");
+        buf_off = it->file_off + within;
+        avail   = it->len - within;
+    };
+
+    want.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
+        std::uint64_t copied = 0;
+        while (copied < n) {
+            std::uint64_t target = fo + copied;
+            auto it = std::upper_bound(fruns.begin(), fruns.end(), target,
+                                       [](std::uint64_t v, const Run& r) { return v < r.file_off; });
+            if (it == fruns.begin())
+                throw Error("h5: extract_via_mapping: requested element not covered");
+            --it;
+            if (target >= it->file_off + it->len)
+                throw Error("h5: extract_via_mapping: requested element not covered");
+            std::uint64_t within  = target - it->file_off;
+            std::uint64_t avail_f = it->len - within;
+            std::uint64_t pos     = it->packed_off + within;
+
+            std::uint64_t buf_off = 0, avail_m = 0;
+            mem_locate(pos, buf_off, avail_m);
+
+            std::uint64_t take = std::min({avail_f, avail_m, n - copied});
+            std::memcpy(dst + (po + copied) * elem, src + buf_off * elem, take * elem);
+            copied += take;
+        }
+    });
+}
+
+} // namespace h5

@@ -1,0 +1,18 @@
+#pragma once
+
+/// Umbrella header for MiniH5: an HDF5-like hierarchical data model
+/// (files, groups, datasets, attributes; atomic and compound datatypes;
+/// N-d dataspaces with hyperslab selections) whose every API call routes
+/// through a Virtual Object Layer — the interception point LowFive plugs
+/// into. The native VOL implements a real on-disk format with serial and
+/// collective (shared-file) parallel I/O.
+
+#include "types.hpp"      // IWYU pragma: export
+#include "dataspace.hpp"  // IWYU pragma: export
+#include "tree.hpp"       // IWYU pragma: export
+#include "vol.hpp"        // IWYU pragma: export
+#include "storage.hpp"    // IWYU pragma: export
+#include "convert.hpp"    // IWYU pragma: export
+#include "native_vol.hpp" // IWYU pragma: export
+#include "api.hpp"        // IWYU pragma: export
+#include "copy.hpp"       // IWYU pragma: export

@@ -1,0 +1,143 @@
+#include "storage.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace h5 {
+
+PfsModel& PfsModel::instance() {
+    static PfsModel model;
+    return model;
+}
+
+void PfsModel::configure(double bw_MBps, double latency_ms, double lock_us) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bw_MBps_    = bw_MBps;
+    latency_ms_ = latency_ms;
+    lock_us_    = lock_us;
+}
+
+void PfsModel::configure_from_env() {
+    double bw   = bw_MBps_;
+    double lat  = latency_ms_;
+    double lock = lock_us_;
+    if (const char* s = std::getenv("L5_PFS_BW_MBPS")) bw = std::atof(s);
+    if (const char* s = std::getenv("L5_PFS_LAT_MS")) lat = std::atof(s);
+    if (const char* s = std::getenv("L5_PFS_LOCK_US")) lock = std::atof(s);
+    configure(bw, lat, lock);
+}
+
+void PfsModel::charge_open() {
+    double lat;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lat = latency_ms_;
+    }
+    if (lat > 0)
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(lat));
+}
+
+void PfsModel::charge_io(std::uint64_t bytes, int shared_writers) {
+    std::chrono::steady_clock::time_point finish;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bytes_charged_ += bytes;
+        if (bw_MBps_ <= 0) return;
+        double seconds = static_cast<double>(bytes) / (bw_MBps_ * 1e6);
+        if (shared_writers > 1 && lock_us_ > 0)
+            seconds += lock_us_ * 1e-6 * shared_writers; // stripe-lock ping-pong
+        auto now   = std::chrono::steady_clock::now();
+        auto start = std::max(now, available_at_);
+        auto dur   = std::chrono::duration<double>(seconds);
+        finish     = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(dur);
+        available_at_ = finish;
+    }
+    std::this_thread::sleep_until(finish);
+}
+
+// --- FileIO --------------------------------------------------------------
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+    throw Error("h5: " + what + " '" + path + "': " + std::strerror(errno));
+}
+} // namespace
+
+FileIO::~FileIO() { close(); }
+
+FileIO& FileIO::operator=(FileIO&& o) noexcept {
+    if (this != &o) {
+        close();
+        fd_   = o.fd_;
+        path_ = std::move(o.path_);
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+FileIO FileIO::create(const std::string& path) {
+    PfsModel::instance().charge_open();
+    int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+    if (fd < 0) throw_errno("cannot create", path);
+    return FileIO(fd, path);
+}
+
+FileIO FileIO::open_rw(const std::string& path) {
+    PfsModel::instance().charge_open();
+    int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) throw_errno("cannot open (rw)", path);
+    return FileIO(fd, path);
+}
+
+FileIO FileIO::open_ro(const std::string& path) {
+    PfsModel::instance().charge_open();
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw_errno("cannot open (ro)", path);
+    return FileIO(fd, path);
+}
+
+void FileIO::pwrite(const void* buf, std::size_t n, std::uint64_t offset) {
+    PfsModel::instance().charge_io(n, shared_writers_);
+    const auto* p = static_cast<const char*>(buf);
+    while (n > 0) {
+        ssize_t w = ::pwrite(fd_, p, n, static_cast<off_t>(offset));
+        if (w < 0) throw_errno("write failed", path_);
+        p += w;
+        n -= static_cast<std::size_t>(w);
+        offset += static_cast<std::uint64_t>(w);
+    }
+}
+
+void FileIO::pread(void* buf, std::size_t n, std::uint64_t offset) const {
+    PfsModel::instance().charge_io(n);
+    auto* p = static_cast<char*>(buf);
+    while (n > 0) {
+        ssize_t r = ::pread(fd_, p, n, static_cast<off_t>(offset));
+        if (r < 0) throw_errno("read failed", path_);
+        if (r == 0) throw Error("h5: unexpected EOF reading '" + path_ + "'");
+        p += r;
+        n -= static_cast<std::size_t>(r);
+        offset += static_cast<std::uint64_t>(r);
+    }
+}
+
+std::uint64_t FileIO::size() const {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) throw_errno("stat failed", path_);
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+void FileIO::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace h5

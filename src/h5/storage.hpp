@@ -1,0 +1,105 @@
+#pragma once
+
+#include "dataspace.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace h5 {
+
+/// Process-wide model of a shared parallel file system. Real reads and
+/// writes go to local disk; when a bandwidth is configured, I/O time is
+/// additionally charged against a single token bucket shared by every
+/// rank-thread, which serializes the configured aggregate bandwidth and
+/// so models PFS contention (all ranks of all tasks share one Lustre in
+/// the paper). An open latency models metadata-server round-trips.
+///
+/// A third term models shared-file lock contention: when several ranks
+/// write interleaved extents of one file (MPI-IO style), each write call
+/// additionally charges `lock_us × nwriters` of serialized time — the
+/// stripe-lock ping-pong that makes single-shared-file HDF5 output
+/// collapse at scale on Lustre (the effect behind the paper's Table II),
+/// while per-rank plotfiles avoid it.
+///
+/// Configuration: programmatic, or environment variables
+/// `L5_PFS_BW_MBPS` (0 disables throttling), `L5_PFS_LAT_MS`, and
+/// `L5_PFS_LOCK_US`.
+class PfsModel {
+public:
+    static PfsModel& instance();
+
+    /// bw_MBps <= 0 disables throttling; latency in milliseconds;
+    /// lock_us is the per-write shared-file lock cost in microseconds.
+    void configure(double bw_MBps, double latency_ms, double lock_us = 0);
+    /// Read `L5_PFS_BW_MBPS` / `L5_PFS_LAT_MS` / `L5_PFS_LOCK_US`;
+    /// absent vars leave current values.
+    void configure_from_env();
+
+    double bandwidth_MBps() const { return bw_MBps_; }
+    double latency_ms() const { return latency_ms_; }
+    double lock_us() const { return lock_us_; }
+
+    /// Charge one open/create (sleeps the configured latency).
+    void charge_open();
+    /// Charge a transfer of `bytes` against the shared token bucket; when
+    /// `shared_writers > 1`, also charge the lock-contention term.
+    void charge_io(std::uint64_t bytes, int shared_writers = 1);
+
+    /// Statistics (bytes actually charged), for tests and reporting.
+    std::uint64_t bytes_charged() const { return bytes_charged_; }
+    void          reset_stats() { bytes_charged_ = 0; }
+
+private:
+    PfsModel() = default;
+
+    std::mutex                            mutex_;
+    std::chrono::steady_clock::time_point available_at_{};
+    double                                bw_MBps_    = 0.0;
+    double                                latency_ms_ = 0.0;
+    double                                lock_us_    = 0.0;
+    std::uint64_t                         bytes_charged_ = 0;
+};
+
+/// RAII pread/pwrite file handle; all transfers are charged to PfsModel.
+/// Multiple rank-threads may hold handles on the same path (shared-file
+/// parallel I/O, as with MPI-IO in the paper).
+class FileIO {
+public:
+    FileIO() = default;
+    ~FileIO();
+    FileIO(FileIO&& o) noexcept : fd_(o.fd_), path_(std::move(o.path_)) { o.fd_ = -1; }
+    FileIO& operator=(FileIO&& o) noexcept;
+    FileIO(const FileIO&)            = delete;
+    FileIO& operator=(const FileIO&) = delete;
+
+    /// Create/truncate for writing (and reading back).
+    static FileIO create(const std::string& path);
+    /// Open an existing file for reading and writing.
+    static FileIO open_rw(const std::string& path);
+    /// Open an existing file read-only.
+    static FileIO open_ro(const std::string& path);
+
+    bool is_open() const { return fd_ >= 0; }
+    const std::string& path() const { return path_; }
+
+    /// Declare how many ranks concurrently write interleaved extents of
+    /// this file (MPI-IO shared-file mode); writes then pay the modelled
+    /// lock-contention cost. Default 1 (no contention).
+    void set_shared_writers(int n) { shared_writers_ = n; }
+
+    void          pwrite(const void* buf, std::size_t n, std::uint64_t offset);
+    void          pread(void* buf, std::size_t n, std::uint64_t offset) const;
+    std::uint64_t size() const;
+    void          close();
+
+private:
+    FileIO(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+    int         fd_ = -1;
+    std::string path_;
+    int         shared_writers_ = 1;
+};
+
+} // namespace h5

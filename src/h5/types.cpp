@@ -1,0 +1,22 @@
+#include "types.hpp"
+
+namespace h5 {
+
+std::string Datatype::str() const {
+    switch (class_) {
+    case TypeClass::Int:   return "int" + std::to_string(size_ * 8);
+    case TypeClass::UInt:  return "uint" + std::to_string(size_ * 8);
+    case TypeClass::Float: return "float" + std::to_string(size_ * 8);
+    case TypeClass::Compound: {
+        std::string s = "compound" + std::to_string(size_ * 8) + "{";
+        for (std::size_t i = 0; i < member_names_.size(); ++i) {
+            s += member_names_[i] + ":" + member_types_[i].str();
+            if (i + 1 < member_names_.size()) s += ",";
+        }
+        return s + "}";
+    }
+    }
+    return "?";
+}
+
+} // namespace h5

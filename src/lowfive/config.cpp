@@ -1,0 +1,41 @@
+#include "config.hpp"
+
+namespace lowfive {
+
+bool glob_match(const std::string& pattern, const std::string& name) {
+    // iterative glob with backtracking over the last '*'
+    std::size_t p = 0, n = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = n;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            n = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') ++p;
+    return p == pattern.size();
+}
+
+bool matches_file(const std::vector<PatternPair>& rules, const std::string& filename) {
+    for (const auto& r : rules)
+        if (glob_match(r.file_pattern, filename)) return true;
+    return false;
+}
+
+bool matches(const std::vector<PatternPair>& rules, const std::string& filename,
+             const std::string& dset_path) {
+    for (const auto& r : rules)
+        if (glob_match(r.file_pattern, filename) && glob_match(r.dset_pattern, dset_path))
+            return true;
+    return false;
+}
+
+} // namespace lowfive

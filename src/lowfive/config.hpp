@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lowfive {
+
+/// Glob match: '*' matches any (possibly empty) sequence, '?' any single
+/// character. Used for the per-file / per-dataset configuration patterns
+/// (which files stay in memory, which pass through to storage, which
+/// datasets are zero-copy), as in LowFive's set_memory/set_passthru API.
+bool glob_match(const std::string& pattern, const std::string& name);
+
+/// A (file pattern, dataset pattern) rule.
+struct PatternPair {
+    std::string file_pattern;
+    std::string dset_pattern;
+};
+
+/// True when any rule matches the file name (dataset ignored).
+bool matches_file(const std::vector<PatternPair>& rules, const std::string& filename);
+
+/// True when any rule matches both the file name and the dataset path.
+bool matches(const std::vector<PatternPair>& rules, const std::string& filename,
+             const std::string& dset_path);
+
+} // namespace lowfive

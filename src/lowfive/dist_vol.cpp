@@ -1,0 +1,459 @@
+#include "dist_vol.hpp"
+
+#include <diy/serialization.hpp>
+
+#include <algorithm>
+#include <thread>
+
+namespace lowfive {
+
+using h5::Dataspace;
+using h5::Error;
+using h5::Object;
+using h5::ObjectKind;
+
+namespace {
+
+enum class Op : std::uint8_t {
+    MetadataQuery  = 1,
+    IntersectQuery = 2,
+    DataQuery      = 3,
+    Done           = 4,
+};
+
+constexpr int rpc_request = 901;
+constexpr int rpc_reply   = 902;
+constexpr int rpc_ready   = 903;
+
+void send_buffer(const simmpi::Comm& ic, int dest, int tag, diy::BinaryBuffer&& bb) {
+    ic.send(dest, tag, std::move(bb).take());
+}
+
+diy::BinaryBuffer recv_buffer(const simmpi::Comm& ic, int src, int tag, int* from = nullptr) {
+    std::vector<std::byte> raw;
+    auto                   st = ic.recv(src, tag, raw);
+    if (from) *from = st.source;
+    return diy::BinaryBuffer(std::move(raw));
+}
+
+/// Collect (path, dataset node) pairs in deterministic DFS order.
+void collect_datasets(Object* obj, std::vector<std::pair<std::string, Object*>>& out) {
+    if (obj->kind == ObjectKind::Dataset) out.emplace_back(obj->path(), obj);
+    for (auto& c : obj->children) collect_datasets(c.get(), out);
+}
+
+} // namespace
+
+DistMetadataVol::DistMetadataVol(simmpi::Comm local, h5::VolPtr passthru_vol)
+    : MetadataVol(std::move(passthru_vol)), local_(std::move(local)) {}
+
+DistMetadataVol::~DistMetadataVol() {
+    try {
+        finish_serving();
+    } catch (...) {
+        // a destructor must not throw; an ill-formed workflow already
+        // failed elsewhere
+    }
+}
+
+void DistMetadataVol::set_serve_in_background(bool v) {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    background_ = v;
+}
+
+void DistMetadataVol::background_loop() {
+    std::vector<const simmpi::Comm*> comms;
+    comms.reserve(serve_conns_.size() + 1);
+    for (const auto& c : serve_conns_) comms.push_back(&c.ic);
+    comms.push_back(&local_); // self-send on tag rpc_request = shutdown
+
+    for (;;) {
+        std::size_t which = 0;
+        auto st = simmpi::Comm::probe_any(comms, simmpi::any_source, rpc_request, &which);
+        if (which + 1 == comms.size()) {
+            std::vector<std::byte> raw;
+            local_.recv(st.source, rpc_request, raw);
+            return;
+        }
+        auto& conn = serve_conns_[which];
+        auto  bb   = recv_buffer(conn.ic, st.source, rpc_request);
+        {
+            std::lock_guard<std::recursive_mutex> lock(mutex_);
+            handle_request(conn, st.source, std::move(bb).take());
+        }
+        dones_cv_.notify_all();
+    }
+}
+
+void DistMetadataVol::finish_serving() {
+    if (!serve_thread_.joinable()) return;
+    {
+        std::unique_lock<std::recursive_mutex> lock(mutex_);
+        dones_cv_.wait(lock, [&] { return dones_received_ >= dones_expected_; });
+    }
+    local_.send(local_.rank(), rpc_request, nullptr, 0); // shutdown signal
+    serve_thread_.join();
+}
+
+void* DistMetadataVol::file_create(const std::string& name) {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return MetadataVol::file_create(name);
+}
+
+void DistMetadataVol::file_close(void* file) {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    MetadataVol::file_close(file);
+}
+
+void DistMetadataVol::drop_file(const std::string& name) {
+    std::unique_lock<std::recursive_mutex> lock(mutex_);
+    // never drop a file the background server may still be serving
+    // (conservative: waits for every outstanding round)
+    if (serve_thread_.joinable())
+        dones_cv_.wait(lock, [&] { return dones_received_ >= dones_expected_; });
+    MetadataVol::drop_file(name);
+}
+
+void DistMetadataVol::serve_to(simmpi::Comm intercomm, std::string pattern) {
+    serve_conns_.push_back({std::move(intercomm), std::move(pattern)});
+}
+
+void DistMetadataVol::consume_from(simmpi::Comm intercomm, std::string pattern) {
+    consume_conns_.push_back({std::move(intercomm), std::move(pattern)});
+}
+
+int DistMetadataVol::route_consume(const std::string& name) const {
+    for (std::size_t i = 0; i < consume_conns_.size(); ++i)
+        if (glob_match(consume_conns_[i].pattern, name)) return static_cast<int>(i);
+    return -1;
+}
+
+// --- producer: index (Algorithm 1) ------------------------------------------
+
+void DistMetadataVol::index_file(FileEntry& entry) {
+    std::vector<std::pair<std::string, Object*>> dsets;
+    collect_datasets(entry.root.get(), dsets);
+
+    for (auto& [path, node] : dsets) {
+        diy::RegularDecomposer decomp(node->space.extent_bounds(), local_.size());
+
+        // outgoing bounding boxes per target producer rank
+        std::vector<diy::BinaryBuffer> out(static_cast<std::size_t>(local_.size()));
+        for (const auto& piece : node->pieces) {
+            diy::Bounds bb = piece.filespace.bounding_box();
+            if (bb.empty()) continue;
+            for (int t : decomp.intersecting_blocks(bb))
+                bb.save(out[static_cast<std::size_t>(t)]);
+        }
+
+        std::vector<std::vector<std::byte>> payloads;
+        payloads.reserve(out.size());
+        for (auto& bb : out) payloads.push_back(std::move(bb).take());
+
+        auto incoming = local_.alltoall(std::move(payloads));
+
+        auto& index = index_[entry.name][path];
+        for (int src = 0; src < local_.size(); ++src) {
+            diy::BinaryBuffer bb(std::move(incoming[static_cast<std::size_t>(src)]));
+            while (!bb.exhausted()) index.emplace_back(diy::Bounds::load(bb), src);
+        }
+    }
+}
+
+// --- producer: serve (Algorithm 2) --------------------------------------------
+
+void DistMetadataVol::serve_all() {
+    std::unique_lock<std::recursive_mutex> lock(mutex_);
+    if (serve_thread_.joinable()) {
+        // background mode: just wait for the server to drain the rounds
+        dones_cv_.wait(lock, [&] { return dones_received_ >= dones_expected_; });
+        return;
+    }
+    serve_until(dones_expected_);
+}
+
+void DistMetadataVol::serve_until(std::uint64_t target) {
+    std::vector<const simmpi::Comm*> comms;
+    comms.reserve(serve_conns_.size());
+    for (const auto& c : serve_conns_) comms.push_back(&c.ic);
+
+    while (dones_received_ < target) {
+        // block (no spinning) until a request arrives on any connection
+        std::size_t which = 0;
+        auto st = simmpi::Comm::probe_any(comms, simmpi::any_source, rpc_request, &which);
+        auto& conn = serve_conns_[which];
+        auto  bb   = recv_buffer(conn.ic, st.source, rpc_request);
+        handle_request(conn, st.source, std::move(bb).take());
+    }
+}
+
+bool DistMetadataVol::poll_requests() {
+    for (std::size_t c = 0; c < serve_conns_.size(); ++c) {
+        auto& conn = serve_conns_[c];
+        if (conn.ic.iprobe(simmpi::any_source, rpc_request)) {
+            int  src = -1;
+            auto bb  = recv_buffer(conn.ic, simmpi::any_source, rpc_request, &src);
+            handle_request(conn, src, std::move(bb).take());
+            return true;
+        }
+    }
+    return false;
+}
+
+void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>&& payload) {
+    diy::BinaryBuffer bb{std::move(payload)};
+    const auto        op = static_cast<Op>(bb.load<std::uint8_t>());
+
+    switch (op) {
+    case Op::Done: {
+        ++dones_received_;
+        break;
+    }
+    case Op::MetadataQuery: {
+        std::string name;
+        bb.load(name);
+        auto it = files_.find(name);
+        if (it == files_.end() || !it->second.root || it->second.writable) {
+            // consumer ran ahead of the producer: retry after next close
+            diy::BinaryBuffer orig;
+            orig.save(static_cast<std::uint8_t>(Op::MetadataQuery));
+            orig.save(name);
+            std::size_t conn_idx =
+                static_cast<std::size_t>(&conn - serve_conns_.data());
+            deferred_.push_back({conn_idx, src, std::move(orig).take()});
+            break;
+        }
+        diy::BinaryBuffer reply;
+        it->second.root->save_skeleton(reply);
+        send_buffer(conn.ic, src, rpc_reply, std::move(reply));
+        break;
+    }
+    case Op::IntersectQuery: {
+        std::string name, dset;
+        bb.load(name);
+        bb.load(dset);
+        diy::Bounds qbb = diy::Bounds::load(bb);
+
+        std::vector<std::int32_t> ranks;
+        auto                      fit = index_.find(name);
+        if (fit != index_.end()) {
+            auto dit = fit->second.find(dset);
+            if (dit != fit->second.end())
+                for (const auto& [ibb, rank] : dit->second)
+                    if (diy::intersects(ibb, qbb)) ranks.push_back(rank);
+        }
+        std::sort(ranks.begin(), ranks.end());
+        ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+
+        diy::BinaryBuffer reply;
+        reply.save(ranks);
+        send_buffer(conn.ic, src, rpc_reply, std::move(reply));
+        break;
+    }
+    case Op::DataQuery: {
+        std::string name, dset;
+        bb.load(name);
+        bb.load(dset);
+        Dataspace fs = Dataspace::load(bb);
+
+        auto it = files_.find(name);
+        if (it == files_.end() || !it->second.root)
+            throw Error("lowfive: data query for unknown file '" + name + "'");
+        Object* node = it->second.root->resolve(dset);
+        if (!node || node->kind != ObjectKind::Dataset)
+            throw Error("lowfive: data query for unknown dataset '" + dset + "'");
+        const std::size_t elem = node->type.size();
+
+        diy::BinaryBuffer reply;
+        std::uint64_t     npieces = 0;
+        for (const auto& piece : node->pieces)
+            if (!intersect_selections(piece.filespace, fs).empty()) ++npieces;
+        reply.save(npieces);
+        for (const auto& piece : node->pieces) {
+            auto common = intersect_selections(piece.filespace, fs);
+            if (common.empty()) continue;
+            Dataspace sub(node->space.dims());
+            sub.select_none();
+            for (const auto& b : common) sub.add_box(b);
+            sub.save(reply);
+            // extract straight into the reply buffer: no intermediate copy
+            const std::uint64_t nbytes = sub.npoints() * elem;
+            reply.save(nbytes);
+            piece.extract(sub, elem, reply.mutable_data());
+            stats_.bytes_served += nbytes;
+        }
+        send_buffer(conn.ic, src, rpc_reply, std::move(reply));
+        break;
+    }
+    }
+}
+
+void DistMetadataVol::retry_deferred() {
+    auto pending = std::move(deferred_);
+    deferred_.clear();
+    for (auto& d : pending)
+        handle_request(serve_conns_[d.conn], d.src, std::move(d.payload));
+}
+
+// --- file lifecycle hooks ------------------------------------------------------
+
+void DistMetadataVol::after_file_close(FileEntry& entry) {
+    if (entry.remote) {
+        // consumer side: tell every producer rank we are done with this file
+        auto& conn = consume_conns_[static_cast<std::size_t>(entry.conn)];
+        for (int p = 0; p < conn.ic.peer_size(); ++p) {
+            diy::BinaryBuffer bb;
+            bb.save(static_cast<std::uint8_t>(Op::Done));
+            bb.save(entry.name);
+            send_buffer(conn.ic, p, rpc_request, std::move(bb));
+        }
+        return;
+    }
+
+    if (!entry.writable) return; // closing a reopened local file: nothing to do
+    entry.writable = false;
+
+    std::vector<Conn*> matching;
+    for (auto& c : serve_conns_)
+        if (glob_match(c.pattern, entry.name)) matching.push_back(&c);
+    if (matching.empty()) return;
+
+    if (entry.memory && entry.root) {
+        index_file(entry);
+        retry_deferred();
+        for (auto* c : matching) dones_expected_ += static_cast<std::uint64_t>(c->ic.peer_size());
+        if (background_) {
+            // overlap mode: a background thread serves; the producer
+            // returns from close immediately and keeps computing
+            if (!serve_thread_.joinable())
+                serve_thread_ = std::thread([this] { background_loop(); });
+        } else if (serve_on_close_) {
+            serve_until(dones_expected_);
+        }
+    } else if (local_.rank() == 0) {
+        // passthru-only file: physical file is complete (collective close
+        // barriered); notify consumers it is ready to be opened
+        for (auto* c : matching)
+            for (int r = 0; r < c->ic.peer_size(); ++r) {
+                diy::BinaryBuffer bb;
+                bb.save(entry.name);
+                send_buffer(c->ic, r, rpc_ready, std::move(bb));
+            }
+    }
+}
+
+void* DistMetadataVol::file_open(const std::string& name) {
+    {
+        // local (possibly retained) files win over remote connections
+        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        auto                                  it = files_.find(name);
+        if (it != files_.end() && it->second.root && !it->second.remote)
+            return MetadataVol::file_open(name);
+    }
+
+    int ci = route_consume(name);
+    if (ci < 0) {
+        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        return MetadataVol::file_open(name);
+    }
+    auto& conn = consume_conns_[static_cast<std::size_t>(ci)];
+
+    if (!matches_file(memory_, name)) {
+        // file mode: wait for the producer's ready notification, then do a
+        // physical open
+        auto        bb = recv_buffer(conn.ic, 0, rpc_ready);
+        std::string ready_name;
+        bb.load(ready_name);
+        if (ready_name != name)
+            throw Error("lowfive: out-of-order file-ready: expected '" + name + "', got '"
+                        + ready_name + "'");
+        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        return MetadataVol::file_open(name);
+    }
+
+    // in-situ: fetch the metadata skeleton from a producer rank
+    const int target = local_.rank() % conn.ic.peer_size();
+    {
+        diy::BinaryBuffer bb;
+        bb.save(static_cast<std::uint8_t>(Op::MetadataQuery));
+        bb.save(name);
+        send_buffer(conn.ic, target, rpc_request, std::move(bb));
+    }
+    auto reply = recv_buffer(conn.ic, target, rpc_reply);
+
+    FileEntry entry;
+    entry.name   = name;
+    entry.remote = true;
+    entry.conn   = ci;
+    entry.root   = Object::load_skeleton(reply);
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    auto [it2, _] = files_.insert_or_assign(name, std::move(entry));
+    return make_handle(it2->second, it2->second.root.get(), nullptr);
+}
+
+// --- consumer: query (Algorithm 3) ----------------------------------------------
+
+void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Dataspace& memspace,
+                                          const Dataspace& filespace, void* buf) {
+    if (!node || node->kind != ObjectKind::Dataset)
+        throw Error("lowfive: remote read on a non-dataset handle");
+    if (memspace.npoints() != filespace.npoints())
+        throw Error("lowfive: remote read selection size mismatch");
+    if (filespace.npoints() == 0) return;
+
+    auto&             conn = consume_conns_[static_cast<std::size_t>(f.conn)];
+    const std::string dset = node->path();
+    const std::size_t elem = node->type.size();
+    const int         n    = conn.ic.peer_size();
+
+    // Step 1: common decomposition, then ask the index-owning blocks
+    diy::RegularDecomposer decomp(node->space.extent_bounds(), n);
+    diy::Bounds            bb = filespace.bounding_box();
+
+    std::vector<int> idx_blocks = decomp.intersecting_blocks(bb);
+    for (int p : idx_blocks) {
+        diy::BinaryBuffer req;
+        req.save(static_cast<std::uint8_t>(Op::IntersectQuery));
+        req.save(f.name);
+        req.save(dset);
+        bb.save(req);
+        send_buffer(conn.ic, p, rpc_request, std::move(req));
+        ++stats_.n_intersect_queries;
+    }
+    std::vector<std::int32_t> producers;
+    for (int p : idx_blocks) {
+        auto                      reply = recv_buffer(conn.ic, p, rpc_reply);
+        std::vector<std::int32_t> ranks;
+        reply.load(ranks);
+        producers.insert(producers.end(), ranks.begin(), ranks.end());
+    }
+    std::sort(producers.begin(), producers.end());
+    producers.erase(std::unique(producers.begin(), producers.end()), producers.end());
+
+    // Step 2: request and receive the data from exactly those producers
+    for (int p : producers) {
+        diy::BinaryBuffer req;
+        req.save(static_cast<std::uint8_t>(Op::DataQuery));
+        req.save(f.name);
+        req.save(dset);
+        filespace.save(req);
+        send_buffer(conn.ic, p, rpc_request, std::move(req));
+        ++stats_.n_data_queries;
+    }
+
+    std::vector<std::byte> packed(filespace.npoints() * elem); // zero fill
+    for (int p : producers) {
+        auto reply = recv_buffer(conn.ic, p, rpc_reply);
+        auto npieces = reply.load<std::uint64_t>();
+        for (std::uint64_t k = 0; k < npieces; ++k) {
+            Dataspace        sub    = Dataspace::load(reply);
+            auto             nbytes = reply.load<std::uint64_t>();
+            const std::byte* data   = reply.skip(nbytes); // scatter in place
+            stats_.bytes_fetched += nbytes;
+            scatter_into_packed(filespace, packed.data(), sub, data, elem);
+        }
+    }
+    unpack_selection(memspace, packed.data(), elem, buf);
+}
+
+} // namespace lowfive

@@ -1,0 +1,145 @@
+#pragma once
+
+#include "metadata_vol.hpp"
+
+#include <diy/decomposer.hpp>
+#include <simmpi/comm.hpp>
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace lowfive {
+
+/// LowFive's distributed metadata VOL (paper §III-A level (c) and §III-B):
+/// connects the ranks of a producer task to the ranks of a consumer task
+/// through intercommunicators and redistributes dataset data with the
+/// index–serve–query protocol:
+///
+///  - Index (Algorithm 1): on closing an in-memory file, the producer
+///    ranks agree on a *common decomposition* of each dataset (n blocks
+///    from factoring n into d near-equal factors) and exchange the
+///    bounding boxes of their written data spaces so that rank i holds
+///    the index for block i.
+///  - Serve (Algorithm 2): producer ranks then answer consumer requests:
+///    metadata queries (the serialized tree skeleton), intersection
+///    queries (which producer ranks hold data intersecting a box), and
+///    data queries (the actual selected elements), until every consumer
+///    rank has closed the file (sent its done message).
+///  - Query (Algorithm 3): a consumer read first asks the index-owning
+///    ranks which producers hold intersecting data, then requests the
+///    data from exactly those producers — all communication is direct
+///    point-to-point, with no intermediate staging resources.
+///
+/// Connections are tagged with a file-name glob so a task can consume
+/// from several producers and serve several consumers at once (fan-in /
+/// fan-out). For passthru (file-mode) files, closing the file sends a
+/// file-ready notification instead, and consumers block on it before
+/// opening the physical file — reproducing the paper's synchronization
+/// through file close.
+class DistMetadataVol : public MetadataVol {
+public:
+    DistMetadataVol(simmpi::Comm local, h5::VolPtr passthru_vol = nullptr);
+
+    /// The remote side of `intercomm` consumes files matching `pattern`.
+    void serve_to(simmpi::Comm intercomm, std::string pattern = "*");
+    /// The remote side of `intercomm` produces files matching `pattern`.
+    void consume_from(simmpi::Comm intercomm, std::string pattern = "*");
+
+    /// When true (default), closing an in-memory file that someone
+    /// consumes blocks serving it until all consumer ranks are done.
+    void set_serve_on_close(bool v) { serve_on_close_ = v; }
+
+    /// Manually serve outstanding rounds (needed when serve_on_close is
+    /// disabled); returns when all pending done messages have arrived.
+    void serve_all();
+
+    /// The paper's future-work overlap (§V-C "consume data as soon as it
+    /// is available, and overlap reading and writing"): when enabled,
+    /// closing an in-memory file indexes it and hands serving to a
+    /// background thread; the producer rank continues immediately.
+    /// Zero-copy buffers must then stay valid until finish_serving().
+    /// Reserves tag 901 on the local communicator for the shutdown signal.
+    void set_serve_in_background(bool v);
+
+    /// Block until every outstanding round has been served and stop the
+    /// background server. Safe to call when background serving is off.
+    void finish_serving();
+
+    ~DistMetadataVol() override;
+
+    /// Transfer statistics for reporting.
+    struct Stats {
+        std::uint64_t bytes_served   = 0; ///< payload bytes sent while serving
+        std::uint64_t bytes_fetched  = 0; ///< payload bytes received by queries
+        std::uint64_t n_data_queries = 0;
+        std::uint64_t n_intersect_queries = 0;
+    };
+    const Stats& stats() const { return stats_; }
+
+    void* file_create(const std::string& name) override;
+    void* file_open(const std::string& name) override;
+    void  file_close(void* file) override;
+    void  drop_file(const std::string& name) override;
+
+protected:
+    void after_file_close(FileEntry& entry) override;
+    void remote_dataset_read(FileEntry& f, h5::Object* node, const h5::Dataspace& memspace,
+                             const h5::Dataspace& filespace, void* buf) override;
+
+private:
+    struct Conn {
+        simmpi::Comm ic;
+        std::string  pattern;
+    };
+
+    int route_consume(const std::string& name) const; ///< -1 when no match
+
+    /// Algorithm 1 over the local communicator (collective).
+    void index_file(FileEntry& entry);
+
+    /// Serve requests until `target` total done messages have arrived.
+    void serve_until(std::uint64_t target);
+    /// Handle one queued request if any; returns true when something was
+    /// handled (or deferred work was completed).
+    bool poll_requests();
+    void handle_request(Conn& conn, int src, std::vector<std::byte>&& payload);
+    void retry_deferred();
+
+    void background_loop();
+
+    simmpi::Comm      local_;
+    std::vector<Conn> serve_conns_;
+    std::vector<Conn> consume_conns_;
+    bool              serve_on_close_ = true;
+
+    // background serving (off by default): the serve thread and the
+    // producer thread share files_/index_/deferred_/done counters, all
+    // guarded by mutex_ (recursive: the sync path serves while holding it)
+    bool                         background_ = false;
+    std::thread                  serve_thread_;
+    mutable std::recursive_mutex mutex_;
+    std::condition_variable_any  dones_cv_;
+
+    // producer state
+    // index_[file][dset] = (bounding box, producer rank) pairs for the
+    // common-decomposition blocks this rank owns
+    std::map<std::string, std::map<std::string, std::vector<std::pair<diy::Bounds, int>>>> index_;
+    std::uint64_t dones_received_ = 0;
+    std::uint64_t dones_expected_ = 0;
+
+    // metadata queries for files that do not exist yet (a fast consumer
+    // ran ahead); retried after every file close
+    struct Deferred {
+        std::size_t            conn;
+        int                    src;
+        std::vector<std::byte> payload;
+    };
+    std::vector<Deferred> deferred_;
+
+    Stats stats_;
+};
+
+} // namespace lowfive

@@ -1,0 +1,12 @@
+#pragma once
+
+/// Umbrella header for LowFive: an in situ data transport layer for HPC
+/// workflows, implemented as a VOL plugin over the MiniH5 data model.
+/// Reproduction of Peterka et al., "LowFive: In Situ Data Transport for
+/// High-Performance Workflows", IPDPS 2023.
+
+#include <h5/h5.hpp>        // IWYU pragma: export
+
+#include "config.hpp"       // IWYU pragma: export
+#include "metadata_vol.hpp" // IWYU pragma: export
+#include "dist_vol.hpp"     // IWYU pragma: export

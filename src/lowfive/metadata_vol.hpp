@@ -1,0 +1,116 @@
+#pragma once
+
+#include "config.hpp"
+
+#include <h5/native_vol.hpp>
+#include <h5/tree.hpp>
+#include <h5/vol.hpp>
+
+#include <map>
+#include <memory>
+
+namespace lowfive {
+
+/// LowFive's metadata VOL (paper §III-A, levels (a) base and (b) metadata):
+/// intercepts every data-model call, replicates the user's HDF5 hierarchy
+/// in an in-memory metadata tree, and — per user-configurable patterns —
+/// keeps dataset data in memory (deep copies or zero-copy shallow
+/// references) and/or passes calls through to the terminal (native) VOL
+/// for physical file I/O.
+///
+/// Defaults: everything in memory ("*"/"*"), no passthru, deep copies.
+/// In-memory files are retained after close so that they can be reopened
+/// by a consumer or served remotely (see DistMetadataVol).
+class MetadataVol : public h5::Vol {
+public:
+    /// `passthru_vol` is the terminal VOL used for physical storage; when
+    /// null, a serial NativeVol is created on demand.
+    explicit MetadataVol(h5::VolPtr passthru_vol = nullptr);
+
+    // --- configuration, mirroring LowFive's set_memory/set_passthru/set_zerocopy
+    void set_memory(const std::string& file_pattern, const std::string& dset_pattern);
+    void set_passthru(const std::string& file_pattern, const std::string& dset_pattern);
+    void set_zerocopy(const std::string& file_pattern, const std::string& dset_pattern);
+    void clear_memory() { memory_.clear(); }
+    void clear_passthru() { passthru_.clear(); }
+
+    /// Retained in-memory tree of a closed (or open) file; nullptr if none.
+    h5::Object* find_file(const std::string& name);
+    /// Release a retained in-memory file.
+    virtual void drop_file(const std::string& name);
+    std::vector<std::string> retained_files() const;
+
+    // --- Vol interface -----------------------------------------------------
+    void* file_create(const std::string& name) override;
+    void* file_open(const std::string& name) override;
+    void  file_close(void* file) override;
+    void  file_flush(void* file) override;
+
+    void* group_create(void* parent, const std::string& name) override;
+    void* group_open(void* parent, const std::string& path) override;
+
+    void* dataset_create(void* parent, const std::string& name, const h5::Datatype& type,
+                         const h5::Dataspace& space) override;
+    void*         dataset_open(void* parent, const std::string& path) override;
+    h5::Datatype  dataset_type(void* dset) override;
+    h5::Dataspace dataset_space(void* dset) override;
+    void dataset_write(void* dset, const h5::Dataspace& memspace, const h5::Dataspace& filespace,
+                       const void* buf) override;
+    void dataset_read(void* dset, const h5::Dataspace& memspace, const h5::Dataspace& filespace,
+                      void* buf) override;
+    void dataset_set_extent(void* dset, const h5::Extent& new_dims) override;
+
+    void attribute_write(void* obj, const std::string& name, const h5::Datatype& type,
+                         const h5::Dataspace& space, const void* buf) override;
+    std::optional<AttrInfo> attribute_info(void* obj, const std::string& name) override;
+    void attribute_read(void* obj, const std::string& name, void* buf) override;
+
+    std::vector<std::string> list_attributes(void* obj) override;
+    void                     unlink(void* parent, const std::string& path) override;
+
+    std::vector<std::string> list_children(void* obj) override;
+    bool                     exists(void* obj, const std::string& path) override;
+
+protected:
+    struct HandleBox;
+
+    struct FileEntry {
+        std::string                 name;
+        std::unique_ptr<h5::Object> root;    ///< in-memory replica (null for pure passthru)
+        bool                        memory   = false;
+        bool                        passthru = false;
+        bool                        writable = false;
+        void*                       native   = nullptr; ///< open native file handle
+        bool                        remote   = false;   ///< consumer side of DistMetadataVol
+        int                         conn     = -1;      ///< connection index when remote
+
+        std::vector<std::unique_ptr<HandleBox>> handles; ///< live object handles
+    };
+
+    /// An issued object handle, pairing the in-memory node with the
+    /// corresponding native handle (either may be null).
+    struct HandleBox {
+        h5::Object* node   = nullptr;
+        void*       native = nullptr;
+        FileEntry*  file   = nullptr;
+    };
+
+    h5::Vol&   native();
+    HandleBox* box(void* h) { return static_cast<HandleBox*>(h); }
+    HandleBox* make_handle(FileEntry& f, h5::Object* node, void* nat);
+    bool       zerocopy_for(const FileEntry& f, const std::string& dset_path) const;
+
+    /// Hooks for DistMetadataVol.
+    virtual void after_file_close(FileEntry& entry);
+    virtual void remote_dataset_read(FileEntry& f, h5::Object* node, const h5::Dataspace& memspace,
+                                     const h5::Dataspace& filespace, void* buf);
+
+    h5::VolPtr               passthru_vol_;
+    std::vector<PatternPair> memory_{{"*", "*"}};
+    std::vector<PatternPair> passthru_;
+    std::vector<PatternPair> zerocopy_;
+
+    std::map<std::string, FileEntry> files_;
+};
+
+} // namespace lowfive

@@ -1,0 +1,325 @@
+#include "comm.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace simmpi {
+
+namespace {
+
+void append_bytes(std::vector<std::byte>& out, const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    out.insert(out.end(), p, p + n);
+}
+
+} // namespace
+
+detail::Mailbox& Comm::peer_mailbox(int dest) const {
+    if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    if (dest < 0 || dest >= peer_size())
+        throw Error("simmpi: destination rank " + std::to_string(dest) + " out of range (peer size "
+                    + std::to_string(peer_size()) + ")");
+    return world_->mailbox(peer_group_[static_cast<std::size_t>(dest)]);
+}
+
+void Comm::send(int dest, int tag, const void* data, std::size_t bytes) const {
+    std::vector<std::byte> payload(bytes);
+    if (bytes) std::memcpy(payload.data(), data, bytes);
+    send(dest, tag, std::move(payload));
+}
+
+void Comm::send(int dest, int tag, std::vector<std::byte>&& payload) const {
+    if (tag < 0) throw Error("simmpi: user tags must be non-negative");
+    detail::Envelope env;
+    env.context = context_;
+    env.src     = rank_;
+    env.tag     = tag;
+    env.payload = std::move(payload);
+    peer_mailbox(dest).push(std::move(env));
+}
+
+Status Comm::recv(int src, int tag, std::vector<std::byte>& out) const {
+    if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    detail::Envelope env = my_mailbox().pop(context_, src, tag);
+    Status           st{env.src, env.tag, env.payload.size()};
+    out = std::move(env.payload);
+    return st;
+}
+
+Status Comm::recv_into(int src, int tag, void* buf, std::size_t capacity) const {
+    std::vector<std::byte> raw;
+    Status                 st = recv(src, tag, raw);
+    if (st.count > capacity)
+        throw Error("simmpi: recv_into buffer too small (" + std::to_string(capacity)
+                    + " < " + std::to_string(st.count) + ")");
+    if (st.count) std::memcpy(buf, raw.data(), st.count);
+    return st;
+}
+
+Status Comm::probe(int src, int tag) const {
+    if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    return my_mailbox().probe_wait(context_, src, tag);
+}
+
+std::optional<Status> Comm::iprobe(int src, int tag) const {
+    if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    return my_mailbox().probe(context_, src, tag);
+}
+
+Status Comm::probe_any(std::span<const Comm* const> comms, int src, int tag, std::size_t* which) {
+    if (comms.empty()) throw Error("simmpi: probe_any needs at least one communicator");
+    const Comm& first = *comms.front();
+    if (!first.world_) throw Error("simmpi: probe_any on an invalid communicator");
+
+    std::vector<std::uint64_t> contexts;
+    contexts.reserve(comms.size());
+    for (const Comm* c : comms) {
+        if (!c->world_ || c->world_ != first.world_
+            || c->group_[static_cast<std::size_t>(c->rank_)]
+                   != first.group_[static_cast<std::size_t>(first.rank_)])
+            throw Error("simmpi: probe_any communicators must share this rank's mailbox");
+        contexts.push_back(c->context_);
+    }
+    return first.my_mailbox().probe_wait_any(contexts, src, tag, which);
+}
+
+Request Comm::isend(int dest, int tag, const void* data, std::size_t bytes) const {
+    send(dest, tag, data, bytes); // buffered: completes immediately
+    return Request::completed_send(bytes);
+}
+
+Request Comm::irecv(int src, int tag, std::vector<std::byte>& out) const {
+    return Request::pending_recv(*this, src, tag, &out);
+}
+
+// --- internal collective plumbing -----------------------------------------
+
+void Comm::coll_send(int dest, int tag, std::span<const std::byte> data) const {
+    detail::Envelope env;
+    env.context = coll_context();
+    env.src     = rank_;
+    env.tag     = tag;
+    env.payload.assign(data.begin(), data.end());
+    peer_mailbox(dest).push(std::move(env));
+}
+
+std::vector<std::byte> Comm::coll_recv(int src, int tag) const {
+    detail::Envelope env = my_mailbox().pop(coll_context(), src, tag);
+    return std::move(env.payload);
+}
+
+// --- collectives ------------------------------------------------------------
+
+void Comm::barrier() const {
+    check_intra("barrier");
+    const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
+    if (rank_ == 0) {
+        for (int r = 1; r < size(); ++r) (void)coll_recv(r, tag);
+        for (int r = 1; r < size(); ++r) coll_send(r, tag + 1, {});
+    } else {
+        coll_send(0, tag, {});
+        (void)coll_recv(0, tag + 1);
+    }
+}
+
+void Comm::bcast(std::vector<std::byte>& data, int root) const {
+    check_intra("bcast");
+    const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
+    if (rank_ == root) {
+        for (int r = 0; r < size(); ++r)
+            if (r != root) coll_send(r, tag, data);
+    } else {
+        data = coll_recv(root, tag);
+    }
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> mine, int root) const {
+    check_intra("gather");
+    const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
+    std::vector<std::vector<std::byte>> out;
+    if (rank_ == root) {
+        out.resize(static_cast<std::size_t>(size()));
+        out[static_cast<std::size_t>(root)].assign(mine.begin(), mine.end());
+        for (int r = 0; r < size(); ++r)
+            if (r != root) out[static_cast<std::size_t>(r)] = coll_recv(r, tag);
+    } else {
+        coll_send(root, tag, mine);
+    }
+    return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather(std::span<const std::byte> mine) const {
+    check_intra("allgather");
+    // gather at rank 0, then broadcast the concatenation (2N messages, not N^2)
+    auto gathered = gather(mine, 0);
+
+    std::vector<std::byte> packed;
+    if (rank_ == 0) {
+        for (auto& part : gathered) {
+            std::uint64_t n = part.size();
+            append_bytes(packed, &n, sizeof(n));
+            append_bytes(packed, part.data(), part.size());
+        }
+    }
+    bcast(packed, 0);
+
+    std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+    std::size_t                         off = 0;
+    for (auto& part : out) {
+        std::uint64_t n = 0;
+        std::memcpy(&n, packed.data() + off, sizeof(n));
+        off += sizeof(n);
+        part.assign(packed.begin() + static_cast<std::ptrdiff_t>(off),
+                    packed.begin() + static_cast<std::ptrdiff_t>(off + n));
+        off += n;
+    }
+    return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall(std::vector<std::vector<std::byte>>&& outgoing) const {
+    check_intra("alltoall");
+    if (outgoing.size() != static_cast<std::size_t>(size()))
+        throw Error("simmpi: alltoall requires one payload per rank");
+    const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
+    for (int r = 0; r < size(); ++r) {
+        detail::Envelope env;
+        env.context = coll_context();
+        env.src     = rank_;
+        env.tag     = tag;
+        env.payload = std::move(outgoing[static_cast<std::size_t>(r)]);
+        peer_mailbox(r).push(std::move(env));
+    }
+    std::vector<std::vector<std::byte>> incoming(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r)
+        incoming[static_cast<std::size_t>(r)] = coll_recv(r, tag);
+    return incoming;
+}
+
+std::vector<std::byte> Comm::scatter(std::vector<std::vector<std::byte>>&& parts, int root) const {
+    check_intra("scatter");
+    const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
+    if (rank_ == root) {
+        if (parts.size() != static_cast<std::size_t>(size()))
+            throw Error("simmpi: scatter requires one part per rank");
+        for (int r = 0; r < size(); ++r) {
+            if (r == root) continue;
+            detail::Envelope env;
+            env.context = coll_context();
+            env.src     = rank_;
+            env.tag     = tag;
+            env.payload = std::move(parts[static_cast<std::size_t>(r)]);
+            peer_mailbox(r).push(std::move(env));
+        }
+        return std::move(parts[static_cast<std::size_t>(root)]);
+    }
+    return coll_recv(root, tag);
+}
+
+// --- communicator management -------------------------------------------------
+
+Comm Comm::split(int color, int key) const {
+    check_intra("split");
+
+    struct Entry {
+        int color, key, rank;
+    };
+    auto entries = allgather_value(Entry{color, key, rank_});
+
+    // distinct colors, sorted, determine context assignment
+    std::vector<int> colors;
+    for (const auto& e : entries) colors.push_back(e.color);
+    std::sort(colors.begin(), colors.end());
+    colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+    std::uint64_t base = 0;
+    if (rank_ == 0) base = world_->reserve_contexts(2 * colors.size());
+    base = bcast_value(base, 0);
+
+    const auto color_idx = static_cast<std::size_t>(
+        std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+
+    // my subgroup, ordered by (key, parent rank)
+    std::vector<Entry> mine;
+    for (const auto& e : entries)
+        if (e.color == color) mine.push_back(e);
+    std::stable_sort(mine.begin(), mine.end(), [](const Entry& a, const Entry& b) {
+        return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+    });
+
+    std::vector<int> group;
+    int              new_rank = -1;
+    for (const auto& e : mine) {
+        if (e.rank == rank_) new_rank = static_cast<int>(group.size());
+        group.push_back(group_[static_cast<std::size_t>(e.rank)]);
+    }
+    return Comm(world_, base + 2 * color_idx, group, group, new_rank, false);
+}
+
+Comm Comm::dup() const {
+    check_intra("dup");
+    std::uint64_t base = 0;
+    if (rank_ == 0) base = world_->reserve_contexts(2);
+    base = bcast_value(base, 0);
+    return Comm(world_, base, group_, peer_group_, rank_, inter_);
+}
+
+Comm Comm::create_intercomm(const Comm& parent, std::span<const int> group_a,
+                            std::span<const int> group_b) {
+    parent.check_intra("create_intercomm");
+    std::uint64_t base = 0;
+    if (parent.rank_ == 0) base = parent.world_->reserve_contexts(2);
+    base = parent.bcast_value(base, 0);
+
+    auto to_world = [&](std::span<const int> parent_ranks) {
+        std::vector<int> world_ranks;
+        world_ranks.reserve(parent_ranks.size());
+        for (int pr : parent_ranks) {
+            if (pr < 0 || pr >= parent.size())
+                throw Error("simmpi: create_intercomm rank out of range");
+            world_ranks.push_back(parent.group_[static_cast<std::size_t>(pr)]);
+        }
+        return world_ranks;
+    };
+    std::vector<int> wa = to_world(group_a);
+    std::vector<int> wb = to_world(group_b);
+
+    auto find_in = [&](std::span<const int> parent_ranks) {
+        for (std::size_t i = 0; i < parent_ranks.size(); ++i)
+            if (parent_ranks[i] == parent.rank_) return static_cast<int>(i);
+        return -1;
+    };
+    int ia = find_in(group_a);
+    int ib = find_in(group_b);
+    if (ia >= 0 && ib >= 0)
+        throw Error("simmpi: create_intercomm groups must be disjoint");
+
+    if (ia >= 0) return Comm(parent.world_, base, wa, wb, ia, true);
+    if (ib >= 0) return Comm(parent.world_, base, wb, wa, ib, true);
+    return Comm{}; // not a member of either group
+}
+
+// --- Request -----------------------------------------------------------------
+
+Status Request::wait() {
+    if (!done_) {
+        status_ = comm_.recv(src_, tag_, *out_);
+        done_   = true;
+    }
+    return status_;
+}
+
+bool Request::test(Status* status) {
+    if (!done_) {
+        if (!comm_.iprobe(src_, tag_)) return false;
+        status_ = comm_.recv(src_, tag_, *out_);
+        done_   = true;
+    }
+    if (status) *status = status_;
+    return true;
+}
+
+void wait_all(std::span<Request> requests) {
+    for (auto& r : requests) r.wait();
+}
+
+} // namespace simmpi

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace simmpi {
+
+/// Exception type for all message-passing runtime failures (bad ranks,
+/// mismatched collectives, use of a finalized world, ...).
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+} // namespace simmpi

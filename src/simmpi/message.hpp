@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simmpi {
+
+/// Wildcards accepted by recv/probe in place of a concrete source or tag.
+inline constexpr int any_source = -1;
+inline constexpr int any_tag    = -1;
+
+/// Result of a completed receive or probe: who sent, with what tag, how big.
+struct Status {
+    int         source = -1;   ///< sender's rank in the receiving communicator's peer group
+    int         tag    = -1;
+    std::size_t count  = 0;    ///< payload size in bytes
+};
+
+namespace detail {
+
+/// A message in flight. `context` identifies the communicator (so that
+/// traffic on different communicators can never match each other), `src`
+/// is the sender's rank in the receiver's peer group.
+struct Envelope {
+    std::uint64_t          context = 0;
+    int                    src     = -1;
+    int                    tag     = 0;
+    std::vector<std::byte> payload;
+};
+
+} // namespace detail
+} // namespace simmpi

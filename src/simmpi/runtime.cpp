@@ -1,0 +1,43 @@
+#include "runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simmpi {
+
+void Runtime::run(int world_size, const TaskFn& fn) {
+    run(world_size, [&](Comm& c, int) { fn(c); });
+}
+
+void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn) {
+    if (world_size <= 0) throw Error("simmpi: world size must be positive");
+
+    auto          world = std::make_shared<detail::World>(world_size);
+    std::uint64_t base  = world->reserve_contexts(2);
+
+    std::vector<int> identity(static_cast<std::size_t>(world_size));
+    for (int r = 0; r < world_size; ++r) identity[static_cast<std::size_t>(r)] = r;
+
+    std::mutex         err_mutex;
+    std::exception_ptr first_error;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(world_size));
+    for (int r = 0; r < world_size; ++r) {
+        threads.emplace_back([&, r] {
+            try {
+                Comm comm(world, base, identity, identity, r, false);
+                fn(comm, r);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace simmpi

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "comm.hpp"
+
+#include <functional>
+
+namespace simmpi {
+
+/// Entry point of the message-passing runtime. `run` spawns `world_size`
+/// rank-threads, hands each its world communicator, and joins them all.
+/// This stands in for `mpirun -np N`: every "MPI process" of the paper is
+/// one rank-thread here, exercising identical communication code paths.
+///
+/// Exceptions thrown by any rank are captured; after all ranks finish (or
+/// are unblocked), the first exception is rethrown to the caller.
+class Runtime {
+public:
+    using TaskFn = std::function<void(Comm&)>;
+
+    /// Run `fn` on `world_size` ranks and block until all complete.
+    static void run(int world_size, const TaskFn& fn);
+
+    /// Run with per-rank functions (fn receives the world comm; rank
+    /// selection is up to the callable), same join/exception semantics.
+    static void run(int world_size, const std::function<void(Comm&, int)>& fn);
+};
+
+} // namespace simmpi

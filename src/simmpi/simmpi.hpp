@@ -1,0 +1,11 @@
+#pragma once
+
+/// Umbrella header for the simmpi message-passing runtime: an MPI-like
+/// interface (communicators, tagged point-to-point messaging, collectives,
+/// intercommunicators) backed by rank-threads within one process. It stands
+/// in for real MPI in this reproduction; see DESIGN.md.
+
+#include "error.hpp"   // IWYU pragma: export
+#include "message.hpp" // IWYU pragma: export
+#include "comm.hpp"    // IWYU pragma: export
+#include "runtime.hpp" // IWYU pragma: export

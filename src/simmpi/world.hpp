@@ -1,0 +1,126 @@
+#pragma once
+
+#include "error.hpp"
+#include "message.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace simmpi::detail {
+
+/// Per-rank incoming-message queue. Senders push envelopes; the owning
+/// rank blocks until an envelope matching (context, src, tag) arrives.
+/// Matching scans front-to-back, which preserves MPI's non-overtaking
+/// guarantee per (context, src, tag) stream.
+class Mailbox {
+public:
+    void push(Envelope&& env) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(env));
+        }
+        cv_.notify_all();
+    }
+
+    /// Blocks until a matching envelope is available, removes and returns it.
+    Envelope pop(std::uint64_t context, int src, int tag) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (auto it = find(context, src, tag); it != queue_.end()) {
+                Envelope env = std::move(*it);
+                queue_.erase(it);
+                return env;
+            }
+            cv_.wait(lock);
+        }
+    }
+
+    /// Non-destructive probe; nullopt when no matching envelope is queued.
+    std::optional<Status> probe(std::uint64_t context, int src, int tag) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto it = find(context, src, tag); it != queue_.end())
+            return Status{it->src, it->tag, it->payload.size()};
+        return std::nullopt;
+    }
+
+    /// Blocking probe: waits until a matching envelope is queued.
+    Status probe_wait(std::uint64_t context, int src, int tag) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (auto it = find(context, src, tag); it != queue_.end())
+                return Status{it->src, it->tag, it->payload.size()};
+            cv_.wait(lock);
+        }
+    }
+
+    /// Blocking probe across several contexts (e.g., all the
+    /// intercommunicators a server rank serves): waits until a matching
+    /// envelope arrives on any of them; `which` receives its index.
+    /// Blocks on the condition variable — no spinning.
+    Status probe_wait_any(std::span<const std::uint64_t> contexts, int src, int tag,
+                          std::size_t* which) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            for (std::size_t k = 0; k < contexts.size(); ++k) {
+                if (auto it = find(contexts[k], src, tag); it != queue_.end()) {
+                    if (which) *which = k;
+                    return Status{it->src, it->tag, it->payload.size()};
+                }
+            }
+            cv_.wait(lock);
+        }
+    }
+
+private:
+    std::deque<Envelope>::iterator find(std::uint64_t context, int src, int tag) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->context != context) continue;
+            if (src != any_source && it->src != src) continue;
+            if (tag != any_tag && it->tag != tag) continue;
+            return it;
+        }
+        return queue_.end();
+    }
+
+    std::mutex              mutex_;
+    std::condition_variable cv_;
+    std::deque<Envelope>    queue_;
+};
+
+/// Shared state of one "MPI world": a mailbox per rank plus a counter
+/// used to allocate communicator context ids collectively.
+class World {
+public:
+    explicit World(int size) : mailboxes_(static_cast<std::size_t>(size)) {
+        for (auto& mb : mailboxes_)
+            mb = std::make_unique<Mailbox>();
+    }
+
+    int size() const { return static_cast<int>(mailboxes_.size()); }
+
+    Mailbox& mailbox(int world_rank) {
+        if (world_rank < 0 || world_rank >= size())
+            throw Error("simmpi: world rank " + std::to_string(world_rank) + " out of range");
+        return *mailboxes_[static_cast<std::size_t>(world_rank)];
+    }
+
+    /// Reserve `count` fresh context ids; returns the first. Call from a
+    /// single rank and broadcast the result — context ids must be agreed
+    /// upon by every member of the new communicator.
+    std::uint64_t reserve_contexts(std::uint64_t count) {
+        return next_context_.fetch_add(count, std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    std::atomic<std::uint64_t>            next_context_{1}; // 0 = world communicator
+};
+
+} // namespace simmpi::detail

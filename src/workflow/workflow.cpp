@@ -1,0 +1,85 @@
+#include "workflow.hpp"
+
+#include <h5/native_vol.hpp>
+
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+namespace workflow {
+
+Mode Mode::from_env() {
+    const char* s = std::getenv("L5_MODE");
+    if (!s || std::strcmp(s, "memory") == 0) return in_situ();
+    if (std::strcmp(s, "file") == 0) return file();
+    if (std::strcmp(s, "both") == 0) return both();
+    throw std::runtime_error(std::string("workflow: unknown L5_MODE '") + s
+                             + "' (expected memory|file|both)");
+}
+
+void run(const std::vector<TaskSpec>& tasks, const std::vector<Link>& links,
+         const Options& opts) {
+    if (tasks.empty()) return;
+
+    int total = 0;
+    std::vector<int> first_rank(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        if (tasks[t].nprocs <= 0)
+            throw std::runtime_error("workflow: task '" + tasks[t].name + "' needs nprocs > 0");
+        first_rank[t] = total;
+        total += tasks[t].nprocs;
+    }
+    for (const auto& l : links)
+        if (l.producer < 0 || l.consumer < 0 || l.producer >= static_cast<int>(tasks.size())
+            || l.consumer >= static_cast<int>(tasks.size()) || l.producer == l.consumer)
+            throw std::runtime_error("workflow: bad link");
+
+    simmpi::Runtime::run(total, [&](simmpi::Comm& world) {
+        // which task does this rank belong to?
+        int task_index = 0;
+        while (task_index + 1 < static_cast<int>(tasks.size())
+               && world.rank() >= first_rank[static_cast<std::size_t>(task_index + 1)])
+            ++task_index;
+        const TaskSpec& spec = tasks[static_cast<std::size_t>(task_index)];
+
+        Context ctx;
+        ctx.task_name  = spec.name;
+        ctx.task_index = task_index;
+        ctx.world      = world;
+        ctx.local      = world.split(task_index);
+
+        // one intercommunicator per link, built collectively over the world
+        std::vector<simmpi::Comm> link_comms;
+        link_comms.reserve(links.size());
+        for (const auto& l : links) {
+            std::vector<int> prod(static_cast<std::size_t>(tasks[static_cast<std::size_t>(l.producer)].nprocs));
+            std::iota(prod.begin(), prod.end(), first_rank[static_cast<std::size_t>(l.producer)]);
+            std::vector<int> cons(static_cast<std::size_t>(tasks[static_cast<std::size_t>(l.consumer)].nprocs));
+            std::iota(cons.begin(), cons.end(), first_rank[static_cast<std::size_t>(l.consumer)]);
+            link_comms.push_back(simmpi::Comm::create_intercomm(world, prod, cons));
+        }
+
+        // terminal VOL: collective over the task's ranks (shared-file I/O)
+        h5::VolPtr native;
+        if (opts.mode.passthru) native = std::make_shared<h5::NativeVol>(ctx.local);
+
+        ctx.vol = std::make_shared<lowfive::DistMetadataVol>(ctx.local, native);
+        if (!opts.mode.memory) ctx.vol->clear_memory();
+        if (opts.mode.passthru) ctx.vol->set_passthru("*", "*");
+        for (const auto& z : opts.zerocopy) ctx.vol->set_zerocopy(z.file_pattern, z.dset_pattern);
+        ctx.vol->set_serve_on_close(opts.serve_on_close);
+        ctx.vol->set_serve_in_background(opts.background_serve);
+
+        for (std::size_t i = 0; i < links.size(); ++i) {
+            if (links[i].producer == task_index)
+                ctx.vol->serve_to(link_comms[i], links[i].pattern);
+            if (links[i].consumer == task_index)
+                ctx.vol->consume_from(link_comms[i], links[i].pattern);
+        }
+
+        spec.fn(ctx);
+        ctx.vol->finish_serving(); // drain any background serving
+    });
+}
+
+} // namespace workflow

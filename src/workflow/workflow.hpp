@@ -1,0 +1,72 @@
+#pragma once
+
+#include <lowfive/dist_vol.hpp>
+#include <simmpi/simmpi.hpp>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace workflow {
+
+/// Data transport mode for a run, switchable without touching task code —
+/// the paper's "seamlessly switch between storage and in situ".
+struct Mode {
+    bool memory   = true;  ///< keep data in memory / transport in situ
+    bool passthru = false; ///< write/read physical files through the native VOL
+
+    static Mode in_situ() { return {true, false}; }
+    static Mode file() { return {false, true}; }
+    static Mode both() { return {true, true}; }
+
+    /// Parse `L5_MODE` = "memory" | "file" | "both" (default memory).
+    static Mode from_env();
+};
+
+/// Everything a task body receives: its communicators and a fully wired
+/// LowFive VOL (connections, mode, zero-copy patterns already applied).
+struct Context {
+    std::string                               task_name;
+    int                                       task_index = 0;
+    simmpi::Comm                              world; ///< all ranks of the workflow
+    simmpi::Comm                              local; ///< this task's ranks
+    std::shared_ptr<lowfive::DistMetadataVol> vol;
+
+    int rank() const { return local.rank(); }
+    int size() const { return local.size(); }
+};
+
+/// One task (separate "executable") of the workflow graph.
+struct TaskSpec {
+    std::string                   name;
+    int                           nprocs = 1;
+    std::function<void(Context&)> fn;
+};
+
+/// A producer→consumer edge in the task graph; `pattern` routes files by
+/// name, enabling fan-in and fan-out.
+struct Link {
+    int         producer = 0; ///< index into the task list
+    int         consumer = 1;
+    std::string pattern = "*";
+};
+
+struct Options {
+    Mode                              mode = Mode::from_env();
+    std::vector<lowfive::PatternPair> zerocopy; ///< datasets stored as shallow references
+    bool                              serve_on_close = true;
+    /// Serve consumers from a background thread so producers overlap
+    /// computation with data delivery (the paper's §V-C future work).
+    /// The runner calls finish_serving() after each task body returns.
+    bool background_serve = false;
+};
+
+/// Run a workflow: spawns the sum of all task process counts as ranks,
+/// splits a communicator per task, builds an intercommunicator per link,
+/// and hands each rank its Context. Blocks until every task finishes;
+/// rethrows the first task exception.
+void run(const std::vector<TaskSpec>& tasks, const std::vector<Link>& links,
+         const Options& opts = Options{});
+
+} // namespace workflow

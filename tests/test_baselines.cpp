@@ -1,0 +1,392 @@
+#include <baselines/bredala.hpp>
+#include <baselines/dataspaces.hpp>
+#include <baselines/pure_mpi.hpp>
+
+#include <diy/decomposer.hpp>
+#include <simmpi/simmpi.hpp>
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using simmpi::Comm;
+using simmpi::Runtime;
+
+namespace {
+
+diy::Bounds domain2(std::int64_t rows, std::int64_t cols) {
+    diy::Bounds d(2);
+    d.max = {rows, cols};
+    return d;
+}
+
+/// Build the world for an n-producer / m-consumer pair plus an optional
+/// server task, and run the role functions.
+void run_pair(int n, int m, const std::function<void(Comm&, Comm&)>& producer,
+              const std::function<void(Comm&, Comm&)>& consumer) {
+    Runtime::run(n + m, [&](Comm& world) {
+        const bool       is_prod = world.rank() < n;
+        Comm             local   = world.split(is_prod ? 0 : 1);
+        std::vector<int> prod(static_cast<std::size_t>(n)), cons(static_cast<std::size_t>(m));
+        std::iota(prod.begin(), prod.end(), 0);
+        std::iota(cons.begin(), cons.end(), n);
+        Comm ic = Comm::create_intercomm(world, prod, cons);
+        if (is_prod)
+            producer(local, ic);
+        else
+            consumer(local, ic);
+    });
+}
+
+} // namespace
+
+// --- pure MPI ---------------------------------------------------------------
+
+TEST(PureMpi, RowToColumnRedistribution) {
+    constexpr std::int64_t rows = 24, cols = 24;
+    constexpr int          n = 6, m = 4;
+    const diy::Bounds      dom = domain2(rows, cols);
+
+    diy::RegularDecomposer pdec(dom, n);
+    auto                   cons_bounds = [&](int r) {
+        diy::Bounds b(2);
+        b.min = {0, cols * r / m};
+        b.max = {rows, cols * (r + 1) / m};
+        return b;
+    };
+    auto prod_bounds = [&](int r) { return pdec.block_bounds(r); };
+
+    run_pair(
+        n, m,
+        [&](Comm& local, Comm& ic) {
+            diy::Bounds                mine = pdec.block_bounds(local.rank());
+            std::vector<std::uint64_t> data(mine.size());
+            std::size_t                k = 0;
+            for (auto r = mine.min[0]; r < mine.max[0]; ++r)
+                for (auto c = mine.min[1]; c < mine.max[1]; ++c)
+                    data[k++] = static_cast<std::uint64_t>(r * cols + c);
+            baselines::pure_mpi::producer_send(ic, mine, data.data(), 8, cons_bounds, m);
+        },
+        [&](Comm& local, Comm& ic) {
+            diy::Bounds                mine = cons_bounds(local.rank());
+            std::vector<std::uint64_t> out(mine.size(), ~0ull);
+            baselines::pure_mpi::consumer_recv(ic, mine, out.data(), 8, prod_bounds, n);
+            std::size_t k = 0;
+            for (auto r = mine.min[0]; r < mine.max[0]; ++r)
+                for (auto c = mine.min[1]; c < mine.max[1]; ++c, ++k)
+                    ASSERT_EQ(out[k], static_cast<std::uint64_t>(r * cols + c));
+        });
+}
+
+TEST(PureMpi, OneDimensionalChunks) {
+    constexpr std::int64_t total = 1000;
+    constexpr int          n = 3, m = 5;
+
+    auto chunk = [&](int r, int nr) {
+        diy::Bounds b(1);
+        b.min[0] = total * r / nr;
+        b.max[0] = total * (r + 1) / nr;
+        return b;
+    };
+
+    run_pair(
+        n, m,
+        [&](Comm& local, Comm& ic) {
+            auto                      mine = chunk(local.rank(), n);
+            std::vector<std::int32_t> data(mine.size());
+            std::iota(data.begin(), data.end(), static_cast<std::int32_t>(mine.min[0]));
+            baselines::pure_mpi::producer_send(ic, mine, data.data(), 4,
+                                               [&](int r) { return chunk(r, m); }, m);
+        },
+        [&](Comm& local, Comm& ic) {
+            auto                      mine = chunk(local.rank(), m);
+            std::vector<std::int32_t> out(mine.size());
+            baselines::pure_mpi::consumer_recv(ic, mine, out.data(), 4,
+                                               [&](int r) { return chunk(r, n); }, n);
+            for (std::size_t i = 0; i < out.size(); ++i)
+                ASSERT_EQ(out[i], static_cast<std::int32_t>(mine.min[0]) + static_cast<std::int32_t>(i));
+        });
+}
+
+// --- DataSpaces -----------------------------------------------------------------
+
+namespace ds = baselines::dataspaces;
+
+TEST(DataSpaces, PutLocalGetRedistributes) {
+    constexpr std::int64_t rows = 16, cols = 16;
+    constexpr int          n = 4, m = 2, s = 1;
+    const diy::Bounds      dom = domain2(rows, cols);
+    diy::RegularDecomposer pdec(dom, n);
+
+    Runtime::run(n + m + s, [&](Comm& world) {
+        enum Role { Prod, Cons, Serv };
+        Role role = world.rank() < n ? Prod : (world.rank() < n + m ? Cons : Serv);
+        Comm local = world.split(role);
+
+        std::vector<int> prod(n), cons(m), serv(s);
+        std::iota(prod.begin(), prod.end(), 0);
+        std::iota(cons.begin(), cons.end(), n);
+        std::iota(serv.begin(), serv.end(), n + m);
+        Comm prod_serv = Comm::create_intercomm(world, prod, serv);
+        Comm cons_serv = Comm::create_intercomm(world, cons, serv);
+        Comm prod_cons = Comm::create_intercomm(world, prod, cons);
+
+        if (role == Serv) {
+            // from the server's perspective the client intercomms are the
+            // reversed halves of prod_serv / cons_serv
+            ds::Server::run(prod_serv, cons_serv);
+        } else if (role == Prod) {
+            ds::ProducerClient client(prod_serv, prod_cons);
+            diy::Bounds        mine = pdec.block_bounds(local.rank());
+            std::vector<std::uint64_t> data(mine.size());
+            std::size_t                k = 0;
+            for (auto r = mine.min[0]; r < mine.max[0]; ++r)
+                for (auto c = mine.min[1]; c < mine.max[1]; ++c)
+                    data[k++] = static_cast<std::uint64_t>(r * cols + c);
+            client.put_local("grid", 0, mine, data.data(), 8);
+            client.serve_pulls();
+            client.finalize();
+        } else {
+            ds::ConsumerClient client(cons_serv, prod_cons);
+            diy::Bounds        mine(2);
+            mine.min = {0, cols * local.rank() / m};
+            mine.max = {rows, cols * (local.rank() + 1) / m};
+            std::vector<std::uint64_t> out(mine.size(), ~0ull);
+            client.get("grid", 0, n, mine, out.data(), 8);
+            std::size_t k = 0;
+            for (auto r = mine.min[0]; r < mine.max[0]; ++r)
+                for (auto c = mine.min[1]; c < mine.max[1]; ++c, ++k)
+                    ASSERT_EQ(out[k], static_cast<std::uint64_t>(r * cols + c));
+            client.done();
+            client.finalize();
+        }
+    });
+}
+
+TEST(DataSpaces, QueryBlocksUntilVersionComplete) {
+    // consumer issues its get before the producer has registered: the
+    // server must defer the reply until all parts arrived
+    Runtime::run(3, [&](Comm& world) {
+        enum Role { Prod, Cons, Serv };
+        Role             role  = static_cast<Role>(world.rank());
+        Comm             local = world.split(role);
+        std::vector<int> prod{0}, cons{1}, serv{2};
+        Comm             prod_serv = Comm::create_intercomm(world, prod, serv);
+        Comm             cons_serv = Comm::create_intercomm(world, cons, serv);
+        Comm             prod_cons = Comm::create_intercomm(world, prod, cons);
+
+        diy::Bounds whole(1);
+        whole.max[0] = 64;
+
+        if (role == Serv) {
+            ds::Server::run(prod_serv, cons_serv);
+        } else if (role == Prod) {
+            // deliberately slow producer
+            world.recv_value<int>(1, 77); // wait for the consumer's signal
+            std::vector<float> data(64);
+            std::iota(data.begin(), data.end(), 0.f);
+            ds::ProducerClient client(prod_serv, prod_cons);
+            client.put_local("v", 3, whole, data.data(), 4);
+            client.serve_pulls();
+            client.finalize();
+        } else {
+            ds::ConsumerClient client(cons_serv, prod_cons);
+            world.send_value(0, 77, 1); // unleash the producer *after* we query
+            std::vector<float> out(64);
+            client.get("v", 3, 1, whole, out.data(), 4);
+            EXPECT_EQ(out[63], 63.f);
+            client.done();
+            client.finalize();
+        }
+    });
+}
+
+TEST(DataSpaces, MultipleVersions) {
+    Runtime::run(3, [&](Comm& world) {
+        enum Role { Prod, Cons, Serv };
+        Role             role  = static_cast<Role>(world.rank());
+        Comm             local = world.split(role);
+        std::vector<int> prod{0}, cons{1}, serv{2};
+        Comm             prod_serv = Comm::create_intercomm(world, prod, serv);
+        Comm             cons_serv = Comm::create_intercomm(world, cons, serv);
+        Comm             prod_cons = Comm::create_intercomm(world, prod, cons);
+
+        diy::Bounds whole(1);
+        whole.max[0] = 8;
+
+        if (role == Serv) {
+            ds::Server::run(prod_serv, cons_serv);
+        } else if (role == Prod) {
+            ds::ProducerClient  client(prod_serv, prod_cons);
+            std::vector<std::vector<std::int32_t>> kept;
+            for (int v = 0; v < 3; ++v) {
+                kept.emplace_back(8, v * 10);
+                client.put_local("x", v, whole, kept.back().data(), 4);
+            }
+            client.serve_pulls();
+            client.finalize();
+        } else {
+            ds::ConsumerClient client(cons_serv, prod_cons);
+            for (int v = 2; v >= 0; --v) { // read versions out of order
+                std::vector<std::int32_t> out(8);
+                client.get("x", v, 1, whole, out.data(), 4);
+                EXPECT_EQ(out[5], v * 10);
+            }
+            client.done();
+            client.finalize();
+        }
+    });
+}
+
+// --- Bredala -----------------------------------------------------------------
+
+namespace br = baselines::bredala;
+
+TEST(Bredala, ContiguousPolicyRedistributesList) {
+    constexpr int           n = 3, m = 4;
+    constexpr std::uint64_t per_prod = 100, total = per_prod * n;
+
+    run_pair(
+        n, m,
+        [&](Comm& local, Comm& ic) {
+            br::Container c;
+            br::Field     f;
+            f.name         = "particles";
+            f.policy       = br::RedistPolicy::Contiguous;
+            f.elem         = sizeof(float) * 3;
+            f.global_count = total;
+            f.offset       = per_prod * static_cast<std::uint64_t>(local.rank());
+            f.data.resize(per_prod * f.elem);
+            auto* p = reinterpret_cast<float*>(f.data.data());
+            for (std::uint64_t i = 0; i < per_prod; ++i) {
+                auto gid     = static_cast<float>(f.offset + i);
+                p[i * 3]     = gid;
+                p[i * 3 + 1] = gid + 0.5f;
+                p[i * 3 + 2] = gid + 0.75f;
+            }
+            c.append(std::move(f));
+            br::redistribute_producer(c, local, ic);
+        },
+        [&](Comm& local, Comm& ic) {
+            br::Container c;
+            br::Field     f;
+            f.name         = "particles";
+            f.policy       = br::RedistPolicy::Contiguous;
+            f.elem         = sizeof(float) * 3;
+            f.global_count = total;
+            c.append(std::move(f));
+            br::redistribute_consumer(c, local, ic);
+
+            const auto& rf = *c.find("particles");
+            auto        lo = total * static_cast<std::uint64_t>(local.rank()) / m;
+            auto        hi = total * static_cast<std::uint64_t>(local.rank() + 1) / m;
+            EXPECT_EQ(rf.offset, lo);
+            EXPECT_EQ(rf.count(), hi - lo);
+            const auto* p = reinterpret_cast<const float*>(rf.data.data());
+            for (std::uint64_t i = 0; i < hi - lo; ++i) {
+                ASSERT_EQ(p[i * 3], static_cast<float>(lo + i));
+                ASSERT_EQ(p[i * 3 + 2], static_cast<float>(lo + i) + 0.75f);
+            }
+        });
+}
+
+TEST(Bredala, BBoxPolicyRedistributesGrid) {
+    constexpr int          n = 4, m = 3;
+    constexpr std::int64_t rows = 18, cols = 12;
+    const diy::Bounds      dom = domain2(rows, cols);
+    diy::RegularDecomposer pdec(dom, n);
+
+    run_pair(
+        n, m,
+        [&](Comm& local, Comm& ic) {
+            br::Container c;
+            br::Field     f;
+            f.name   = "grid";
+            f.policy = br::RedistPolicy::BBox;
+            f.elem   = 8;
+            f.domain = dom;
+            f.bounds = pdec.block_bounds(local.rank());
+            f.data.resize(f.bounds.size() * 8);
+            auto*       v = reinterpret_cast<std::uint64_t*>(f.data.data());
+            std::size_t k = 0;
+            for (auto r = f.bounds.min[0]; r < f.bounds.max[0]; ++r)
+                for (auto cc = f.bounds.min[1]; cc < f.bounds.max[1]; ++cc)
+                    v[k++] = static_cast<std::uint64_t>(r * cols + cc);
+            c.append(std::move(f));
+            br::redistribute_producer(c, local, ic);
+        },
+        [&](Comm& local, Comm& ic) {
+            br::Container c;
+            br::Field     f;
+            f.name   = "grid";
+            f.policy = br::RedistPolicy::BBox;
+            f.elem   = 8;
+            f.domain = dom;
+            c.append(std::move(f));
+            br::redistribute_consumer(c, local, ic);
+
+            const auto& rf = *c.find("grid");
+            diy::RegularDecomposer cdec(dom, m);
+            EXPECT_EQ(rf.bounds, cdec.block_bounds(local.rank()));
+            const auto* v = reinterpret_cast<const std::uint64_t*>(rf.data.data());
+            std::size_t k = 0;
+            for (auto r = rf.bounds.min[0]; r < rf.bounds.max[0]; ++r)
+                for (auto cc = rf.bounds.min[1]; cc < rf.bounds.max[1]; ++cc, ++k)
+                    ASSERT_EQ(v[k], static_cast<std::uint64_t>(r * cols + cc));
+        });
+}
+
+TEST(Bredala, MixedContainerWithPerFieldTiming) {
+    constexpr int n = 2, m = 2;
+    const diy::Bounds dom = domain2(8, 8);
+    diy::RegularDecomposer pdec(dom, n);
+
+    run_pair(
+        n, m,
+        [&](Comm& local, Comm& ic) {
+            br::Container c;
+            br::Field     grid;
+            grid.name   = "grid";
+            grid.policy = br::RedistPolicy::BBox;
+            grid.elem   = 8;
+            grid.domain = dom;
+            grid.bounds = pdec.block_bounds(local.rank());
+            grid.data.assign(grid.bounds.size() * 8, std::byte{1});
+            c.append(std::move(grid));
+
+            br::Field parts;
+            parts.name         = "particles";
+            parts.policy       = br::RedistPolicy::Contiguous;
+            parts.elem         = 12;
+            parts.global_count = 20;
+            parts.offset       = static_cast<std::uint64_t>(local.rank()) * 10;
+            parts.data.assign(10 * 12, std::byte{2});
+            c.append(std::move(parts));
+
+            std::map<std::string, double> times;
+            br::redistribute_producer(c, local, ic, &times);
+            EXPECT_TRUE(times.count("grid"));
+            EXPECT_TRUE(times.count("particles"));
+        },
+        [&](Comm& local, Comm& ic) {
+            br::Container c;
+            br::Field     grid;
+            grid.name   = "grid";
+            grid.policy = br::RedistPolicy::BBox;
+            grid.elem   = 8;
+            grid.domain = dom;
+            c.append(std::move(grid));
+            br::Field parts;
+            parts.name         = "particles";
+            parts.policy       = br::RedistPolicy::Contiguous;
+            parts.elem         = 12;
+            parts.global_count = 20;
+            c.append(std::move(parts));
+
+            std::map<std::string, double> times;
+            br::redistribute_consumer(c, local, ic, &times);
+            EXPECT_EQ(times.size(), 2u);
+            EXPECT_EQ(c.find("grid")->data.size(), c.find("grid")->bounds.size() * 8);
+            EXPECT_EQ(c.find("particles")->count(), 10u);
+        });
+}

@@ -1,0 +1,142 @@
+/// HDF5-style automatic type conversion: atomic widening/narrowing,
+/// int<->float, and name-matched compound conversion, plus the read_as<>
+/// convenience on datasets (including through the distributed path).
+
+#include <lowfive/lowfive.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+using namespace h5;
+
+TEST(Convert, IdentityIsMemcpy) {
+    std::vector<std::int32_t> src{1, -2, 3}, dst(3);
+    convert_values(dt::int32(), src.data(), dt::int32(), dst.data(), 3);
+    EXPECT_EQ(src, dst);
+}
+
+TEST(Convert, IntegerWidening) {
+    std::vector<std::int8_t>  src{-5, 100, 0};
+    std::vector<std::int64_t> dst(3);
+    convert_values(dt::int8(), src.data(), dt::int64(), dst.data(), 3);
+    EXPECT_EQ(dst, (std::vector<std::int64_t>{-5, 100, 0}));
+}
+
+TEST(Convert, IntegerNarrowingTruncates) {
+    std::vector<std::int32_t> src{300, -1};
+    std::vector<std::int8_t>  dst(2);
+    convert_values(dt::int32(), src.data(), dt::int8(), dst.data(), 2);
+    EXPECT_EQ(dst[0], static_cast<std::int8_t>(300)); // C narrowing semantics
+    EXPECT_EQ(dst[1], -1);
+}
+
+TEST(Convert, UnsignedSignedRoundtrip) {
+    std::vector<std::uint16_t> src{65535, 7};
+    std::vector<std::int32_t>  dst(2);
+    convert_values(dt::uint16(), src.data(), dt::int32(), dst.data(), 2);
+    EXPECT_EQ(dst, (std::vector<std::int32_t>{65535, 7}));
+}
+
+TEST(Convert, FloatToDoubleAndBack) {
+    std::vector<float>  src{1.5f, -2.25f};
+    std::vector<double> mid(2);
+    convert_values(dt::float32(), src.data(), dt::float64(), mid.data(), 2);
+    EXPECT_EQ(mid, (std::vector<double>{1.5, -2.25}));
+    std::vector<float> back(2);
+    convert_values(dt::float64(), mid.data(), dt::float32(), back.data(), 2);
+    EXPECT_EQ(back, src);
+}
+
+TEST(Convert, IntToFloat) {
+    std::vector<std::uint64_t> src{42, 1000000};
+    std::vector<float>         dst(2);
+    convert_values(dt::uint64(), src.data(), dt::float32(), dst.data(), 2);
+    EXPECT_EQ(dst[0], 42.f);
+    EXPECT_EQ(dst[1], 1000000.f);
+}
+
+TEST(Convert, FloatToIntTruncates) {
+    std::vector<double>       src{3.9, -2.1};
+    std::vector<std::int32_t> dst(2);
+    convert_values(dt::float64(), src.data(), dt::int32(), dst.data(), 2);
+    EXPECT_EQ(dst, (std::vector<std::int32_t>{3, -2}));
+}
+
+TEST(Convert, CompoundByName) {
+    struct SrcRec {
+        float        x;
+        std::int32_t id;
+    };
+    struct DstRec {
+        double        x;
+        std::uint64_t id;
+        float         extra; // not in the source: zero-filled
+    };
+    Datatype src_t = Datatype::compound(sizeof(SrcRec))
+                         .insert("x", offsetof(SrcRec, x), dt::float32())
+                         .insert("id", offsetof(SrcRec, id), dt::int32());
+    Datatype dst_t = Datatype::compound(sizeof(DstRec))
+                         .insert("x", offsetof(DstRec, x), dt::float64())
+                         .insert("id", offsetof(DstRec, id), dt::uint64())
+                         .insert("extra", offsetof(DstRec, extra), dt::float32());
+
+    std::vector<SrcRec> src{{1.5f, 7}, {2.5f, 8}};
+    std::vector<DstRec> dst(2);
+    convert_values(src_t, src.data(), dst_t, dst.data(), 2);
+    EXPECT_EQ(dst[0].x, 1.5);
+    EXPECT_EQ(dst[0].id, 7u);
+    EXPECT_EQ(dst[0].extra, 0.f);
+    EXPECT_EQ(dst[1].id, 8u);
+}
+
+TEST(Convert, MismatchedClassesRejected) {
+    Datatype comp = Datatype::compound(4).insert("a", 0, dt::int32());
+    EXPECT_FALSE(convertible(comp, dt::int32()));
+    EXPECT_FALSE(convertible(dt::int32(), comp));
+    std::int32_t v = 0;
+    EXPECT_THROW(convert_values(comp, &v, dt::int32(), &v, 1), Error);
+}
+
+TEST(Convert, ReadAsThroughMetadataVol) {
+    auto vol = std::make_shared<lowfive::MetadataVol>();
+    File f   = File::create("conv.h5", vol);
+    auto d   = f.create_dataset("v", dt::uint32(), Dataspace({4}));
+    std::vector<std::uint32_t> raw{10, 20, 30, 40};
+    d.write(raw.data());
+
+    auto as_double = d.read_as<double>();
+    EXPECT_EQ(as_double, (std::vector<double>{10, 20, 30, 40}));
+    auto as_i8 = d.read_as<std::int8_t>();
+    EXPECT_EQ(as_i8[3], 40);
+}
+
+TEST(Convert, ReadAsAcrossTasks) {
+    workflow::run(
+        {
+            {"producer", 2,
+             [](workflow::Context& ctx) {
+                 File f = File::create("conv_dist.h5", ctx.vol);
+                 auto d = f.create_dataset("v", dt::float32(), Dataspace({8}));
+                 Dataspace   sel({8});
+                 diy::Bounds b(1);
+                 b.min[0] = ctx.rank() * 4;
+                 b.max[0] = ctx.rank() * 4 + 4;
+                 sel.select_box(b);
+                 std::vector<float> v(4);
+                 for (int i = 0; i < 4; ++i)
+                     v[static_cast<std::size_t>(i)] = static_cast<float>(ctx.rank() * 4 + i) + 0.75f;
+                 d.write(v.data(), sel);
+                 f.close();
+             }},
+            {"consumer", 1,
+             [](workflow::Context& ctx) {
+                 File f = File::open("conv_dist.h5", ctx.vol);
+                 // the consumer wants doubles although floats were stored
+                 auto v = f.open_dataset("v").read_as<double>();
+                 for (int i = 0; i < 8; ++i)
+                     ASSERT_EQ(v[static_cast<std::size_t>(i)], static_cast<double>(i) + 0.75);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+}

@@ -1,0 +1,462 @@
+#include <lowfive/lowfive.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+using namespace h5;
+using workflow::Context;
+using workflow::Link;
+using workflow::Options;
+using workflow::TaskSpec;
+
+namespace {
+
+/// Producer writes a 2-d grid decomposed row-wise among its ranks; values
+/// encode global position so the consumer can validate redistribution
+/// (the paper's validation scheme, §IV-B).
+void write_grid(Context& ctx, const std::string& fname, std::uint64_t rows, std::uint64_t cols) {
+    File f = File::create(fname, ctx.vol);
+    auto g = f.create_group("group1");
+    auto d = g.create_dataset("grid", dt::uint64(), Dataspace({rows, cols}));
+
+    diy::Bounds domain(2);
+    domain.max            = {static_cast<std::int64_t>(rows), static_cast<std::int64_t>(cols)};
+    diy::RegularDecomposer dec(domain, ctx.size());
+    diy::Bounds            mine = dec.block_bounds(ctx.rank());
+
+    Dataspace sel({rows, cols});
+    sel.select_box(mine);
+    std::vector<std::uint64_t> vals(sel.npoints());
+    std::size_t                k = 0;
+    for (auto r = mine.min[0]; r < mine.max[0]; ++r)
+        for (auto c = mine.min[1]; c < mine.max[1]; ++c)
+            vals[k++] = static_cast<std::uint64_t>(r) * cols + static_cast<std::uint64_t>(c);
+    d.write(vals.data(), sel);
+    f.close(); // indexes + serves until all consumer ranks are done
+}
+
+/// Consumer reads the grid column-wise (a different decomposition) and
+/// validates every value.
+void read_grid_colwise(Context& ctx, const std::string& fname, std::uint64_t rows,
+                       std::uint64_t cols) {
+    File f = File::open(fname, ctx.vol);
+    auto d = f.open_dataset("group1/grid");
+    EXPECT_EQ(d.space().dims(), (Extent{rows, cols}));
+    EXPECT_EQ(d.type(), dt::uint64());
+
+    diy::Bounds domain(2);
+    domain.max = {static_cast<std::int64_t>(rows), static_cast<std::int64_t>(cols)};
+    // transpose-flavoured decomposition: split columns among consumer ranks
+    auto          c0 = cols * static_cast<std::uint64_t>(ctx.rank()) / static_cast<std::uint64_t>(ctx.size());
+    auto          c1 = cols * static_cast<std::uint64_t>(ctx.rank() + 1) / static_cast<std::uint64_t>(ctx.size());
+    diy::Bounds   mine(2);
+    mine.min = {0, static_cast<std::int64_t>(c0)};
+    mine.max = {static_cast<std::int64_t>(rows), static_cast<std::int64_t>(c1)};
+
+    Dataspace sel({rows, cols});
+    sel.select_box(mine);
+    auto vals = d.read_vector<std::uint64_t>(sel);
+
+    std::size_t k = 0;
+    for (auto r = mine.min[0]; r < mine.max[0]; ++r)
+        for (auto c = mine.min[1]; c < mine.max[1]; ++c, ++k)
+            ASSERT_EQ(vals[k], static_cast<std::uint64_t>(r) * cols + static_cast<std::uint64_t>(c))
+                << "rank " << ctx.rank() << " at (" << r << "," << c << ")";
+    f.close(); // sends done to the producers
+}
+
+void run_n_to_m(int n, int m, std::uint64_t rows, std::uint64_t cols,
+                Options opts = Options{.mode = workflow::Mode::in_situ(), .zerocopy = {}, .serve_on_close = true}) {
+    workflow::run(
+        {
+            {"producer", n, [&](Context& ctx) { write_grid(ctx, "grid.h5", rows, cols); }},
+            {"consumer", m, [&](Context& ctx) { read_grid_colwise(ctx, "grid.h5", rows, cols); }},
+        },
+        {Link{0, 1, "*"}}, opts);
+}
+
+} // namespace
+
+TEST(DistVol, OneToOne) { run_n_to_m(1, 1, 16, 16); }
+TEST(DistVol, FanOutProcesses) { run_n_to_m(1, 4, 16, 16); }
+TEST(DistVol, FanInProcesses) { run_n_to_m(4, 1, 16, 16); }
+TEST(DistVol, PaperShape6to4) { run_n_to_m(6, 4, 24, 24); }
+TEST(DistVol, MoreConsumersThanProducers) { run_n_to_m(3, 8, 32, 32); }
+TEST(DistVol, CoprimeCounts) { run_n_to_m(5, 7, 33, 29); }
+
+struct NmParam {
+    int n, m;
+};
+
+class DistVolSweep : public ::testing::TestWithParam<NmParam> {};
+
+TEST_P(DistVolSweep, RedistributesCorrectly) {
+    run_n_to_m(GetParam().n, GetParam().m, 20, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(NxM, DistVolSweep,
+                         ::testing::Values(NmParam{1, 2}, NmParam{2, 1}, NmParam{2, 2},
+                                           NmParam{2, 3}, NmParam{3, 2}, NmParam{4, 4},
+                                           NmParam{6, 2}, NmParam{2, 6}, NmParam{8, 3},
+                                           NmParam{7, 5}),
+                         [](const auto& info) {
+                             return std::to_string(info.param.n) + "to" + std::to_string(info.param.m);
+                         });
+
+TEST(DistVol, ZeroCopyProducer) {
+    Options opts;
+    opts.mode     = workflow::Mode::in_situ();
+    opts.zerocopy = {{"*", "*"}};
+    run_n_to_m(3, 2, 16, 16, opts);
+}
+
+TEST(DistVol, ThreeDimensionalGrid) {
+    workflow::run(
+        {
+            {"producer", 4,
+             [&](Context& ctx) {
+                 File f = File::create("cube.h5", ctx.vol);
+                 auto d = f.create_dataset("v", dt::uint64(), Dataspace({8, 8, 8}));
+
+                 diy::Bounds domain(3);
+                 domain.max = {8, 8, 8};
+                 diy::RegularDecomposer dec(domain, ctx.size());
+                 auto                   mine = dec.block_bounds(ctx.rank());
+                 Dataspace              sel({8, 8, 8});
+                 sel.select_box(mine);
+                 std::vector<std::uint64_t> vals(sel.npoints());
+                 std::size_t                k = 0;
+                 for (auto x = mine.min[0]; x < mine.max[0]; ++x)
+                     for (auto y = mine.min[1]; y < mine.max[1]; ++y)
+                         for (auto z = mine.min[2]; z < mine.max[2]; ++z)
+                             vals[k++] = static_cast<std::uint64_t>((x * 8 + y) * 8 + z);
+                 d.write(vals.data(), sel);
+                 f.close();
+             }},
+            {"consumer", 2,
+             [&](Context& ctx) {
+                 File f = File::open("cube.h5", ctx.vol);
+                 auto d = f.open_dataset("v");
+                 // read z-slabs
+                 diy::Bounds mine(3);
+                 mine.min = {0, 0, ctx.rank() * 4};
+                 mine.max = {8, 8, ctx.rank() * 4 + 4};
+                 Dataspace sel({8, 8, 8});
+                 sel.select_box(mine);
+                 auto vals = d.read_vector<std::uint64_t>(sel);
+                 std::size_t k = 0;
+                 for (auto x = mine.min[0]; x < mine.max[0]; ++x)
+                     for (auto y = mine.min[1]; y < mine.max[1]; ++y)
+                         for (auto z = mine.min[2]; z < mine.max[2]; ++z, ++k)
+                             ASSERT_EQ(vals[k], static_cast<std::uint64_t>((x * 8 + y) * 8 + z));
+                 f.close();
+             }},
+        },
+        {Link{0, 1, "*"}});
+}
+
+TEST(DistVol, OneDimensionalParticles) {
+    // particles as a 1-d compound-typed dataset with contiguous blocks
+    struct P {
+        float x, y, z;
+    };
+    const std::uint64_t per_rank = 1000;
+    Datatype            ptype    = Datatype::compound(sizeof(P))
+                           .insert("x", 0, dt::float32())
+                           .insert("y", 4, dt::float32())
+                           .insert("z", 8, dt::float32());
+
+    workflow::run(
+        {
+            {"producer", 3,
+             [&](Context& ctx) {
+                 const std::uint64_t total = per_rank * 3;
+                 File                f     = File::create("parts.h5", ctx.vol);
+                 auto                d     = f.create_dataset("p", ptype, Dataspace({total}));
+                 std::vector<P>      mine(per_rank);
+                 for (std::uint64_t i = 0; i < per_rank; ++i) {
+                     auto gid  = static_cast<float>(ctx.rank() * per_rank + i);
+                     mine[i] = {gid, gid + 0.25f, gid + 0.5f};
+                 }
+                 Dataspace   sel({total});
+                 diy::Bounds b(1);
+                 b.min[0] = ctx.rank() * static_cast<std::int64_t>(per_rank);
+                 b.max[0] = (ctx.rank() + 1) * static_cast<std::int64_t>(per_rank);
+                 sel.select_box(b);
+                 d.write(mine.data(), sel);
+                 f.close();
+             }},
+            {"consumer", 2,
+             [&](Context& ctx) {
+                 const std::uint64_t total = per_rank * 3;
+                 File                f     = File::open("parts.h5", ctx.vol);
+                 auto                d     = f.open_dataset("p");
+                 auto lo = total * static_cast<std::uint64_t>(ctx.rank()) / 2;
+                 auto hi = total * static_cast<std::uint64_t>(ctx.rank() + 1) / 2;
+                 Dataspace   sel({total});
+                 diy::Bounds b(1);
+                 b.min[0] = static_cast<std::int64_t>(lo);
+                 b.max[0] = static_cast<std::int64_t>(hi);
+                 sel.select_box(b);
+                 auto vals = d.read_vector<P>(sel);
+                 for (std::uint64_t i = 0; i < hi - lo; ++i) {
+                     ASSERT_EQ(vals[i].x, static_cast<float>(lo + i));
+                     ASSERT_EQ(vals[i].z, static_cast<float>(lo + i) + 0.5f);
+                 }
+                 f.close();
+             }},
+        },
+        {Link{0, 1, "*"}});
+}
+
+TEST(DistVol, MultipleDatasetsOneFile) {
+    // the paper's synthetic workload: one file, a grid and a particle list
+    workflow::run(
+        {
+            {"producer", 3,
+             [&](Context& ctx) {
+                 File f = File::create("two.h5", ctx.vol);
+                 auto g1 = f.create_group("group1");
+                 auto g2 = f.create_group("group2");
+                 auto dg = g1.create_dataset("grid", dt::uint64(), Dataspace({12, 12}));
+                 auto dp = g2.create_dataset("particles", dt::float32(), Dataspace({30, 3}));
+
+                 diy::Bounds domain(2);
+                 domain.max = {12, 12};
+                 diy::RegularDecomposer dec(domain, 3);
+                 auto                   mine = dec.block_bounds(ctx.rank());
+                 Dataspace              gsel({12, 12});
+                 gsel.select_box(mine);
+                 std::vector<std::uint64_t> gv(gsel.npoints());
+                 std::size_t                k = 0;
+                 for (auto r = mine.min[0]; r < mine.max[0]; ++r)
+                     for (auto c = mine.min[1]; c < mine.max[1]; ++c)
+                         gv[k++] = static_cast<std::uint64_t>(r * 12 + c);
+                 dg.write(gv.data(), gsel);
+
+                 Dataspace   psel({30, 3});
+                 diy::Bounds pb(2);
+                 pb.min = {ctx.rank() * 10, 0};
+                 pb.max = {(ctx.rank() + 1) * 10, 3};
+                 psel.select_box(pb);
+                 std::vector<float> pv(30);
+                 for (int i = 0; i < 10; ++i)
+                     for (int c = 0; c < 3; ++c)
+                         pv[static_cast<std::size_t>(i * 3 + c)] =
+                             static_cast<float>((ctx.rank() * 10 + i) * 3 + c);
+                 dp.write(pv.data(), psel);
+                 f.close();
+             }},
+            {"consumer", 1,
+             [&](Context& ctx) {
+                 File f = File::open("two.h5", ctx.vol);
+                 EXPECT_EQ(f.children(), (std::vector<std::string>{"group1", "group2"}));
+                 auto gv = f.open_dataset("group1/grid").read_vector<std::uint64_t>();
+                 for (std::uint64_t i = 0; i < 144; ++i) ASSERT_EQ(gv[i], i);
+                 auto pv = f.open_dataset("group2/particles").read_vector<float>();
+                 for (std::uint64_t i = 0; i < 90; ++i) ASSERT_EQ(pv[i], static_cast<float>(i));
+                 f.close();
+             }},
+        },
+        {Link{0, 1, "*"}});
+}
+
+TEST(DistVol, MultipleTimestepFiles) {
+    // lock-step rounds over separately named files (Nyx-style snapshots)
+    constexpr int steps = 3;
+    workflow::run(
+        {
+            {"sim", 2,
+             [&](Context& ctx) {
+                 for (int s = 0; s < steps; ++s) {
+                     std::string name = "ts" + std::to_string(s) + ".h5";
+                     File        f    = File::create(name, ctx.vol);
+                     auto d = f.create_dataset("v", dt::int32(), Dataspace({8}));
+                     Dataspace   sel({8});
+                     diy::Bounds b(1);
+                     b.min[0] = ctx.rank() * 4;
+                     b.max[0] = ctx.rank() * 4 + 4;
+                     sel.select_box(b);
+                     std::vector<std::int32_t> v(4);
+                     for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] = s * 100 + ctx.rank() * 4 + i;
+                     d.write(v.data(), sel);
+                     f.close();
+                     ctx.vol->drop_file(name); // free the served snapshot
+                 }
+             }},
+            {"ana", 3,
+             [&](Context& ctx) {
+                 for (int s = 0; s < steps; ++s) {
+                     std::string name = "ts" + std::to_string(s) + ".h5";
+                     File        f    = File::open(name, ctx.vol);
+                     auto        v    = f.open_dataset("v").read_vector<std::int32_t>();
+                     for (int i = 0; i < 8; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], s * 100 + i);
+                     f.close();
+                 }
+             }},
+        },
+        {Link{0, 1, "*"}});
+}
+
+TEST(DistVol, FanInFanOutTasks) {
+    // 2 producer tasks, 2 consumer tasks; both consumers read both files
+    auto producer = [](const std::string& fname, int base) {
+        return [fname, base](Context& ctx) {
+            File f = File::create(fname, ctx.vol);
+            auto d = f.create_dataset("v", dt::int32(), Dataspace({6}));
+            Dataspace   sel({6});
+            diy::Bounds b(1);
+            b.min[0] = ctx.rank() * 3;
+            b.max[0] = ctx.rank() * 3 + 3;
+            sel.select_box(b);
+            std::vector<std::int32_t> v(3);
+            for (int i = 0; i < 3; ++i) v[static_cast<std::size_t>(i)] = base + ctx.rank() * 3 + i;
+            d.write(v.data(), sel);
+            f.close();
+        };
+    };
+    auto consumer = [](Context& ctx) {
+        for (const auto& [fname, base] : {std::pair{std::string("fa.h5"), 100},
+                                          std::pair{std::string("fb.h5"), 200}}) {
+            File f = File::open(fname, ctx.vol);
+            auto v = f.open_dataset("v").read_vector<std::int32_t>();
+            for (int i = 0; i < 6; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], base + i);
+            f.close();
+        }
+    };
+
+    workflow::run(
+        {
+            {"prodA", 2, producer("fa.h5", 100)},
+            {"prodB", 2, producer("fb.h5", 200)},
+            {"consX", 2, consumer},
+            {"consY", 1, consumer},
+        },
+        {
+            Link{0, 2, "fa.h5"},
+            Link{0, 3, "fa.h5"},
+            Link{1, 2, "fb.h5"},
+            Link{1, 3, "fb.h5"},
+        });
+}
+
+TEST(DistVol, PipelineThreeStages) {
+    // A -> B -> C: the middle task consumes from A and produces for C
+    workflow::run(
+        {
+            {"A", 2,
+             [](Context& ctx) {
+                 File f = File::create("stage_a.h5", ctx.vol);
+                 auto d = f.create_dataset("v", dt::int32(), Dataspace({8}));
+                 Dataspace   sel({8});
+                 diy::Bounds b(1);
+                 b.min[0] = ctx.rank() * 4;
+                 b.max[0] = ctx.rank() * 4 + 4;
+                 sel.select_box(b);
+                 std::vector<std::int32_t> v(4);
+                 for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] = ctx.rank() * 4 + i;
+                 d.write(v.data(), sel);
+                 f.close();
+             }},
+            {"B", 2,
+             [](Context& ctx) {
+                 std::vector<std::int32_t> v;
+                 {
+                     File f = File::open("stage_a.h5", ctx.vol);
+                     v      = f.open_dataset("v").read_vector<std::int32_t>();
+                     f.close();
+                 }
+                 for (auto& x : v) x *= 10; // transform
+                 {
+                     File f = File::create("stage_b.h5", ctx.vol);
+                     auto d = f.create_dataset("v", dt::int32(), Dataspace({8}));
+                     Dataspace   sel({8});
+                     diy::Bounds b(1);
+                     b.min[0] = ctx.rank() * 4;
+                     b.max[0] = ctx.rank() * 4 + 4;
+                     sel.select_box(b);
+                     d.write(v.data() + ctx.rank() * 4, sel);
+                     f.close();
+                 }
+             }},
+            {"C", 1,
+             [](Context& ctx) {
+                 File f = File::open("stage_b.h5", ctx.vol);
+                 auto v = f.open_dataset("v").read_vector<std::int32_t>();
+                 for (int i = 0; i < 8; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i * 10);
+                 f.close();
+             }},
+        },
+        {Link{0, 1, "stage_a.h5"}, Link{1, 2, "stage_b.h5"}});
+}
+
+TEST(DistVol, ConsumerReadsSubsetOnly) {
+    // only one dataset of several is read: the others are never transported
+    workflow::run(
+        {
+            {"producer", 2,
+             [](Context& ctx) {
+                 File f = File::create("subset.h5", ctx.vol);
+                 for (int v = 0; v < 4; ++v) {
+                     auto d = f.create_dataset("var" + std::to_string(v), dt::int32(),
+                                               Dataspace({4}));
+                     if (ctx.rank() == 0) {
+                         std::vector<std::int32_t> data{v, v, v, v};
+                         d.write(data.data());
+                     }
+                 }
+                 f.close();
+                 auto& st = ctx.vol->stats();
+                 // at most one dataset's worth of payload was served
+                 EXPECT_LT(st.bytes_served, 4u * 4 * sizeof(std::int32_t));
+             }},
+            {"consumer", 2,
+             [](Context& ctx) {
+                 File f = File::open("subset.h5", ctx.vol);
+                 auto v = f.open_dataset("var2").read_vector<std::int32_t>();
+                 for (auto x : v) ASSERT_EQ(x, 2);
+                 f.close();
+             }},
+        },
+        {Link{0, 1, "*"}});
+}
+
+TEST(DistVol, FileModeThroughPhysicalStorage) {
+    PfsModel::instance().configure(0, 0);
+    auto tmp = std::filesystem::temp_directory_path() / "l5_dist_filemode.h5";
+    std::filesystem::remove(tmp);
+
+    Options opts;
+    opts.mode = workflow::Mode::file();
+    workflow::run(
+        {
+            {"producer", 3,
+             [&](Context& ctx) {
+                 File f = File::create(tmp.string(), ctx.vol);
+                 auto d = f.create_dataset("v", dt::int32(), Dataspace({9}));
+                 Dataspace   sel({9});
+                 diy::Bounds b(1);
+                 b.min[0] = ctx.rank() * 3;
+                 b.max[0] = ctx.rank() * 3 + 3;
+                 sel.select_box(b);
+                 std::vector<std::int32_t> v(3);
+                 for (int i = 0; i < 3; ++i) v[static_cast<std::size_t>(i)] = ctx.rank() * 3 + i;
+                 d.write(v.data(), sel);
+                 f.close();
+             }},
+            {"consumer", 2,
+             [&](Context& ctx) {
+                 File f = File::open(tmp.string(), ctx.vol);
+                 auto v = f.open_dataset("v").read_vector<std::int32_t>();
+                 for (int i = 0; i < 9; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+                 f.close();
+             }},
+        },
+        {Link{0, 1, "*"}}, opts);
+
+    EXPECT_TRUE(std::filesystem::exists(tmp));
+    std::filesystem::remove(tmp);
+}

@@ -1,0 +1,99 @@
+/// On-disk format robustness: corrupted and truncated files must fail
+/// with clean errors, never crashes or silent garbage.
+
+#include <h5/h5.hpp>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace h5;
+
+namespace {
+
+class FormatTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        PfsModel::instance().configure(0, 0, 0);
+        path_ = (std::filesystem::temp_directory_path() / "fmt_robust.mh5").string();
+        std::filesystem::remove(path_);
+
+        auto vol = std::make_shared<NativeVol>();
+        File f   = File::create(path_, vol);
+        auto d   = f.create_dataset("d", dt::uint64(), Dataspace({64}));
+        std::vector<std::uint64_t> v(64, 7);
+        d.write(v.data());
+        f.write_attribute("a", 1);
+    }
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    void truncate_to(std::uintmax_t size) { std::filesystem::resize_file(path_, size); }
+
+    std::uintmax_t file_size() const { return std::filesystem::file_size(path_); }
+
+    void corrupt_at(std::uintmax_t offset, unsigned char byte) {
+        std::fstream s(path_, std::ios::in | std::ios::out | std::ios::binary);
+        s.seekp(static_cast<std::streamoff>(offset));
+        s.put(static_cast<char>(byte));
+    }
+
+    std::string path_;
+};
+
+} // namespace
+
+TEST_F(FormatTest, IntactFileReads) {
+    auto vol = std::make_shared<NativeVol>();
+    File f   = File::open(path_, vol);
+    EXPECT_EQ(f.open_dataset("d").read_vector<std::uint64_t>()[63], 7u);
+    f.close();
+}
+
+TEST_F(FormatTest, TruncatedToHeaderFails) {
+    truncate_to(28); // just the header: metadata gone
+    auto vol = std::make_shared<NativeVol>();
+    EXPECT_THROW(File::open(path_, vol), Error);
+}
+
+TEST_F(FormatTest, TruncatedBelowHeaderFails) {
+    truncate_to(10);
+    auto vol = std::make_shared<NativeVol>();
+    EXPECT_THROW(File::open(path_, vol), Error);
+}
+
+TEST_F(FormatTest, EmptyFileFails) {
+    truncate_to(0);
+    auto vol = std::make_shared<NativeVol>();
+    EXPECT_THROW(File::open(path_, vol), Error);
+}
+
+TEST_F(FormatTest, BadMagicFails) {
+    corrupt_at(0, 'X');
+    auto vol = std::make_shared<NativeVol>();
+    EXPECT_THROW(File::open(path_, vol), Error);
+}
+
+TEST_F(FormatTest, BadVersionFails) {
+    corrupt_at(8, 0xEE);
+    auto vol = std::make_shared<NativeVol>();
+    EXPECT_THROW(File::open(path_, vol), Error);
+}
+
+TEST_F(FormatTest, TruncatedDataRegionFailsOnRead) {
+    // keep the header readable but cut into the payload: the open may
+    // succeed (metadata lives at the end... so cutting the tail removes
+    // metadata first). Cut just one byte: metadata blob truncated.
+    truncate_to(file_size() - 1);
+    auto vol = std::make_shared<NativeVol>();
+    EXPECT_THROW(File::open(path_, vol), Error);
+}
+
+TEST_F(FormatTest, GarbageMetadataOffsetFails) {
+    // metadata offset points far past EOF
+    corrupt_at(12, 0xFF);
+    corrupt_at(13, 0xFF);
+    corrupt_at(14, 0xFF);
+    auto vol = std::make_shared<NativeVol>();
+    EXPECT_THROW(File::open(path_, vol), Error);
+}

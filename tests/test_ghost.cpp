@@ -1,0 +1,195 @@
+/// GhostField: face-ghost exchange over a regular block decomposition
+/// with periodic wrap — the halo-exchange substrate of MiniNyx's Poisson
+/// solver.
+
+#include <apps/nyx/nyx.hpp>
+#include <diy/ghost.hpp>
+#include <simmpi/simmpi.hpp>
+
+#include <gtest/gtest.h>
+
+using namespace diy;
+
+namespace {
+
+Bounds cube(std::int64_t n) {
+    Bounds d(3);
+    d.max = {n, n, n};
+    return d;
+}
+
+/// Fill a field with a function of global coordinates.
+template <typename Fn>
+void fill_with(GhostField& f, Fn&& fn) {
+    const auto& b = f.block();
+    for (auto x = b.min[0]; x < b.max[0]; ++x)
+        for (auto y = b.min[1]; y < b.max[1]; ++y)
+            for (auto z = b.min[2]; z < b.max[2]; ++z) f.at(x, y, z) = fn(x, y, z);
+}
+
+double expected(std::int64_t n, std::int64_t x, std::int64_t y, std::int64_t z) {
+    auto w = [n](std::int64_t v) { return ((v % n) + n) % n; };
+    return static_cast<double>((w(x) * n + w(y)) * n + w(z));
+}
+
+void check_ghosts(const GhostField& f, std::int64_t n) {
+    const auto& b = f.block();
+    // all six one-cell face slabs of the margin must hold the periodic
+    // neighbor values (corners/edges are not exchanged)
+    for (int axis = 0; axis < 3; ++axis)
+        for (int side = 0; side < 2; ++side) {
+            Bounds face = b;
+            auto   u    = static_cast<std::size_t>(axis);
+            if (side == 0) {
+                face.min[u] = b.min[u] - 1;
+                face.max[u] = b.min[u];
+            } else {
+                face.min[u] = b.max[u];
+                face.max[u] = b.max[u] + 1;
+            }
+            for (auto x = face.min[0]; x < face.max[0]; ++x)
+                for (auto y = face.min[1]; y < face.max[1]; ++y)
+                    for (auto z = face.min[2]; z < face.max[2]; ++z)
+                        ASSERT_EQ(f.at(x, y, z), expected(n, x, y, z))
+                            << "axis " << axis << " side " << side << " at (" << x << "," << y
+                            << "," << z << ")";
+        }
+}
+
+void run_exchange_test(int nranks, std::int64_t n) {
+    simmpi::Runtime::run(nranks, [&](simmpi::Comm& c) {
+        RegularDecomposer dec(cube(n), c.size());
+        GhostField        f(dec, c);
+        fill_with(f, [&](auto x, auto y, auto z) { return expected(n, x, y, z); });
+        f.exchange();
+        check_ghosts(f, n);
+    });
+}
+
+} // namespace
+
+TEST(GhostField, SingleRankPeriodicSelfWrap) { run_exchange_test(1, 6); }
+TEST(GhostField, TwoRanks) { run_exchange_test(2, 8); }
+TEST(GhostField, FourRanks) { run_exchange_test(4, 8); }
+TEST(GhostField, EightRanksCube) { run_exchange_test(8, 8); }
+TEST(GhostField, TwelveRanksUneven) { run_exchange_test(12, 10); }
+TEST(GhostField, PrimeRankCount) { run_exchange_test(7, 9); }
+
+TEST(GhostField, RepeatedExchangesStayConsistent) {
+    simmpi::Runtime::run(4, [&](simmpi::Comm& c) {
+        RegularDecomposer dec(cube(8), c.size());
+        GhostField        f(dec, c);
+        for (int round = 0; round < 5; ++round) {
+            fill_with(f, [&](auto x, auto y, auto z) {
+                return expected(8, x, y, z) + round * 1000;
+            });
+            f.exchange();
+            const auto& b = f.block();
+            // spot-check one low-x ghost cell each round
+            EXPECT_EQ(f.at(b.min[0] - 1, b.min[1], b.min[2]),
+                      expected(8, b.min[0] - 1, b.min[1], b.min[2]) + round * 1000);
+        }
+    });
+}
+
+TEST(GhostField, LoadInteriorMatchesRowMajor) {
+    simmpi::Runtime::run(2, [&](simmpi::Comm& c) {
+        RegularDecomposer dec(cube(4), c.size());
+        GhostField        f(dec, c);
+        const auto&       b = f.block();
+        std::vector<double> interior(b.size());
+        for (std::size_t i = 0; i < interior.size(); ++i) interior[i] = static_cast<double>(i);
+        f.load_interior(interior);
+        std::size_t k = 0;
+        for (auto x = b.min[0]; x < b.max[0]; ++x)
+            for (auto y = b.min[1]; y < b.max[1]; ++y)
+                for (auto z = b.min[2]; z < b.max[2]; ++z)
+                    ASSERT_EQ(f.at(x, y, z), static_cast<double>(k++));
+    });
+}
+
+TEST(GhostField, RejectsBadConfigs) {
+    simmpi::Runtime::run(2, [&](simmpi::Comm& c) {
+        RegularDecomposer dec3(cube(4), 3); // 3 blocks != 2 ranks
+        EXPECT_THROW(GhostField(dec3, c), std::invalid_argument);
+
+        Bounds dom2(2);
+        dom2.max = {4, 4};
+        RegularDecomposer dec2(dom2, 2);
+        EXPECT_THROW(GhostField(dec2, c), std::invalid_argument);
+
+        RegularDecomposer dec(cube(4), 2);
+        GhostField        f(dec, c);
+        EXPECT_THROW(f.load_interior(std::vector<double>(3)), std::invalid_argument);
+    });
+}
+
+TEST(GhostField, JacobiConvergesTowardHarmonicMean) {
+    // Jacobi sweeps of laplacian(phi)=0 with periodic ghosts must damp a
+    // delta perturbation toward the (conserved) mean — a smoke test that
+    // the exchange and stencil compose correctly in parallel
+    simmpi::Runtime::run(4, [&](simmpi::Comm& c) {
+        constexpr std::int64_t n = 8;
+        RegularDecomposer      dec(cube(n), c.size());
+        GhostField             phi(dec, c), next(dec, c);
+        phi.fill(0.0);
+        if (phi.block().contains({4, 4, 4})) phi.at(4, 4, 4) = 1.0;
+
+        for (int it = 0; it < 50; ++it) {
+            phi.exchange();
+            const auto& b = phi.block();
+            for (auto x = b.min[0]; x < b.max[0]; ++x)
+                for (auto y = b.min[1]; y < b.max[1]; ++y)
+                    for (auto z = b.min[2]; z < b.max[2]; ++z)
+                        next.at(x, y, z) = (phi.at(x - 1, y, z) + phi.at(x + 1, y, z)
+                                            + phi.at(x, y - 1, z) + phi.at(x, y + 1, z)
+                                            + phi.at(x, y, z - 1) + phi.at(x, y, z + 1))
+                                           / 6.0;
+            phi.swap(next);
+        }
+
+        // the field must have smoothed out: every cell close to the mean
+        const double mean = 1.0 / (n * n * n);
+        const auto&  b    = phi.block();
+        double       local_max_dev = 0;
+        for (auto x = b.min[0]; x < b.max[0]; ++x)
+            for (auto y = b.min[1]; y < b.max[1]; ++y)
+                for (auto z = b.min[2]; z < b.max[2]; ++z)
+                    local_max_dev = std::max(local_max_dev, std::abs(phi.at(x, y, z) - mean));
+        double max_dev = c.allreduce(local_max_dev, [](double a, double b2) { return std::max(a, b2); });
+        EXPECT_LT(max_dev, 0.01);
+
+        // and Jacobi of the Laplace equation conserves the total
+        double local_sum = 0;
+        for (auto x = b.min[0]; x < b.max[0]; ++x)
+            for (auto y = b.min[1]; y < b.max[1]; ++y)
+                for (auto z = b.min[2]; z < b.max[2]; ++z) local_sum += phi.at(x, y, z);
+        EXPECT_NEAR(c.allreduce(local_sum), 1.0, 1e-9);
+    });
+}
+
+TEST(MiniNyxGravity, PoissonGravityClustersParticles) {
+    // with the Poisson solve on, self-gravity must increase density
+    // contrast over time (variance of the density field grows)
+    simmpi::Runtime::run(4, [&](simmpi::Comm& c) {
+        nyx::Config cfg;
+        cfg.grid_size          = 16;
+        cfg.particles_per_rank = 4096;
+        cfg.poisson_iters      = 10;
+        cfg.gravity            = 0.3;
+        cfg.dt                 = 0.2;
+        nyx::Simulation sim(c, cfg);
+
+        auto variance = [&] {
+            double s = 0;
+            for (double d : sim.density()) s += (d - 1.0) * (d - 1.0);
+            return c.allreduce(s);
+        };
+        double v0 = variance();
+        for (int s = 0; s < 8; ++s) sim.step();
+        double v1 = variance();
+        if (c.rank() == 0) { EXPECT_GT(v1, v0 * 1.05) << "v0=" << v0 << " v1=" << v1; }
+        // and mass stays conserved through the solver-driven dynamics
+        EXPECT_NEAR(sim.total_mass(), 16.0 * 16 * 16, 1e-6);
+    });
+}

@@ -1,0 +1,150 @@
+/// Merge tree / persistence pairs of superlevel sets — Reeber's deeper
+/// halo analysis (prominence-ranked density peaks) on crafted fields
+/// with known answers.
+
+#include <apps/reeber/merge_tree.hpp>
+
+#include <diy/decomposer.hpp>
+#include <simmpi/simmpi.hpp>
+
+#include <gtest/gtest.h>
+
+using reeber::MergeTree;
+
+namespace {
+
+std::vector<double> flat_field(std::int64_t n, double v = 0.0) {
+    return std::vector<double>(static_cast<std::size_t>(n * n * n), v);
+}
+
+double& at(std::vector<double>& f, std::int64_t n, std::int64_t x, std::int64_t y, std::int64_t z) {
+    return f[static_cast<std::size_t>((x * n + y) * n + z)];
+}
+
+} // namespace
+
+TEST(MergeTree, SinglePeak) {
+    const std::int64_t n = 6;
+    auto               f = flat_field(n, 1.0);
+    at(f, n, 3, 3, 3) = 9.0;
+
+    auto tree = MergeTree::build(n, f, 0.5);
+    ASSERT_EQ(tree.pairs().size(), 1u); // one maximum, dies at the floor
+    EXPECT_EQ(tree.pairs()[0].birth, 9.0);
+    EXPECT_EQ(tree.pairs()[0].death, 0.5);
+    EXPECT_EQ(tree.pairs()[0].peak_vertex, static_cast<std::uint64_t>((3 * n + 3) * n + 3));
+}
+
+TEST(MergeTree, TwoPeaksMergeAtSaddle) {
+    // two towers of heights 9 and 6, connected through a ridge of height 3
+    // in a background of 1: the lower peak must die at the ridge value
+    const std::int64_t n = 8;
+    auto               f = flat_field(n, 1.0);
+    at(f, n, 2, 2, 2) = 9.0;
+    at(f, n, 5, 2, 2) = 6.0;
+    at(f, n, 3, 2, 2) = 3.0; // the ridge connecting them
+    at(f, n, 4, 2, 2) = 3.0;
+
+    auto tree = MergeTree::build(n, f, 0.5);
+    ASSERT_EQ(tree.pairs().size(), 2u);
+    // most prominent first: the global maximum (9, dies at floor)
+    EXPECT_EQ(tree.pairs()[0].birth, 9.0);
+    EXPECT_EQ(tree.pairs()[0].death, 0.5);
+    // the secondary peak dies where the ridge joins the components
+    EXPECT_EQ(tree.pairs()[1].birth, 6.0);
+    EXPECT_EQ(tree.pairs()[1].death, 3.0);
+    EXPECT_EQ(tree.pairs()[1].prominence(), 3.0);
+}
+
+TEST(MergeTree, FloorHidesLowPeaks) {
+    const std::int64_t n = 6;
+    auto               f = flat_field(n, 0.0);
+    at(f, n, 1, 1, 1) = 5.0;
+    at(f, n, 4, 4, 4) = 0.4; // below the floor: never seen
+
+    auto tree = MergeTree::build(n, f, 1.0);
+    ASSERT_EQ(tree.pairs().size(), 1u);
+    EXPECT_EQ(tree.pairs()[0].birth, 5.0);
+}
+
+TEST(MergeTree, PersistenceSimplificationCounts) {
+    // three peaks: 10 (prominence 9.5 to floor), 7 (merges at 2 ->
+    // prominence 5), 3 (merges at 2 -> prominence 1)
+    const std::int64_t n = 10;
+    auto               f = flat_field(n, 2.0); // everything connected at 2
+    at(f, n, 1, 1, 1) = 10.0;
+    at(f, n, 5, 5, 5) = 7.0;
+    at(f, n, 8, 8, 8) = 3.0;
+
+    auto tree = MergeTree::build(n, f, 0.5);
+    ASSERT_EQ(tree.pairs().size(), 3u);
+    EXPECT_EQ(tree.count_features(0.0), 3u);
+    EXPECT_EQ(tree.count_features(2.0), 2u); // drops the prominence-1 bump
+    EXPECT_EQ(tree.count_features(6.0), 1u); // only the global max remains
+    EXPECT_EQ(tree.count_features(100.0), 0u);
+}
+
+TEST(MergeTree, PlateauHandledBySimulationOfSimplicity) {
+    // a flat plateau at the top must produce exactly one maximum
+    const std::int64_t n = 6;
+    auto               f = flat_field(n, 1.0);
+    for (std::int64_t x = 2; x < 4; ++x)
+        for (std::int64_t y = 2; y < 4; ++y) at(f, n, x, y, 3) = 5.0;
+
+    auto tree = MergeTree::build(n, f, 0.5);
+    ASSERT_EQ(tree.pairs().size(), 1u);
+    EXPECT_EQ(tree.pairs()[0].birth, 5.0);
+}
+
+TEST(MergeTree, SizeMismatchThrows) {
+    EXPECT_THROW(MergeTree::build(4, std::vector<double>(10), 0.0), std::invalid_argument);
+}
+
+TEST(MergeTree, DistributedGatherMatchesSerial) {
+    const std::int64_t n = 12;
+    // deterministic bumpy field
+    auto full = flat_field(n, 1.0);
+    at(full, n, 2, 3, 4) = 8.0;
+    at(full, n, 9, 9, 2) = 6.0;
+    at(full, n, 5, 5, 5) = 4.0;
+    at(full, n, 5, 5, 6) = 2.5; // ridge from (5,5,5) toward nothing special
+
+    auto serial = MergeTree::build(n, full, 0.5);
+
+    simmpi::Runtime::run(4, [&](simmpi::Comm& c) {
+        diy::Bounds domain(3);
+        domain.max = {n, n, n};
+        diy::RegularDecomposer dec(domain, c.size());
+        auto                   block = dec.block_bounds(c.rank());
+        std::vector<double>    mine(block.size());
+        std::size_t            k = 0;
+        for (auto x = block.min[0]; x < block.max[0]; ++x)
+            for (auto y = block.min[1]; y < block.max[1]; ++y)
+                for (auto z = block.min[2]; z < block.max[2]; ++z)
+                    mine[k++] = full[static_cast<std::size_t>((x * n + y) * n + z)];
+
+        auto pairs = reeber::distributed_persistence(c, n, mine, 0.5);
+        ASSERT_EQ(pairs.size(), serial.pairs().size());
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            EXPECT_EQ(pairs[i].peak_vertex, serial.pairs()[i].peak_vertex);
+            EXPECT_EQ(pairs[i].birth, serial.pairs()[i].birth);
+            EXPECT_EQ(pairs[i].death, serial.pairs()[i].death);
+        }
+    });
+}
+
+TEST(MergeTree, AgreesWithConnectedComponentsAtThreshold) {
+    // features with prominence above (threshold - floor) at floor ==
+    // threshold must match the number of threshold components for
+    // well-separated peaks
+    const std::int64_t n = 10;
+    auto               f = flat_field(n, 0.0);
+    at(f, n, 1, 1, 1) = 9.0;
+    at(f, n, 5, 5, 5) = 7.0;
+    at(f, n, 8, 8, 8) = 5.0;
+
+    auto tree = MergeTree::build(n, f, 4.0);
+    // all three peaks exceed 4.0 and are isolated above it
+    EXPECT_EQ(tree.pairs().size(), 3u);
+    EXPECT_EQ(tree.count_features(0.0), 3u);
+}

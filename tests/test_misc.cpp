@@ -1,0 +1,201 @@
+/// Odds and ends: nonblocking request semantics, probe_any, File handle
+/// move semantics, multi-server DataSpaces sharding, plotfile error
+/// paths, and the PFS open-latency charge.
+
+#include <baselines/dataspaces.hpp>
+#include <apps/nyx/plotfile.hpp>
+#include <lowfive/lowfive.hpp>
+#include <simmpi/simmpi.hpp>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+using namespace simmpi;
+
+TEST(Requests, TestPollsUntilArrival) {
+    Runtime::run(2, [](Comm& c) {
+        if (c.rank() == 0) {
+            c.barrier();
+            c.send_value(1, 3, 42);
+        } else {
+            std::vector<std::byte> buf;
+            Request                req = c.irecv(0, 3, buf);
+            EXPECT_FALSE(req.test());
+            c.barrier();
+            Status st;
+            while (!req.test(&st)) {}
+            EXPECT_EQ(st.count, sizeof(int));
+            EXPECT_TRUE(req.done());
+        }
+    });
+}
+
+TEST(Requests, WaitAllCompletesBatch) {
+    Runtime::run(3, [](Comm& c) {
+        if (c.rank() == 0) {
+            std::vector<std::vector<std::byte>> bufs(2);
+            std::vector<Request>                reqs;
+            reqs.push_back(c.irecv(1, 9, bufs[0]));
+            reqs.push_back(c.irecv(2, 9, bufs[1]));
+            wait_all(reqs);
+            EXPECT_EQ(bufs[0].size(), sizeof(int));
+            EXPECT_EQ(bufs[1].size(), sizeof(int));
+        } else {
+            int v = c.rank() * 5;
+            c.send(0, 9, &v, sizeof(v));
+        }
+    });
+}
+
+TEST(ProbeAny, SelectsTheRightCommunicator) {
+    Runtime::run(4, [](Comm& c) {
+        // two intercomms from {0} to {1} and {2,3}... simpler: split into
+        // two subcomms sharing rank 0's mailbox is not possible; instead
+        // use two intercomms with rank 0 in the local group of both
+        std::vector<int> a{0}, b{1}, d{2};
+        Comm             ab = Comm::create_intercomm(c, a, b);
+        Comm             ad = Comm::create_intercomm(c, a, d);
+        if (c.rank() == 0) {
+            std::array<const Comm*, 2> comms{&ab, &ad};
+            for (int round = 0; round < 2; ++round) {
+                std::size_t which = 99;
+                auto        st    = Comm::probe_any(comms, any_source, 5, &which);
+                ASSERT_LT(which, 2u);
+                auto v = (which == 0 ? ab : ad).recv_value<int>(st.source, 5);
+                EXPECT_EQ(v, which == 0 ? 100 : 200);
+            }
+        } else if (c.rank() == 1) {
+            ab.send_value(0, 5, 100);
+        } else if (c.rank() == 2) {
+            ad.send_value(0, 5, 200);
+        }
+    });
+}
+
+TEST(ProbeAny, RejectsMismatchedMailboxes) {
+    Runtime::run(2, [](Comm& c) {
+        Comm dup = c.dup();
+        // both are valid for this rank: fine
+        std::array<const Comm*, 2> ok{&c, &dup};
+        if (c.rank() == 0) c.send_value(0, 1, 5); // self-send so probe returns
+        if (c.rank() == 0) {
+            std::size_t which = 0;
+            Comm::probe_any(ok, any_source, 1, &which);
+            EXPECT_EQ(which, 0u);
+            (void)c.recv_value<int>(0, 1);
+        }
+        EXPECT_THROW(Comm::probe_any({}, any_source, 1, nullptr), Error);
+    });
+}
+
+TEST(FileHandle, MoveSemantics) {
+    auto     vol = std::make_shared<lowfive::MetadataVol>();
+    h5::File a   = h5::File::create("move1.h5", vol);
+    a.create_group("g");
+    h5::File b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_TRUE(b.exists("g"));
+
+    h5::File c2;
+    c2 = std::move(b);
+    EXPECT_TRUE(c2.exists("g"));
+    c2.close();
+    EXPECT_FALSE(c2.valid());
+    c2.close(); // double close is a no-op
+}
+
+TEST(DataSpacesSharding, MultipleServersRouteConsistently) {
+    namespace ds = baselines::dataspaces;
+    // 2 producers, 1 consumer, 3 servers; several named arrays spread
+    // across shards
+    Runtime::run(6, [](Comm& world) {
+        enum Role { Prod, Cons, Serv };
+        Role role = world.rank() < 2 ? Prod : world.rank() < 3 ? Cons : Serv;
+        Comm local = world.split(role);
+
+        std::vector<int> prod{0, 1}, cons{2}, serv{3, 4, 5};
+        Comm             prod_serv = Comm::create_intercomm(world, prod, serv);
+        Comm             cons_serv = Comm::create_intercomm(world, cons, serv);
+        Comm             prod_cons = Comm::create_intercomm(world, prod, cons);
+
+        const std::vector<std::string> names{"alpha", "beta", "gamma", "delta"};
+
+        if (role == Serv) {
+            ds::Server::run(prod_serv, cons_serv);
+        } else if (role == Prod) {
+            ds::ProducerClient client(prod_serv, prod_cons);
+            std::vector<std::vector<std::int32_t>> kept;
+            for (std::size_t k = 0; k < names.size(); ++k) {
+                diy::Bounds b(1);
+                b.min[0] = local.rank() * 8;
+                b.max[0] = local.rank() * 8 + 8;
+                kept.emplace_back(8);
+                for (int i = 0; i < 8; ++i)
+                    kept.back()[static_cast<std::size_t>(i)] =
+                        static_cast<std::int32_t>(k * 100 + static_cast<std::size_t>(local.rank() * 8 + i));
+                client.put_local(names[k], 0, b, kept.back().data(), 4);
+            }
+            client.serve_pulls();
+            client.finalize();
+        } else {
+            ds::ConsumerClient client(cons_serv, prod_cons);
+            for (std::size_t k = 0; k < names.size(); ++k) {
+                diy::Bounds whole(1);
+                whole.max[0] = 16;
+                std::vector<std::int32_t> out(16);
+                client.get(names[k], 0, 2, whole, out.data(), 4);
+                for (int i = 0; i < 16; ++i)
+                    ASSERT_EQ(out[static_cast<std::size_t>(i)],
+                              static_cast<std::int32_t>(k * 100 + static_cast<std::size_t>(i)))
+                        << names[k];
+            }
+            client.done();
+            client.finalize();
+        }
+    });
+}
+
+TEST(Plotfile, MissingDirectoryThrows) {
+    EXPECT_THROW(nyx::PlotfileReader("/nonexistent/plotfile_dir"), h5::Error);
+}
+
+TEST(Plotfile, CorruptHeaderThrows) {
+    auto dir = std::filesystem::temp_directory_path() / "bad_plotfile";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream out(dir / "Header");
+        out << "NotAPlotfile\n";
+    }
+    EXPECT_THROW(nyx::PlotfileReader(dir.string()), h5::Error);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(PfsModelLatency, OpenChargesConfiguredLatency) {
+    auto& pfs = h5::PfsModel::instance();
+    pfs.configure(0, 20, 0); // 20 ms opens
+    auto t0 = std::chrono::steady_clock::now();
+    pfs.charge_open();
+    auto dt = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0);
+    EXPECT_GE(dt.count(), 15.0);
+    pfs.configure(0, 0, 0);
+}
+
+TEST(DatatypeStr, DescribesTypes) {
+    EXPECT_EQ(h5::dt::uint64().str(), "uint64");
+    EXPECT_EQ(h5::dt::float32().str(), "float32");
+    auto comp = h5::Datatype::compound(8)
+                    .insert("a", 0, h5::dt::int16())
+                    .insert("b", 2, h5::dt::float32());
+    EXPECT_EQ(comp.str(), "compound64{a:int16,b:float32}");
+
+    h5::Dataspace sp({3, 4});
+    EXPECT_EQ(sp.str(), "extent(3x4) all");
+    diy::Bounds b(2);
+    b.max = {2, 2};
+    sp.select_box(b);
+    EXPECT_EQ(sp.str(), "extent(3x4) sel{[0:2, 0:2)}");
+}

@@ -1,0 +1,385 @@
+/// Property-style parameterized tests: invariants of the selection
+/// algebra, the decomposer, and — most importantly — the index–serve–
+/// query protocol under *irregular* producer decompositions (random
+/// recursive partitions, multiple write pieces per rank, random consumer
+/// queries), which is the full generality the paper claims.
+
+#include <lowfive/lowfive.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace h5;
+
+namespace {
+
+diy::Bounds box2(std::int64_t x0, std::int64_t x1, std::int64_t y0, std::int64_t y1) {
+    diy::Bounds b(2);
+    b.min = {x0, y0};
+    b.max = {x1, y1};
+    return b;
+}
+
+/// Recursively split `domain` into random disjoint boxes.
+void random_partition(std::mt19937& rng, const diy::Bounds& domain, int depth,
+                      std::vector<diy::Bounds>& out) {
+    bool can_split = false;
+    for (int i = 0; i < domain.dim; ++i)
+        if (domain.max[static_cast<std::size_t>(i)] - domain.min[static_cast<std::size_t>(i)] >= 2)
+            can_split = true;
+    if (depth == 0 || !can_split) {
+        out.push_back(domain);
+        return;
+    }
+    // pick a splittable axis
+    int axis;
+    do {
+        axis = static_cast<int>(rng() % static_cast<unsigned>(domain.dim));
+    } while (domain.max[static_cast<std::size_t>(axis)] - domain.min[static_cast<std::size_t>(axis)] < 2);
+    auto u   = static_cast<std::size_t>(axis);
+    auto lo  = domain.min[u] + 1;
+    auto hi  = domain.max[u];
+    auto cut = lo + static_cast<std::int64_t>(rng() % static_cast<unsigned>(hi - lo));
+
+    diy::Bounds left = domain, right = domain;
+    left.max[u]  = cut;
+    right.min[u] = cut;
+    random_partition(rng, left, depth - 1, out);
+    random_partition(rng, right, depth - 1, out);
+}
+
+std::uint64_t grid_value(const Extent& dims, std::int64_t x, std::int64_t y) {
+    return static_cast<std::uint64_t>(x) * dims[1] + static_cast<std::uint64_t>(y);
+}
+
+} // namespace
+
+// --- selection algebra invariants ------------------------------------------------
+
+class SelectionProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SelectionProperty, PackUnpackIsIdentityOnSelection) {
+    std::mt19937 rng(GetParam());
+    Extent       dims{8 + rng() % 20, 8 + rng() % 20};
+    Dataspace    sp(dims);
+    sp.select_none();
+    std::vector<diy::Bounds> boxes;
+    diy::Bounds              domain(2);
+    domain.max = {static_cast<std::int64_t>(dims[0]), static_cast<std::int64_t>(dims[1])};
+    random_partition(rng, domain, 3, boxes);
+    // select a random subset of the partition (disjoint by construction)
+    std::vector<diy::Bounds> chosen;
+    for (const auto& b : boxes)
+        if (rng() % 2) {
+            sp.add_box(b);
+            chosen.push_back(b);
+        }
+    if (sp.npoints() == 0) return;
+
+    std::vector<std::uint32_t> full(dims[0] * dims[1]);
+    for (std::size_t i = 0; i < full.size(); ++i) full[i] = static_cast<std::uint32_t>(i * 7 + 1);
+
+    std::vector<std::uint32_t> packed(sp.npoints());
+    pack_selection(sp, full.data(), 4, packed.data());
+    std::vector<std::uint32_t> restored(full.size(), 0);
+    unpack_selection(sp, packed.data(), 4, restored.data());
+
+    for (std::uint64_t x = 0; x < dims[0]; ++x)
+        for (std::uint64_t y = 0; y < dims[1]; ++y) {
+            bool in = false;
+            for (const auto& b : chosen)
+                if (b.contains({static_cast<std::int64_t>(x), static_cast<std::int64_t>(y)})) in = true;
+            auto idx = x * dims[1] + y;
+            ASSERT_EQ(restored[idx], in ? full[idx] : 0u);
+        }
+}
+
+TEST_P(SelectionProperty, ExtractFromPackedMatchesDirectPack) {
+    std::mt19937 rng(GetParam() + 1000);
+    Extent       dims{10 + rng() % 20, 10 + rng() % 20};
+
+    // the piece covers a random box; want is a random sub-box of it
+    auto rand_box_within = [&](const diy::Bounds& outer) {
+        diy::Bounds b(2);
+        for (int i = 0; i < 2; ++i) {
+            auto u  = static_cast<std::size_t>(i);
+            auto lo = outer.min[u] + static_cast<std::int64_t>(
+                          rng() % static_cast<unsigned>(outer.max[u] - outer.min[u]));
+            auto hi = lo + 1 + static_cast<std::int64_t>(
+                          rng() % static_cast<unsigned>(outer.max[u] - lo));
+            b.min[u] = lo;
+            b.max[u] = hi;
+        }
+        return b;
+    };
+    diy::Bounds whole(2);
+    whole.max = {static_cast<std::int64_t>(dims[0]), static_cast<std::int64_t>(dims[1])};
+    diy::Bounds piece_box = rand_box_within(whole);
+    diy::Bounds want_box  = rand_box_within(piece_box);
+
+    Dataspace piece(dims), want(dims);
+    piece.select_box(piece_box);
+    want.select_box(want_box);
+
+    std::vector<std::uint32_t> full(dims[0] * dims[1]);
+    for (std::size_t i = 0; i < full.size(); ++i) full[i] = static_cast<std::uint32_t>(i);
+
+    std::vector<std::uint32_t> piece_packed(piece.npoints());
+    pack_selection(piece, full.data(), 4, piece_packed.data());
+
+    std::vector<std::byte> extracted;
+    extract_from_packed(piece, piece_packed.data(), want, 4, extracted);
+
+    std::vector<std::uint32_t> direct(want.npoints());
+    pack_selection(want, full.data(), 4, direct.data());
+
+    ASSERT_EQ(extracted.size(), direct.size() * 4);
+    EXPECT_EQ(std::memcmp(extracted.data(), direct.data(), extracted.size()), 0);
+}
+
+TEST_P(SelectionProperty, IntersectionNpointsSymmetric) {
+    std::mt19937 rng(GetParam() + 2000);
+    Extent       dims{16, 16};
+    Dataspace    a(dims), b(dims);
+    a.select_none();
+    b.select_none();
+    std::vector<diy::Bounds> pa, pb;
+    diy::Bounds              domain = box2(0, 16, 0, 16);
+    random_partition(rng, domain, 2, pa);
+    random_partition(rng, domain, 2, pb);
+    for (std::size_t i = 0; i < pa.size(); i += 2) a.add_box(pa[i]);
+    for (std::size_t i = 0; i < pb.size(); i += 2) b.add_box(pb[i]);
+
+    auto          ab = intersect_selections(a, b);
+    auto          ba = intersect_selections(b, a);
+    std::uint64_t nab = 0, nba = 0;
+    for (const auto& x : ab) nab += x.size();
+    for (const auto& x : ba) nba += x.size();
+    EXPECT_EQ(nab, nba);
+
+    // intersection never exceeds either operand
+    EXPECT_LE(nab, a.npoints());
+    EXPECT_LE(nab, b.npoints());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionProperty, ::testing::Range(1u, 16u));
+
+// --- decomposer invariants ---------------------------------------------------------
+
+struct DecompParam {
+    int          nblocks;
+    std::int64_t x, y, z;
+};
+
+class DecomposerProperty : public ::testing::TestWithParam<DecompParam> {};
+
+TEST_P(DecomposerProperty, BlocksTileTheDomainExactly) {
+    auto [n, x, y, z] = GetParam();
+    diy::Bounds domain(3);
+    domain.max = {x, y, z};
+    diy::RegularDecomposer dec(domain, n);
+
+    std::uint64_t total = 0;
+    for (int g = 0; g < n; ++g) {
+        auto b = dec.block_bounds(g);
+        total += b.size();
+        for (int h = g + 1; h < n; ++h)
+            ASSERT_FALSE(diy::intersects(b, dec.block_bounds(h)));
+    }
+    EXPECT_EQ(total, domain.size());
+
+    // every sampled point maps to the block that contains it
+    std::mt19937 rng(42);
+    for (int k = 0; k < 50; ++k) {
+        std::array<std::int64_t, diy::max_dim> pt{
+            static_cast<std::int64_t>(rng() % static_cast<unsigned>(x)),
+            static_cast<std::int64_t>(rng() % static_cast<unsigned>(y)),
+            static_cast<std::int64_t>(rng() % static_cast<unsigned>(z))};
+        int g = dec.point_to_block(pt);
+        ASSERT_GE(g, 0);
+        ASSERT_TRUE(dec.block_bounds(g).contains(pt));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DecomposerProperty,
+                         ::testing::Values(DecompParam{1, 10, 10, 10}, DecompParam{2, 9, 17, 3},
+                                           DecompParam{5, 11, 7, 23}, DecompParam{6, 64, 64, 64},
+                                           DecompParam{12, 30, 20, 10}, DecompParam{16, 17, 17, 17},
+                                           DecompParam{48, 100, 60, 30},
+                                           DecompParam{7, 13, 29, 5}));
+
+// --- irregular-decomposition redistribution (full protocol generality) -----------
+
+class IrregularRedistribution : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IrregularRedistribution, RandomPiecesRandomQueries) {
+    const unsigned seed = GetParam();
+    std::mt19937   setup_rng(seed);
+
+    const Extent dims{24 + setup_rng() % 16, 24 + setup_rng() % 16};
+    const int    nprod = 2 + static_cast<int>(setup_rng() % 4);
+    const int    ncons = 1 + static_cast<int>(setup_rng() % 4);
+
+    // random disjoint partition, leaves dealt round-robin to producers:
+    // producers hold MULTIPLE non-rectangular-union pieces each
+    std::vector<diy::Bounds> leaves;
+    diy::Bounds              domain = box2(0, static_cast<std::int64_t>(dims[0]), 0,
+                                           static_cast<std::int64_t>(dims[1]));
+    random_partition(setup_rng, domain, 4, leaves);
+
+    workflow::run(
+        {
+            {"producer", nprod,
+             [&](workflow::Context& ctx) {
+                 File f = File::create("irregular.h5", ctx.vol);
+                 auto d = f.create_dataset("g", dt::uint64(), Dataspace(dims));
+                 for (std::size_t i = 0; i < leaves.size(); ++i) {
+                     if (static_cast<int>(i % static_cast<std::size_t>(nprod)) != ctx.rank())
+                         continue;
+                     const auto& leaf = leaves[i];
+                     Dataspace   sel(dims);
+                     sel.select_box(leaf);
+                     std::vector<std::uint64_t> vals(leaf.size());
+                     std::size_t                k = 0;
+                     for (auto x = leaf.min[0]; x < leaf.max[0]; ++x)
+                         for (auto y = leaf.min[1]; y < leaf.max[1]; ++y)
+                             vals[k++] = grid_value(dims, x, y);
+                     d.write(vals.data(), sel);
+                 }
+                 f.close();
+             }},
+            {"consumer", ncons,
+             [&](workflow::Context& ctx) {
+                 std::mt19937 rng(seed * 100 + static_cast<unsigned>(ctx.rank()));
+                 File         f = File::open("irregular.h5", ctx.vol);
+                 auto         d = f.open_dataset("g");
+                 for (int q = 0; q < 3; ++q) {
+                     // random query box
+                     auto x0 = static_cast<std::int64_t>(rng() % dims[0]);
+                     auto y0 = static_cast<std::int64_t>(rng() % dims[1]);
+                     auto x1 = x0 + 1 + static_cast<std::int64_t>(rng() % (dims[0] - static_cast<std::uint64_t>(x0)));
+                     auto y1 = y0 + 1 + static_cast<std::int64_t>(rng() % (dims[1] - static_cast<std::uint64_t>(y0)));
+                     Dataspace sel(dims);
+                     sel.select_box(box2(x0, x1, y0, y1));
+                     auto        vals = d.read_vector<std::uint64_t>(sel);
+                     std::size_t k    = 0;
+                     for (auto x = x0; x < x1; ++x)
+                         for (auto y = y0; y < y1; ++y, ++k)
+                             ASSERT_EQ(vals[k], grid_value(dims, x, y))
+                                 << "seed " << seed << " query " << q << " at (" << x << "," << y << ")";
+                 }
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrregularRedistribution, ::testing::Range(1u, 13u));
+
+// --- 3-d irregular redistribution, with and without zero-copy ------------------
+
+class IrregularRedistribution3d : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IrregularRedistribution3d, RandomBoxesValidate) {
+    const unsigned seed = GetParam();
+    std::mt19937   setup_rng(seed * 31 + 5);
+
+    const std::uint64_t n = 10 + setup_rng() % 8;
+    const Extent        dims{n, n, n};
+    const int           nprod    = 2 + static_cast<int>(setup_rng() % 3);
+    const int           ncons    = 1 + static_cast<int>(setup_rng() % 3);
+    const bool          zerocopy = (seed % 2) == 0;
+
+    std::vector<diy::Bounds> leaves;
+    diy::Bounds              domain(3);
+    domain.max = {static_cast<std::int64_t>(n), static_cast<std::int64_t>(n),
+                  static_cast<std::int64_t>(n)};
+    random_partition(setup_rng, domain, 4, leaves);
+
+    auto value_at = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+        return (static_cast<std::uint64_t>(x) * n + static_cast<std::uint64_t>(y)) * n
+               + static_cast<std::uint64_t>(z);
+    };
+
+    workflow::Options opts;
+    opts.mode = workflow::Mode::in_situ();
+    if (zerocopy) opts.zerocopy = {{"*", "*"}};
+
+    workflow::run(
+        {
+            {"producer", nprod,
+             [&](workflow::Context& ctx) {
+                 // zero-copy contract: buffers must outlive the close
+                 std::vector<std::vector<std::uint64_t>> kept;
+                 File f = File::create("irr3.h5", ctx.vol);
+                 auto d = f.create_dataset("g", dt::uint64(), Dataspace(dims));
+                 for (std::size_t i = 0; i < leaves.size(); ++i) {
+                     if (static_cast<int>(i % static_cast<std::size_t>(nprod)) != ctx.rank())
+                         continue;
+                     const auto& leaf = leaves[i];
+                     Dataspace   sel(dims);
+                     sel.select_box(leaf);
+                     kept.emplace_back(leaf.size());
+                     std::size_t k = 0;
+                     for (auto x = leaf.min[0]; x < leaf.max[0]; ++x)
+                         for (auto y = leaf.min[1]; y < leaf.max[1]; ++y)
+                             for (auto z = leaf.min[2]; z < leaf.max[2]; ++z)
+                                 kept.back()[k++] = value_at(x, y, z);
+                     d.write(kept.back().data(), sel);
+                 }
+                 f.close();
+             }},
+            {"consumer", ncons,
+             [&](workflow::Context& ctx) {
+                 std::mt19937 rng(seed * 1000 + static_cast<unsigned>(ctx.rank()));
+                 File         f = File::open("irr3.h5", ctx.vol);
+                 auto         d = f.open_dataset("g");
+                 for (int q = 0; q < 2; ++q) {
+                     diy::Bounds box(3);
+                     for (int i = 0; i < 3; ++i) {
+                         auto u   = static_cast<std::size_t>(i);
+                         box.min[u] = static_cast<std::int64_t>(rng() % n);
+                         box.max[u] = box.min[u] + 1
+                                      + static_cast<std::int64_t>(
+                                            rng() % (n - static_cast<std::uint64_t>(box.min[u])));
+                     }
+                     Dataspace sel(dims);
+                     sel.select_box(box);
+                     auto        vals = d.read_vector<std::uint64_t>(sel);
+                     std::size_t k    = 0;
+                     for (auto x = box.min[0]; x < box.max[0]; ++x)
+                         for (auto y = box.min[1]; y < box.max[1]; ++y)
+                             for (auto z = box.min[2]; z < box.max[2]; ++z, ++k)
+                                 ASSERT_EQ(vals[k], value_at(x, y, z))
+                                     << "seed " << seed << (zerocopy ? " (zerocopy)" : "");
+                 }
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}}, opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrregularRedistribution3d, ::testing::Range(1u, 9u));
+
+// --- glob properties -----------------------------------------------------------------
+
+TEST(GlobProperty, PrefixStarSuffix) {
+    std::mt19937 rng(7);
+    for (int k = 0; k < 50; ++k) {
+        std::string s;
+        for (int i = 0; i < static_cast<int>(rng() % 12); ++i)
+            s.push_back(static_cast<char>('a' + rng() % 26));
+        // every string matches "*", itself, and prefix+"*"
+        EXPECT_TRUE(lowfive::glob_match("*", s));
+        EXPECT_TRUE(lowfive::glob_match(s, s));
+        if (!s.empty()) {
+            EXPECT_TRUE(lowfive::glob_match(s.substr(0, s.size() / 2) + "*", s));
+            EXPECT_TRUE(lowfive::glob_match("*" + s.substr(s.size() / 2), s));
+            std::string q = s;
+            q[rng() % q.size()] = '?';
+            EXPECT_TRUE(lowfive::glob_match(q, s));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+/// End-to-end tests for the CLI tools (mh5ls / mh5dump), exercised
+/// against a real on-disk file via the installed binaries.
+
+#include <h5/h5.hpp>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+std::string run_tool(const std::string& cmd, int* exit_code = nullptr) {
+    std::string out;
+    FILE*       pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe) return out;
+    std::array<char, 512> buf{};
+    while (std::fgets(buf.data(), buf.size(), pipe)) out += buf.data();
+    int rc = ::pclose(pipe);
+    if (exit_code) *exit_code = WEXITSTATUS(rc);
+    return out;
+}
+
+std::string tool_path(const std::string& name) {
+    // locate the build tree relative to this test binary, cwd-independent
+    std::error_code ec;
+    auto            self = std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec) {
+        auto candidate = self.parent_path().parent_path() / "tools" / name;
+        if (std::filesystem::exists(candidate)) return candidate.string();
+    }
+    for (const auto& candidate :
+         {"../tools/" + name, "./build/tools/" + name, "build/tools/" + name}) {
+        if (std::filesystem::exists(candidate)) return candidate;
+    }
+    return name;
+}
+
+class ToolsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        h5::PfsModel::instance().configure(0, 0, 0);
+        path_ = (std::filesystem::temp_directory_path() / "tools_test.mh5").string();
+        std::filesystem::remove(path_);
+
+        auto     vol = std::make_shared<h5::NativeVol>();
+        h5::File f   = h5::File::create(path_, vol);
+        f.write_attribute("step", 3);
+        auto g = f.create_group("fields");
+        auto d = g.create_dataset("rho", h5::dt::float64(), h5::Dataspace({2, 3}));
+        double vals[6] = {0.5, 1.5, 2.5, 3.5, 4.5, 5.5};
+        d.write(vals);
+        d.write_attribute("units", 1);
+        auto g2 = g.create_group("nested");
+        g2.create_dataset("ids", h5::dt::uint32(), h5::Dataspace({4}));
+        std::uint32_t ids[4] = {7, 8, 9, 10};
+        f.open_dataset("fields/nested/ids").write(ids);
+    }
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    std::string path_;
+};
+
+} // namespace
+
+TEST_F(ToolsTest, LsTopLevel) {
+    int  rc  = -1;
+    auto out = run_tool(tool_path("mh5ls") + " " + path_, &rc);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("fields"), std::string::npos);
+    EXPECT_NE(out.find("Group"), std::string::npos);
+    EXPECT_EQ(out.find("rho"), std::string::npos); // not recursive by default
+}
+
+TEST_F(ToolsTest, LsRecursiveWithAttributes) {
+    int  rc  = -1;
+    auto out = run_tool(tool_path("mh5ls") + " -r -a " + path_, &rc);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("rho"), std::string::npos);
+    EXPECT_NE(out.find("Dataset {2, 3} float64"), std::string::npos);
+    EXPECT_NE(out.find("nested"), std::string::npos);
+    EXPECT_NE(out.find("ids"), std::string::npos);
+    EXPECT_NE(out.find("@step"), std::string::npos);
+    EXPECT_NE(out.find("@units"), std::string::npos);
+}
+
+TEST_F(ToolsTest, LsSubPath) {
+    int  rc  = -1;
+    auto out = run_tool(tool_path("mh5ls") + " " + path_ + " fields", &rc);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("rho"), std::string::npos);
+}
+
+TEST_F(ToolsTest, LsMissingFileFails) {
+    int rc = -1;
+    (void)run_tool(tool_path("mh5ls") + " /nonexistent/file.mh5", &rc);
+    EXPECT_EQ(rc, 1);
+}
+
+TEST_F(ToolsTest, DumpValues) {
+    int  rc  = -1;
+    auto out = run_tool(tool_path("mh5dump") + " " + path_ + " fields/rho", &rc);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("float64"), std::string::npos);
+    EXPECT_NE(out.find("[0] 0.5"), std::string::npos);
+    EXPECT_NE(out.find("[5] 5.5"), std::string::npos);
+}
+
+TEST_F(ToolsTest, DumpLimit) {
+    int  rc  = -1;
+    auto out = run_tool(tool_path("mh5dump") + " -n 2 " + path_ + " fields/nested/ids", &rc);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("[1] 8"), std::string::npos);
+    EXPECT_EQ(out.find("[2] 9"), std::string::npos);
+    EXPECT_NE(out.find("(2 more)"), std::string::npos);
+}
+
+TEST_F(ToolsTest, DumpMissingDatasetFails) {
+    int rc = -1;
+    (void)run_tool(tool_path("mh5dump") + " " + path_ + " nope", &rc);
+    EXPECT_EQ(rc, 1);
+}
+
+TEST_F(ToolsTest, CopyDatasetToNewFile) {
+    auto dst = (std::filesystem::temp_directory_path() / "tools_copy_dst.mh5").string();
+    std::filesystem::remove(dst);
+
+    int rc = -1;
+    (void)run_tool(tool_path("mh5copy") + " " + path_ + " fields/rho " + dst + " rho", &rc);
+    ASSERT_EQ(rc, 0);
+
+    auto     vol = std::make_shared<h5::NativeVol>();
+    h5::File f   = h5::File::open(dst, vol);
+    auto     v   = f.open_dataset("rho").read_vector<double>();
+    EXPECT_EQ(v[0], 0.5);
+    EXPECT_EQ(v[5], 5.5);
+    f.close();
+    std::filesystem::remove(dst);
+}
+
+TEST_F(ToolsTest, CopyIntoExistingFilePreservesContent) {
+    auto dst = (std::filesystem::temp_directory_path() / "tools_copy_dst2.mh5").string();
+    std::filesystem::remove(dst);
+
+    int rc = -1;
+    (void)run_tool(tool_path("mh5copy") + " " + path_ + " fields/rho " + dst + " rho", &rc);
+    ASSERT_EQ(rc, 0);
+    // second copy into the same file, a different destination path
+    (void)run_tool(tool_path("mh5copy") + " " + path_ + " fields " + dst + " all/fields", &rc);
+    ASSERT_EQ(rc, 0);
+
+    auto     vol = std::make_shared<h5::NativeVol>();
+    h5::File f   = h5::File::open(dst, vol);
+    EXPECT_TRUE(f.exists("rho")); // first copy survived the second
+    EXPECT_TRUE(f.exists("all/fields/nested/ids"));
+    f.close();
+    std::filesystem::remove(dst);
+}
+
+TEST_F(ToolsTest, CopyMissingSourceFails) {
+    auto dst = (std::filesystem::temp_directory_path() / "tools_copy_dst3.mh5").string();
+    int  rc  = -1;
+    (void)run_tool(tool_path("mh5copy") + " " + path_ + " nope " + dst + " x", &rc);
+    EXPECT_EQ(rc, 1);
+    EXPECT_FALSE(std::filesystem::exists(dst));
+}

@@ -1,0 +1,111 @@
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace workflow;
+
+TEST(WorkflowMode, Factories) {
+    EXPECT_TRUE(Mode::in_situ().memory);
+    EXPECT_FALSE(Mode::in_situ().passthru);
+    EXPECT_FALSE(Mode::file().memory);
+    EXPECT_TRUE(Mode::file().passthru);
+    EXPECT_TRUE(Mode::both().memory);
+    EXPECT_TRUE(Mode::both().passthru);
+}
+
+TEST(WorkflowMode, FromEnv) {
+    ::setenv("L5_MODE", "file", 1);
+    EXPECT_TRUE(Mode::from_env().passthru);
+    EXPECT_FALSE(Mode::from_env().memory);
+    ::setenv("L5_MODE", "both", 1);
+    EXPECT_TRUE(Mode::from_env().memory);
+    ::setenv("L5_MODE", "memory", 1);
+    EXPECT_TRUE(Mode::from_env().memory);
+    EXPECT_FALSE(Mode::from_env().passthru);
+    ::setenv("L5_MODE", "bogus", 1);
+    EXPECT_THROW(Mode::from_env(), std::runtime_error);
+    ::unsetenv("L5_MODE");
+    EXPECT_TRUE(Mode::from_env().memory); // default
+}
+
+TEST(Workflow, SplitsCommunicatorsPerTask) {
+    std::atomic<int> a_ranks{0}, b_ranks{0};
+    run(
+        {
+            {"a", 3,
+             [&](Context& ctx) {
+                 EXPECT_EQ(ctx.size(), 3);
+                 EXPECT_EQ(ctx.world.size(), 5);
+                 EXPECT_EQ(ctx.task_index, 0);
+                 EXPECT_EQ(ctx.task_name, "a");
+                 a_ranks += 1;
+             }},
+            {"b", 2,
+             [&](Context& ctx) {
+                 EXPECT_EQ(ctx.size(), 2);
+                 EXPECT_EQ(ctx.task_index, 1);
+                 b_ranks += 1;
+             }},
+        },
+        {});
+    EXPECT_EQ(a_ranks.load(), 3);
+    EXPECT_EQ(b_ranks.load(), 2);
+}
+
+TEST(Workflow, VolIsWiredPerRank) {
+    run(
+        {
+            {"a", 2, [&](Context& ctx) { EXPECT_NE(ctx.vol, nullptr); }},
+            {"b", 1, [&](Context& ctx) { EXPECT_NE(ctx.vol, nullptr); }},
+        },
+        {Link{0, 1, "*"}});
+}
+
+TEST(Workflow, RejectsBadConfigs) {
+    EXPECT_THROW(run({{"a", 0, [](Context&) {}}}, {}), std::runtime_error);
+    EXPECT_THROW(run({{"a", 1, [](Context&) {}}, {"b", 1, [](Context&) {}}},
+                     {Link{0, 5, "*"}}),
+                 std::runtime_error);
+    EXPECT_THROW(run({{"a", 1, [](Context&) {}}, {"b", 1, [](Context&) {}}},
+                     {Link{1, 1, "*"}}), // self-link
+                 std::runtime_error);
+}
+
+TEST(Workflow, TaskExceptionPropagates) {
+    EXPECT_THROW(run(
+                     {
+                         {"a", 2, [](Context& ctx) { ctx.local.barrier(); }},
+                         {"b", 2,
+                          [](Context& ctx) {
+                              ctx.local.barrier();
+                              if (ctx.rank() == 1) throw std::runtime_error("task failure");
+                          }},
+                     },
+                     {}),
+                 std::runtime_error);
+}
+
+TEST(Workflow, EmptyWorkflowIsNoop) { run({}, {}); }
+
+TEST(Workflow, WorldBarrierSpansTasks) {
+    std::atomic<int> before{0};
+    run(
+        {
+            {"a", 2,
+             [&](Context& ctx) {
+                 before += 1;
+                 ctx.world.barrier();
+                 EXPECT_EQ(before.load(), 5);
+             }},
+            {"b", 3,
+             [&](Context& ctx) {
+                 before += 1;
+                 ctx.world.barrier();
+                 EXPECT_EQ(before.load(), 5);
+             }},
+        },
+        {});
+}

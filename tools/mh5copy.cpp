@@ -1,0 +1,46 @@
+/// mh5copy — copy an object (dataset or group subtree) between MiniH5
+/// files (the h5copy analogue).
+///
+///   mh5copy SRC_FILE SRC_PATH DST_FILE DST_PATH
+///
+/// The destination file is created if missing, opened and rewritten
+/// otherwise (its existing content is preserved by copying it forward).
+
+#include <h5/copy.hpp>
+#include <h5/h5.hpp>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+int main(int argc, char** argv) {
+    if (argc != 5) {
+        std::fprintf(stderr, "usage: mh5copy SRC_FILE SRC_PATH DST_FILE DST_PATH\n");
+        return 1;
+    }
+    const std::string src_file = argv[1], src_path = argv[2];
+    const std::string dst_file = argv[3], dst_path = argv[4];
+
+    try {
+        auto     vol = std::make_shared<h5::NativeVol>();
+        h5::File src = h5::File::open(src_file, vol);
+
+        // our native files are written on close, so "append" = copy the
+        // existing destination forward into a fresh file first
+        h5::File dst = h5::File::create(dst_file + ".tmp", vol);
+        if (std::filesystem::exists(dst_file)) {
+            h5::File old = h5::File::open(dst_file, vol);
+            for (const auto& child : old.children()) h5::copy_object(old, child, dst, child);
+            old.close();
+        }
+        h5::copy_object(src, src_path, dst, dst_path);
+        src.close();
+        dst.close();
+        std::filesystem::rename(dst_file + ".tmp", dst_file);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mh5copy: %s\n", e.what());
+        std::filesystem::remove(dst_file + ".tmp");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+/// mh5dump — print the values of a MiniH5 dataset (the h5dump analogue).
+///
+///   mh5dump [-n LIMIT] FILE DATASET
+///     -n LIMIT  print at most LIMIT elements (default 64; 0 = all)
+///
+/// Atomic element values are printed one per line with their row-major
+/// index; compound elements are printed member by member.
+
+#include <h5/h5.hpp>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+void print_atomic(const h5::Datatype& t, const std::byte* p) {
+    switch (t.type_class()) {
+    case h5::TypeClass::Int: {
+        std::int64_t v = 0;
+        if (t.size() == 1) v = *reinterpret_cast<const std::int8_t*>(p);
+        if (t.size() == 2) v = *reinterpret_cast<const std::int16_t*>(p);
+        if (t.size() == 4) v = *reinterpret_cast<const std::int32_t*>(p);
+        if (t.size() == 8) v = *reinterpret_cast<const std::int64_t*>(p);
+        std::printf("%lld", static_cast<long long>(v));
+        break;
+    }
+    case h5::TypeClass::UInt: {
+        std::uint64_t v = 0;
+        if (t.size() == 1) v = *reinterpret_cast<const std::uint8_t*>(p);
+        if (t.size() == 2) v = *reinterpret_cast<const std::uint16_t*>(p);
+        if (t.size() == 4) v = *reinterpret_cast<const std::uint32_t*>(p);
+        if (t.size() == 8) v = *reinterpret_cast<const std::uint64_t*>(p);
+        std::printf("%llu", static_cast<unsigned long long>(v));
+        break;
+    }
+    case h5::TypeClass::Float:
+        if (t.size() == 4)
+            std::printf("%g", static_cast<double>(*reinterpret_cast<const float*>(p)));
+        else
+            std::printf("%g", *reinterpret_cast<const double*>(p));
+        break;
+    case h5::TypeClass::Compound:
+        std::printf("{");
+        for (std::size_t m = 0; m < t.n_members(); ++m) {
+            std::printf("%s%s=", m ? ", " : "", t.member_name(m).c_str());
+            print_atomic(t.member_type(m), p + t.member_offset(m));
+        }
+        std::printf("}");
+        break;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t limit = 64;
+    std::string   file, dset;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+            limit = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (file.empty()) {
+            file = argv[i];
+        } else {
+            dset = argv[i];
+        }
+    }
+    if (file.empty() || dset.empty()) {
+        std::fprintf(stderr, "usage: mh5dump [-n LIMIT] FILE DATASET\n");
+        return 1;
+    }
+
+    try {
+        auto     vol = std::make_shared<h5::NativeVol>();
+        h5::File f   = h5::File::open(file, vol);
+        auto     d   = f.open_dataset(dset);
+        auto     t   = d.type();
+        auto     sp  = d.space();
+
+        std::printf("DATASET \"%s\"  type %s  space %s (%llu elements)\n", dset.c_str(),
+                    t.str().c_str(), sp.str().c_str(),
+                    static_cast<unsigned long long>(sp.extent_npoints()));
+
+        std::uint64_t n = sp.extent_npoints();
+        if (limit > 0) n = std::min(n, limit);
+        if (n == 0) {
+            f.close();
+            return 0;
+        }
+
+        std::vector<std::byte> data(sp.extent_npoints() * t.size());
+        d.read(data.data());
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::printf("  [%llu] ", static_cast<unsigned long long>(i));
+            print_atomic(t, data.data() + i * t.size());
+            std::printf("\n");
+        }
+        if (n < sp.extent_npoints())
+            std::printf("  ... (%llu more)\n",
+                        static_cast<unsigned long long>(sp.extent_npoints() - n));
+        f.close();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mh5dump: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

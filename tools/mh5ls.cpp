@@ -1,0 +1,90 @@
+/// mh5ls — list the contents of a MiniH5 file (the h5ls analogue).
+///
+///   mh5ls [-r] [-a] FILE [PATH]
+///     -r  recurse into groups (default: one level)
+///     -a  show attributes
+///
+/// Exit status: 0 on success, 1 on usage or I/O errors.
+
+#include <h5/h5.hpp>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace {
+
+void print_attributes(const h5::NodeRef& node, const std::string& indent) {
+    for (const auto& name : node.attributes())
+        std::printf("%s  @%s\n", indent.c_str(), name.c_str());
+}
+
+std::string describe_space(const h5::Dataspace& sp) {
+    std::string s = "{";
+    for (std::size_t i = 0; i < sp.dims().size(); ++i) {
+        s += std::to_string(sp.dims()[i]);
+        if (i + 1 < sp.dims().size()) s += ", ";
+    }
+    return s + "}";
+}
+
+void list_node(const h5::NodeRef& node, const std::string& prefix, bool recurse, bool attrs,
+               const std::string& indent) {
+    for (const auto& child : node.children()) {
+        std::string path = prefix.empty() ? child : prefix + "/" + child;
+        // a child is a dataset iff opening it as one succeeds
+        bool is_dataset = false;
+        try {
+            auto d = node.open_dataset(child);
+            std::printf("%s%-24s Dataset %s %s\n", indent.c_str(), child.c_str(),
+                        describe_space(d.space()).c_str(), d.type().str().c_str());
+            if (attrs) print_attributes(d, indent);
+            is_dataset = true;
+        } catch (const h5::Error&) {
+        }
+        if (is_dataset) continue;
+
+        auto g = node.open_group(child);
+        std::printf("%s%-24s Group\n", indent.c_str(), child.c_str());
+        if (attrs) print_attributes(g, indent);
+        if (recurse) list_node(g, path, recurse, attrs, indent + "    ");
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool        recurse = false, attrs = false;
+    std::string file, path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-r") == 0)
+            recurse = true;
+        else if (std::strcmp(argv[i], "-a") == 0)
+            attrs = true;
+        else if (file.empty())
+            file = argv[i];
+        else
+            path = argv[i];
+    }
+    if (file.empty()) {
+        std::fprintf(stderr, "usage: mh5ls [-r] [-a] FILE [PATH]\n");
+        return 1;
+    }
+
+    try {
+        auto     vol = std::make_shared<h5::NativeVol>();
+        h5::File f   = h5::File::open(file, vol);
+        if (attrs) print_attributes(f, "");
+        if (path.empty()) {
+            list_node(f, "", recurse, attrs, "");
+        } else {
+            auto g = f.open_group(path);
+            list_node(g, path, recurse, attrs, "");
+        }
+        f.close();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mh5ls: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
