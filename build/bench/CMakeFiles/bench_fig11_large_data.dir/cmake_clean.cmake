@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_large_data.dir/bench_fig11_large_data.cpp.o"
+  "CMakeFiles/bench_fig11_large_data.dir/bench_fig11_large_data.cpp.o.d"
+  "bench_fig11_large_data"
+  "bench_fig11_large_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_large_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

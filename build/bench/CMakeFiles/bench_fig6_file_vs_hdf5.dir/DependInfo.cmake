@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_file_vs_hdf5.cpp" "bench/CMakeFiles/bench_fig6_file_vs_hdf5.dir/bench_fig6_file_vs_hdf5.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_file_vs_hdf5.dir/bench_fig6_file_vs_hdf5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/nyx.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/reeber.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowfive/CMakeFiles/lowfive.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5/CMakeFiles/h5.dir/DependInfo.cmake"
+  "/root/repo/build/src/diy/CMakeFiles/diy.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_memory_vs_dataspaces.dir/bench_fig8_memory_vs_dataspaces.cpp.o"
+  "CMakeFiles/bench_fig8_memory_vs_dataspaces.dir/bench_fig8_memory_vs_dataspaces.cpp.o.d"
+  "bench_fig8_memory_vs_dataspaces"
+  "bench_fig8_memory_vs_dataspaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_memory_vs_dataspaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_memory_vs_bredala.dir/bench_fig9_memory_vs_bredala.cpp.o"
+  "CMakeFiles/bench_fig9_memory_vs_bredala.dir/bench_fig9_memory_vs_bredala.cpp.o.d"
+  "bench_fig9_memory_vs_bredala"
+  "bench_fig9_memory_vs_bredala.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_memory_vs_bredala.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_nyx_reeber.dir/bench_table2_nyx_reeber.cpp.o"
+  "CMakeFiles/bench_table2_nyx_reeber.dir/bench_table2_nyx_reeber.cpp.o.d"
+  "bench_table2_nyx_reeber"
+  "bench_table2_nyx_reeber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_nyx_reeber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

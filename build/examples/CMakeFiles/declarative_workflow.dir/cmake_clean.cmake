@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declarative_workflow.dir/declarative_workflow.cpp.o"
+  "CMakeFiles/declarative_workflow.dir/declarative_workflow.cpp.o.d"
+  "declarative_workflow"
+  "declarative_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declarative_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

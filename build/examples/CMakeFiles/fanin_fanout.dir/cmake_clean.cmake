@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanin_fanout.dir/fanin_fanout.cpp.o"
+  "CMakeFiles/fanin_fanout.dir/fanin_fanout.cpp.o.d"
+  "fanin_fanout"
+  "fanin_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanin_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_vs_memory.dir/file_vs_memory.cpp.o"
+  "CMakeFiles/file_vs_memory.dir/file_vs_memory.cpp.o.d"
+  "file_vs_memory"
+  "file_vs_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_vs_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_catalog_pipeline.dir/halo_catalog_pipeline.cpp.o"
+  "CMakeFiles/halo_catalog_pipeline.dir/halo_catalog_pipeline.cpp.o.d"
+  "halo_catalog_pipeline"
+  "halo_catalog_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_catalog_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

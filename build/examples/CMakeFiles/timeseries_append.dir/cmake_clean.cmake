@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_append.dir/timeseries_append.cpp.o"
+  "CMakeFiles/timeseries_append.dir/timeseries_append.cpp.o.d"
+  "timeseries_append"
+  "timeseries_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

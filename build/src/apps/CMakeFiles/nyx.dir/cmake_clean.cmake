@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx.dir/nyx/nyx.cpp.o"
+  "CMakeFiles/nyx.dir/nyx/nyx.cpp.o.d"
+  "CMakeFiles/nyx.dir/nyx/plotfile.cpp.o"
+  "CMakeFiles/nyx.dir/nyx/plotfile.cpp.o.d"
+  "libnyx.a"
+  "libnyx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reeber.dir/reeber/merge_tree.cpp.o"
+  "CMakeFiles/reeber.dir/reeber/merge_tree.cpp.o.d"
+  "CMakeFiles/reeber.dir/reeber/reeber.cpp.o"
+  "CMakeFiles/reeber.dir/reeber/reeber.cpp.o.d"
+  "libreeber.a"
+  "libreeber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reeber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

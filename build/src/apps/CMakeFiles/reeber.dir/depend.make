@@ -1,0 +1,2 @@
+# Empty dependencies file for reeber.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bredala.cpp" "src/baselines/CMakeFiles/baselines.dir/bredala.cpp.o" "gcc" "src/baselines/CMakeFiles/baselines.dir/bredala.cpp.o.d"
+  "/root/repo/src/baselines/dataspaces.cpp" "src/baselines/CMakeFiles/baselines.dir/dataspaces.cpp.o" "gcc" "src/baselines/CMakeFiles/baselines.dir/dataspaces.cpp.o.d"
+  "/root/repo/src/baselines/pure_mpi.cpp" "src/baselines/CMakeFiles/baselines.dir/pure_mpi.cpp.o" "gcc" "src/baselines/CMakeFiles/baselines.dir/pure_mpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diy/CMakeFiles/diy.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines.dir/bredala.cpp.o"
+  "CMakeFiles/baselines.dir/bredala.cpp.o.d"
+  "CMakeFiles/baselines.dir/dataspaces.cpp.o"
+  "CMakeFiles/baselines.dir/dataspaces.cpp.o.d"
+  "CMakeFiles/baselines.dir/pure_mpi.cpp.o"
+  "CMakeFiles/baselines.dir/pure_mpi.cpp.o.d"
+  "libbaselines.a"
+  "libbaselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diy/decomposer.cpp" "src/diy/CMakeFiles/diy.dir/decomposer.cpp.o" "gcc" "src/diy/CMakeFiles/diy.dir/decomposer.cpp.o.d"
+  "/root/repo/src/diy/ghost.cpp" "src/diy/CMakeFiles/diy.dir/ghost.cpp.o" "gcc" "src/diy/CMakeFiles/diy.dir/ghost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diy.dir/decomposer.cpp.o"
+  "CMakeFiles/diy.dir/decomposer.cpp.o.d"
+  "CMakeFiles/diy.dir/ghost.cpp.o"
+  "CMakeFiles/diy.dir/ghost.cpp.o.d"
+  "libdiy.a"
+  "libdiy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h5/convert.cpp" "src/h5/CMakeFiles/h5.dir/convert.cpp.o" "gcc" "src/h5/CMakeFiles/h5.dir/convert.cpp.o.d"
+  "/root/repo/src/h5/copy.cpp" "src/h5/CMakeFiles/h5.dir/copy.cpp.o" "gcc" "src/h5/CMakeFiles/h5.dir/copy.cpp.o.d"
+  "/root/repo/src/h5/dataspace.cpp" "src/h5/CMakeFiles/h5.dir/dataspace.cpp.o" "gcc" "src/h5/CMakeFiles/h5.dir/dataspace.cpp.o.d"
+  "/root/repo/src/h5/native_vol.cpp" "src/h5/CMakeFiles/h5.dir/native_vol.cpp.o" "gcc" "src/h5/CMakeFiles/h5.dir/native_vol.cpp.o.d"
+  "/root/repo/src/h5/storage.cpp" "src/h5/CMakeFiles/h5.dir/storage.cpp.o" "gcc" "src/h5/CMakeFiles/h5.dir/storage.cpp.o.d"
+  "/root/repo/src/h5/tree.cpp" "src/h5/CMakeFiles/h5.dir/tree.cpp.o" "gcc" "src/h5/CMakeFiles/h5.dir/tree.cpp.o.d"
+  "/root/repo/src/h5/types.cpp" "src/h5/CMakeFiles/h5.dir/types.cpp.o" "gcc" "src/h5/CMakeFiles/h5.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diy/CMakeFiles/diy.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

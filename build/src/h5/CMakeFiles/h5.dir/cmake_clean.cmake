@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h5.dir/convert.cpp.o"
+  "CMakeFiles/h5.dir/convert.cpp.o.d"
+  "CMakeFiles/h5.dir/copy.cpp.o"
+  "CMakeFiles/h5.dir/copy.cpp.o.d"
+  "CMakeFiles/h5.dir/dataspace.cpp.o"
+  "CMakeFiles/h5.dir/dataspace.cpp.o.d"
+  "CMakeFiles/h5.dir/native_vol.cpp.o"
+  "CMakeFiles/h5.dir/native_vol.cpp.o.d"
+  "CMakeFiles/h5.dir/storage.cpp.o"
+  "CMakeFiles/h5.dir/storage.cpp.o.d"
+  "CMakeFiles/h5.dir/tree.cpp.o"
+  "CMakeFiles/h5.dir/tree.cpp.o.d"
+  "CMakeFiles/h5.dir/types.cpp.o"
+  "CMakeFiles/h5.dir/types.cpp.o.d"
+  "libh5.a"
+  "libh5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

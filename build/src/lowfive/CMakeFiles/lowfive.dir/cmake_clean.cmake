@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowfive.dir/config.cpp.o"
+  "CMakeFiles/lowfive.dir/config.cpp.o.d"
+  "CMakeFiles/lowfive.dir/dist_vol.cpp.o"
+  "CMakeFiles/lowfive.dir/dist_vol.cpp.o.d"
+  "CMakeFiles/lowfive.dir/metadata_vol.cpp.o"
+  "CMakeFiles/lowfive.dir/metadata_vol.cpp.o.d"
+  "liblowfive.a"
+  "liblowfive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowfive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow.dir/config.cpp.o"
+  "CMakeFiles/workflow.dir/config.cpp.o.d"
+  "CMakeFiles/workflow.dir/workflow.cpp.o"
+  "CMakeFiles/workflow.dir/workflow.cpp.o.d"
+  "libworkflow.a"
+  "libworkflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_serve.dir/test_async_serve.cpp.o"
+  "CMakeFiles/test_async_serve.dir/test_async_serve.cpp.o.d"
+  "test_async_serve"
+  "test_async_serve.pdb"
+  "test_async_serve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

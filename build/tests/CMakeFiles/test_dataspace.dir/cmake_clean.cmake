@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataspace.dir/test_dataspace.cpp.o"
+  "CMakeFiles/test_dataspace.dir/test_dataspace.cpp.o.d"
+  "test_dataspace"
+  "test_dataspace.pdb"
+  "test_dataspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_vol.dir/test_dist_vol.cpp.o"
+  "CMakeFiles/test_dist_vol.dir/test_dist_vol.cpp.o.d"
+  "test_dist_vol"
+  "test_dist_vol.pdb"
+  "test_dist_vol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_vol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diy.dir/test_diy.cpp.o"
+  "CMakeFiles/test_diy.dir/test_diy.cpp.o.d"
+  "test_diy"
+  "test_diy.pdb"
+  "test_diy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h5_extended.dir/test_h5_extended.cpp.o"
+  "CMakeFiles/test_h5_extended.dir/test_h5_extended.cpp.o.d"
+  "test_h5_extended"
+  "test_h5_extended.pdb"
+  "test_h5_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h5_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

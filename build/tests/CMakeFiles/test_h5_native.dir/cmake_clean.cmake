@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h5_native.dir/test_h5_native.cpp.o"
+  "CMakeFiles/test_h5_native.dir/test_h5_native.cpp.o.d"
+  "test_h5_native"
+  "test_h5_native.pdb"
+  "test_h5_native[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h5_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_vol.dir/test_metadata_vol.cpp.o"
+  "CMakeFiles/test_metadata_vol.dir/test_metadata_vol.cpp.o.d"
+  "test_metadata_vol"
+  "test_metadata_vol.pdb"
+  "test_metadata_vol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_vol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow_config.dir/test_workflow_config.cpp.o"
+  "CMakeFiles/test_workflow_config.dir/test_workflow_config.cpp.o.d"
+  "test_workflow_config"
+  "test_workflow_config.pdb"
+  "test_workflow_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

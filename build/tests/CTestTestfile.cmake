@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_diy[1]_include.cmake")
+include("/root/repo/build/tests/test_dataspace[1]_include.cmake")
+include("/root/repo/build/tests/test_h5_native[1]_include.cmake")
+include("/root/repo/build/tests/test_metadata_vol[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_vol[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_h5_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_async_serve[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_ghost[1]_include.cmake")
+include("/root/repo/build/tests/test_merge_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_convert[1]_include.cmake")
+include("/root/repo/build/tests/test_copy[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_format_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow_config[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh5copy.dir/mh5copy.cpp.o"
+  "CMakeFiles/mh5copy.dir/mh5copy.cpp.o.d"
+  "mh5copy"
+  "mh5copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh5copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh5dump.dir/mh5dump.cpp.o"
+  "CMakeFiles/mh5dump.dir/mh5dump.cpp.o.d"
+  "mh5dump"
+  "mh5dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh5dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mh5dump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh5ls.dir/mh5ls.cpp.o"
+  "CMakeFiles/mh5ls.dir/mh5ls.cpp.o.d"
+  "mh5ls"
+  "mh5ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh5ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
