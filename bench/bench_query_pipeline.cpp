@@ -1,0 +1,199 @@
+/// Data-plane benchmark for the pipelined, cached, zero-copy
+/// index–serve–query path: m=4 consumers repeatedly read y-slabs of a
+/// 256x512x64 uint64 grid (64 MiB) written as x-slabs by n=8 producers,
+/// so producer and consumer decompositions cross and every read touches
+/// every producer.
+///
+/// Scenarios (same run, same data):
+///   serial_uncached_naive    the pre-optimization plane: one request in
+///                            flight at a time, intersect round on every
+///                            read, per-row binary-search kernels
+///   pipelined_uncached       pipelining + coalesced kernels, cache off
+///   pipelined_cached         the full plane; repeated reads skip the
+///                            intersect round
+///
+/// Emits BENCH_query_pipeline.json (median of L5_BENCH_TRIALS trials,
+/// default 3) into the working directory.
+
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace h5;
+using workflow::Context;
+using workflow::Link;
+using workflow::Options;
+
+namespace {
+
+constexpr std::uint64_t dim_x = 256, dim_y = 512, dim_z = 64;
+constexpr int           nprod = 8, ncons = 4;
+constexpr int           reads_per_open = 4;
+
+struct ScenarioResult {
+    std::string         label;
+    std::vector<double> seconds; ///< one entry per trial
+    std::uint64_t       n_intersect_queries = 0;
+    std::uint64_t       cache_hits          = 0;
+
+    double median() const {
+        auto s = seconds;
+        std::sort(s.begin(), s.end());
+        return s[s.size() / 2];
+    }
+};
+
+diy::Bounds producer_block(int r) {
+    diy::Bounds b(3);
+    b.min = {static_cast<std::int64_t>(dim_x) / nprod * r, 0, 0};
+    b.max = {static_cast<std::int64_t>(dim_x) / nprod * (r + 1),
+             static_cast<std::int64_t>(dim_y), static_cast<std::int64_t>(dim_z)};
+    return b;
+}
+
+diy::Bounds consumer_block(int r) {
+    diy::Bounds b(3);
+    b.min = {0, static_cast<std::int64_t>(dim_y) / ncons * r, 0};
+    b.max = {static_cast<std::int64_t>(dim_x),
+             static_cast<std::int64_t>(dim_y) / ncons * (r + 1),
+             static_cast<std::int64_t>(dim_z)};
+    return b;
+}
+
+/// One trial: returns the barrier-bounded wall time of the consume phase
+/// (open + reads_per_open reads + close, overlapped with producer serving).
+double run_trial(bool pipelined, bool cached, bool naive_kernels,
+                 ScenarioResult* stats_sink) {
+    set_naive_selection_kernels(naive_kernels);
+
+    double  seconds = 0.0;
+    Options opts;
+    opts.mode = workflow::Mode::in_situ();
+
+    workflow::run(
+        {
+            {"producer", nprod,
+             [&](Context& ctx) {
+                 File f = File::create("qp.h5", ctx.vol);
+                 auto d = f.create_dataset("grid", dt::uint64(), Dataspace({dim_x, dim_y, dim_z}));
+
+                 const auto mine = producer_block(ctx.rank());
+                 Dataspace  sel({dim_x, dim_y, dim_z});
+                 sel.select_box(mine);
+                 std::vector<std::uint64_t> vals(sel.npoints());
+                 std::size_t                k = 0;
+                 for (auto x = mine.min[0]; x < mine.max[0]; ++x)
+                     for (auto y = mine.min[1]; y < mine.max[1]; ++y)
+                         for (auto z = mine.min[2]; z < mine.max[2]; ++z)
+                             vals[k++] = (static_cast<std::uint64_t>(x) * dim_y
+                                          + static_cast<std::uint64_t>(y)) * dim_z
+                                         + static_cast<std::uint64_t>(z);
+                 d.write(vals.data(), sel);
+                 // the close indexes the file and serves the whole round
+                 double t = benchcommon::timed_section(ctx.world, [&] { f.close(); });
+                 if (ctx.world.rank() == 0) seconds = t;
+             }},
+            {"consumer", ncons,
+             [&](Context& ctx) {
+                 ctx.vol->set_pipelining(pipelined);
+                 ctx.vol->set_query_cache(cached);
+
+                 const auto mine = consumer_block(ctx.rank());
+                 Dataspace  sel({dim_x, dim_y, dim_z});
+                 sel.select_box(mine);
+
+                 benchcommon::timed_section(ctx.world, [&] {
+                     File f = File::open("qp.h5", ctx.vol);
+                     auto d = f.open_dataset("grid");
+                     for (int r = 0; r < reads_per_open; ++r) {
+                         auto vals = d.read_vector<std::uint64_t>(sel);
+                         // spot-check so the reads cannot be elided
+                         if (vals.front() != (static_cast<std::uint64_t>(mine.min[0]) * dim_y
+                                              + static_cast<std::uint64_t>(mine.min[1])) * dim_z)
+                             throw std::runtime_error("bench: wrong data");
+                     }
+                     f.close();
+                 });
+                 if (stats_sink && ctx.rank() == 0) {
+                     stats_sink->n_intersect_queries = ctx.vol->stats().n_intersect_queries;
+                     stats_sink->cache_hits          = ctx.vol->stats().n_intersect_cache_hits;
+                 }
+             }},
+        },
+        {Link{0, 1, "*"}}, opts);
+
+    set_naive_selection_kernels(false);
+    return seconds;
+}
+
+ScenarioResult run_scenario(const std::string& label, int trials, bool pipelined, bool cached,
+                            bool naive_kernels) {
+    ScenarioResult res;
+    res.label = label;
+    for (int t = 0; t < trials; ++t)
+        res.seconds.push_back(run_trial(pipelined, cached, naive_kernels, &res));
+    std::printf("  %-24s median %.4f s  (intersects/rank %llu, cache hits %llu)\n", label.c_str(),
+                res.median(), static_cast<unsigned long long>(res.n_intersect_queries),
+                static_cast<unsigned long long>(res.cache_hits));
+    return res;
+}
+
+void emit_json(const std::vector<ScenarioResult>& results, double speedup) {
+    FILE* f = std::fopen("BENCH_query_pipeline.json", "w");
+    if (!f) return;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"query_pipeline\",\n");
+    std::fprintf(f, "  \"nprod\": %d,\n  \"ncons\": %d,\n", nprod, ncons);
+    std::fprintf(f, "  \"grid\": [%llu, %llu, %llu],\n",
+                 static_cast<unsigned long long>(dim_x), static_cast<unsigned long long>(dim_y),
+                 static_cast<unsigned long long>(dim_z));
+    std::fprintf(f, "  \"dataset_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(dim_x * dim_y * dim_z * 8));
+    std::fprintf(f, "  \"reads_per_open\": %d,\n", reads_per_open);
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        std::fprintf(f, "    {\"label\": \"%s\", \"seconds_median\": %.6f, \"seconds\": [",
+                     r.label.c_str(), r.median());
+        for (std::size_t t = 0; t < r.seconds.size(); ++t)
+            std::fprintf(f, "%s%.6f", t ? ", " : "", r.seconds[t]);
+        std::fprintf(f, "], \"n_intersect_queries_rank0\": %llu, \"cache_hits_rank0\": %llu}%s\n",
+                     static_cast<unsigned long long>(r.n_intersect_queries),
+                     static_cast<unsigned long long>(r.cache_hits),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"speedup_pipelined_cached_vs_serial_uncached_naive\": %.3f\n", speedup);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int main() {
+    const auto params = benchcommon::Params::from_env();
+    const int  trials = params.trials;
+
+    std::printf("query-pipeline bench: %dx%d ranks, %llux%llux%llu uint64 grid (%llu MiB), "
+                "%d reads per open, %d trials\n",
+                nprod, ncons, static_cast<unsigned long long>(dim_x),
+                static_cast<unsigned long long>(dim_y), static_cast<unsigned long long>(dim_z),
+                static_cast<unsigned long long>(dim_x * dim_y * dim_z * 8 >> 20), reads_per_open,
+                trials);
+
+    std::vector<ScenarioResult> results;
+    results.push_back(run_scenario("serial_uncached_naive", trials,
+                                   /*pipelined=*/false, /*cached=*/false, /*naive=*/true));
+    results.push_back(run_scenario("pipelined_uncached", trials,
+                                   /*pipelined=*/true, /*cached=*/false, /*naive=*/false));
+    results.push_back(run_scenario("pipelined_cached", trials,
+                                   /*pipelined=*/true, /*cached=*/true, /*naive=*/false));
+
+    const double speedup = results.front().median() / results.back().median();
+    std::printf("speedup (pipelined_cached vs serial_uncached_naive): %.2fx\n", speedup);
+    emit_json(results, speedup);
+    return 0;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   scripts/check.sh            build + ctest in ./build
+#   scripts/check.sh --tsan     additionally configure a ThreadSanitizer
+#                               tree in ./build-tsan and run the
+#                               concurrency-sensitive tests under it
+#
+# Extra arguments after the flags are passed through to ctest
+# (e.g. scripts/check.sh -R QueryPipeline).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tsan=0
+if [[ "${1:-}" == "--tsan" ]]; then
+    tsan=1
+    shift
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure --no-tests=error -j "$jobs" "$@"
+
+if [[ $tsan -eq 1 ]]; then
+    echo "== ThreadSanitizer tree (build-tsan) =="
+    cmake -B build-tsan -S . -DLOWFIVE_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$jobs"
+    # the concurrency-heavy suites: simmpi mailboxes/collectives,
+    # background serving, and the pipelined query plane
+    ctest --test-dir build-tsan --output-on-failure --no-tests=error -j "$jobs" \
+          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol'
+fi
+
+echo "check.sh: all green"

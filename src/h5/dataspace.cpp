@@ -1,26 +1,42 @@
 #include "dataspace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <numeric>
 
 namespace h5 {
 
 namespace {
-using Run = SelRun;
-} // namespace
 
-std::vector<SelRun> selection_runs(const Dataspace& space) {
-    std::vector<SelRun> runs;
+using Run = SelRun;
+
+/// Raw (uncoalesced) runs straight from for_each_run: one per selected
+/// row. The naive reference kernels build these on every call, exactly as
+/// the kernels did before run coalescing/memoization.
+std::vector<Run> collect_runs_uncoalesced(const Dataspace& space) {
+    std::vector<Run> runs;
     space.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
         runs.push_back({fo, n, po});
     });
     return runs;
 }
 
-namespace {
-std::vector<Run> collect_runs(const Dataspace& space) { return selection_runs(space); }
+std::atomic<bool> g_naive_kernels{false};
+
 } // namespace
+
+void set_naive_selection_kernels(bool enable) {
+    g_naive_kernels.store(enable, std::memory_order_relaxed);
+}
+
+bool naive_selection_kernels() {
+    return g_naive_kernels.load(std::memory_order_relaxed);
+}
+
+std::vector<SelRun> selection_runs(const Dataspace& space) {
+    return space.runs();
+}
 
 Dataspace::Dataspace(Extent dims) : dims_(std::move(dims)) {
     if (dims_.empty() || dims_.size() > static_cast<std::size_t>(diy::max_dim))
@@ -45,12 +61,14 @@ diy::Bounds Dataspace::extent_bounds() const {
 Dataspace& Dataspace::select_all() {
     all_ = true;
     boxes_.clear();
+    runs_.reset();
     return *this;
 }
 
 Dataspace& Dataspace::select_none() {
     all_ = false;
     boxes_.clear();
+    runs_.reset();
     return *this;
 }
 
@@ -72,7 +90,7 @@ Dataspace& Dataspace::select_box(const diy::Bounds& b) {
     return add_box(b);
 }
 
-Dataspace& Dataspace::add_box(const diy::Bounds& b) {
+Dataspace& Dataspace::add_box_unchecked(const diy::Bounds& b) {
     if (b.dim != dim()) throw Error("h5: add_box rank mismatch");
     for (int i = 0; i < dim(); ++i) {
         auto u = static_cast<std::size_t>(i);
@@ -80,11 +98,16 @@ Dataspace& Dataspace::add_box(const diy::Bounds& b) {
             throw Error("h5: selection box " + b.str() + " outside extent");
     }
     if (all_) throw Error("h5: add_box on an all-selection; call select_none first");
+    if (!b.empty()) boxes_.push_back(b);
+    runs_.reset();
+    return *this;
+}
+
+Dataspace& Dataspace::add_box(const diy::Bounds& b) {
     for (const auto& existing : boxes_)
         if (diy::intersects(existing, b))
             throw Error("h5: selection boxes must be disjoint (" + existing.str() + " vs " + b.str() + ")");
-    if (!b.empty()) boxes_.push_back(b);
-    return *this;
+    return add_box_unchecked(b);
 }
 
 Dataspace& Dataspace::select_hyperslab(std::span<const std::uint64_t> start,
@@ -100,8 +123,15 @@ Dataspace& Dataspace::select_hyperslab(std::span<const std::uint64_t> start,
     if (nblocks > 1'000'000)
         throw Error("h5: hyperslab expands to too many blocks (" + std::to_string(nblocks) + ")");
 
+    for (std::size_t i = 0; i < d; ++i) {
+        std::uint64_t st = stride[i] ? stride[i] : block[i];
+        if (count[i] > 1 && st < block[i])
+            throw Error("h5: hyperslab stride smaller than block (overlapping blocks)");
+    }
+
     select_none();
     if (nblocks == 0) return *this;
+    boxes_.reserve(static_cast<std::size_t>(nblocks));
     std::vector<std::uint64_t> idx(d, 0);
     for (;;) {
         diy::Bounds b(dim());
@@ -111,7 +141,9 @@ Dataspace& Dataspace::select_hyperslab(std::span<const std::uint64_t> start,
             b.min[i]         = static_cast<std::int64_t>(lo);
             b.max[i]         = static_cast<std::int64_t>(lo + block[i]);
         }
-        add_box(b);
+        // blocks of a regular hyperslab are disjoint by construction
+        // (stride >= block, checked above), so skip the pairwise scan
+        add_box_unchecked(b);
 
         std::size_t i = d;
         while (i > 0) {
@@ -156,6 +188,7 @@ Dataspace& Dataspace::select_elements(
         }
         boxes_.push_back(b); // disjoint by the uniqueness check above
     }
+    runs_.reset();
     return *this;
 }
 
@@ -179,7 +212,8 @@ Dataspace Dataspace::with_dims(const Extent& new_dims) const {
     } else {
         out.select_none();
     }
-    for (const auto& b : boxes_) out.add_box(b);
+    // boxes of a valid selection are already disjoint
+    for (const auto& b : boxes_) out.add_box_unchecked(b);
     return out;
 }
 
@@ -260,6 +294,32 @@ void Dataspace::for_each_run(
     }
 }
 
+const Dataspace::RunsCache& Dataspace::run_cache() const {
+    if (!runs_) {
+        auto cache = std::make_shared<RunsCache>();
+        auto& iter = cache->iter;
+        // coalesce emissions that are contiguous in both the file
+        // linearization and the packed buffer (e.g. full rows of a slab
+        // merge into one run spanning the slab)
+        for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
+            if (!iter.empty() && iter.back().file_off + iter.back().len == fo &&
+                iter.back().packed_off + iter.back().len == po)
+                iter.back().len += n;
+            else
+                iter.push_back({fo, n, po});
+        });
+        cache->by_file = iter;
+        std::sort(cache->by_file.begin(), cache->by_file.end(),
+                  [](const Run& a, const Run& b) { return a.file_off < b.file_off; });
+        runs_ = std::move(cache);
+    }
+    return *runs_;
+}
+
+const std::vector<SelRun>& Dataspace::runs() const { return run_cache().iter; }
+
+const std::vector<SelRun>& Dataspace::runs_by_file() const { return run_cache().by_file; }
+
 void Dataspace::save(diy::BinaryBuffer& bb) const {
     bb.save(dims_);
     bb.save<std::uint8_t>(all_ ? 1 : 0);
@@ -288,7 +348,8 @@ Dataspace Dataspace::load(diy::BinaryBuffer& bb) {
                 bb.load(b.min[static_cast<std::size_t>(i)]);
                 bb.load(b.max[static_cast<std::size_t>(i)]);
             }
-            sp.add_box(b);
+            // saved selections were validated disjoint when constructed
+            sp.add_box_unchecked(b);
         }
     }
     return sp;
@@ -321,17 +382,15 @@ std::vector<diy::Bounds> intersect_selections(const Dataspace& a, const Dataspac
 void pack_selection(const Dataspace& space, const void* full, std::size_t elem, void* packed) {
     const auto* src = static_cast<const std::byte*>(full);
     auto*       dst = static_cast<std::byte*>(packed);
-    space.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
-        std::memcpy(dst + po * elem, src + fo * elem, n * elem);
-    });
+    for (const auto& r : space.runs())
+        std::memcpy(dst + r.packed_off * elem, src + r.file_off * elem, r.len * elem);
 }
 
 void unpack_selection(const Dataspace& space, const void* packed, std::size_t elem, void* full) {
     const auto* src = static_cast<const std::byte*>(packed);
     auto*       dst = static_cast<std::byte*>(full);
-    space.for_each_run([&](std::uint64_t fo, std::uint64_t n, std::uint64_t po) {
-        std::memcpy(dst + fo * elem, src + po * elem, n * elem);
-    });
+    for (const auto& r : space.runs())
+        std::memcpy(dst + r.file_off * elem, src + r.packed_off * elem, r.len * elem);
 }
 
 void copy_selected(const Dataspace& src_space, const void* src, const Dataspace& dst_space,
@@ -340,8 +399,8 @@ void copy_selected(const Dataspace& src_space, const void* src, const Dataspace&
         throw Error("h5: copy_selected selection sizes differ (" + std::to_string(src_space.npoints())
                     + " vs " + std::to_string(dst_space.npoints()) + ")");
 
-    auto sruns = collect_runs(src_space);
-    auto druns = collect_runs(dst_space);
+    const auto& sruns = src_space.runs();
+    const auto& druns = dst_space.runs();
 
     const auto* sbuf = static_cast<const std::byte*>(src);
     auto*       dbuf = static_cast<std::byte*>(dst);
@@ -360,13 +419,139 @@ void copy_selected(const Dataspace& src_space, const void* src, const Dataspace&
     }
 }
 
+// --- coalesced two-pointer kernels -------------------------------------------
+//
+// Both the "moving" side (the selection being walked) and the "lookup"
+// side (the space being addressed) are visited through their coalesced
+// runs sorted by file offset. Because runs of one selection are disjoint,
+// the lookup cursor only ever advances: a single O(S + D) forward merge
+// replaces a binary search per walked row. A slab-on-slab transfer
+// degenerates to one memcpy.
+
 void extract_from_packed(const Dataspace& piece_space, const void* piece_packed,
                          const Dataspace& want, std::size_t elem, std::vector<std::byte>& out) {
-    auto pruns = collect_runs(piece_space);
+    if (naive_selection_kernels())
+        return extract_from_packed_naive(piece_space, piece_packed, want, elem, out);
+
+    const auto& pruns = piece_space.runs_by_file();
+    const auto& wruns = want.runs_by_file();
+
+    const auto* src  = static_cast<const std::byte*>(piece_packed);
+    const auto  base = out.size();
+    out.resize(base + want.npoints() * elem);
+    auto* dst = out.data() + base;
+
+    std::size_t pi = 0;
+    for (const auto& w : wruns) {
+        std::uint64_t copied = 0;
+        while (copied < w.len) {
+            const std::uint64_t target = w.file_off + copied;
+            while (pi < pruns.size() && pruns[pi].file_off + pruns[pi].len <= target) ++pi;
+            if (pi == pruns.size() || pruns[pi].file_off > target)
+                throw Error("h5: extract_from_packed: requested element not covered by piece");
+            const std::uint64_t within = target - pruns[pi].file_off;
+            const std::uint64_t take   = std::min(pruns[pi].len - within, w.len - copied);
+            std::memcpy(dst + (w.packed_off + copied) * elem,
+                        src + (pruns[pi].packed_off + within) * elem, take * elem);
+            copied += take;
+        }
+    }
+}
+
+void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const Dataspace& sub,
+                         const void* sub_packed, std::size_t elem) {
+    if (naive_selection_kernels())
+        return scatter_into_packed_naive(dest_space, dest_packed, sub, sub_packed, elem);
+
+    const auto& druns = dest_space.runs_by_file();
+    const auto& sruns = sub.runs_by_file();
+
+    auto*       dst = static_cast<std::byte*>(dest_packed);
+    const auto* src = static_cast<const std::byte*>(sub_packed);
+
+    std::size_t di = 0;
+    for (const auto& s : sruns) {
+        std::uint64_t copied = 0;
+        while (copied < s.len) {
+            const std::uint64_t target = s.file_off + copied;
+            while (di < druns.size() && druns[di].file_off + druns[di].len <= target) ++di;
+            if (di == druns.size() || druns[di].file_off > target)
+                throw Error("h5: scatter_into_packed: element not covered by destination");
+            const std::uint64_t within = target - druns[di].file_off;
+            const std::uint64_t take   = std::min(druns[di].len - within, s.len - copied);
+            std::memcpy(dst + (druns[di].packed_off + within) * elem,
+                        src + (s.packed_off + copied) * elem, take * elem);
+            copied += take;
+        }
+    }
+}
+
+void extract_via_mapping(const Dataspace& filespace, const Dataspace& memspace,
+                         const void* membuf, const Dataspace& want, std::size_t elem,
+                         std::vector<std::byte>& out) {
+    if (naive_selection_kernels())
+        return extract_via_mapping_naive(filespace, memspace, membuf, want, elem, out);
+
+    if (filespace.npoints() != memspace.npoints())
+        throw Error("h5: extract_via_mapping: filespace/memspace sizes differ");
+
+    const auto& fruns = filespace.runs_by_file();
+    const auto& mruns = memspace.runs(); // increasing packed_off by construction
+
+    const auto* src  = static_cast<const std::byte*>(membuf);
+    const auto  base = out.size();
+    out.resize(base + want.npoints() * elem);
+    auto* dst = out.data() + base;
+
+    // enumeration position -> memory buffer offset; positions are not
+    // monotonic across want runs, so the memory side keeps a binary search
+    auto mem_locate = [&](std::uint64_t pos, std::uint64_t& buf_off, std::uint64_t& avail) {
+        auto it = std::upper_bound(mruns.begin(), mruns.end(), pos,
+                                   [](std::uint64_t v, const Run& r) { return v < r.packed_off; });
+        if (it == mruns.begin()) throw Error("h5: extract_via_mapping: bad enumeration position");
+        --it;
+        std::uint64_t within = pos - it->packed_off;
+        if (within >= it->len) throw Error("h5: extract_via_mapping: bad enumeration position");
+        buf_off = it->file_off + within;
+        avail   = it->len - within;
+    };
+
+    std::size_t fi = 0;
+    for (const auto& w : want.runs_by_file()) {
+        std::uint64_t copied = 0;
+        while (copied < w.len) {
+            const std::uint64_t target = w.file_off + copied;
+            while (fi < fruns.size() && fruns[fi].file_off + fruns[fi].len <= target) ++fi;
+            if (fi == fruns.size() || fruns[fi].file_off > target)
+                throw Error("h5: extract_via_mapping: requested element not covered");
+            const std::uint64_t within  = target - fruns[fi].file_off;
+            const std::uint64_t avail_f = fruns[fi].len - within;
+            const std::uint64_t pos     = fruns[fi].packed_off + within;
+
+            std::uint64_t buf_off = 0, avail_m = 0;
+            mem_locate(pos, buf_off, avail_m);
+
+            const std::uint64_t take = std::min({avail_f, avail_m, w.len - copied});
+            std::memcpy(dst + (w.packed_off + copied) * elem, src + buf_off * elem, take * elem);
+            copied += take;
+        }
+    }
+}
+
+// --- naive reference kernels -------------------------------------------------
+//
+// The pre-coalescing implementations: rebuild the (uncoalesced) run list
+// on every call and binary-search it per walked row. Kept byte-compatible
+// as the property-test oracle and the benchmark baseline.
+
+void extract_from_packed_naive(const Dataspace& piece_space, const void* piece_packed,
+                               const Dataspace& want, std::size_t elem,
+                               std::vector<std::byte>& out) {
+    auto pruns = collect_runs_uncoalesced(piece_space);
     std::sort(pruns.begin(), pruns.end(), [](const Run& a, const Run& b) { return a.file_off < b.file_off; });
 
-    const auto* src       = static_cast<const std::byte*>(piece_packed);
-    const auto  base      = out.size();
+    const auto* src  = static_cast<const std::byte*>(piece_packed);
+    const auto  base = out.size();
     out.resize(base + want.npoints() * elem);
     auto* dst = out.data() + base;
 
@@ -391,9 +576,9 @@ void extract_from_packed(const Dataspace& piece_space, const void* piece_packed,
     });
 }
 
-void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const Dataspace& sub,
-                         const void* sub_packed, std::size_t elem) {
-    auto druns = collect_runs(dest_space);
+void scatter_into_packed_naive(const Dataspace& dest_space, void* dest_packed,
+                               const Dataspace& sub, const void* sub_packed, std::size_t elem) {
+    auto druns = collect_runs_uncoalesced(dest_space);
     std::sort(druns.begin(), druns.end(),
               [](const Run& a, const Run& b) { return a.file_off < b.file_off; });
 
@@ -420,16 +605,16 @@ void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const D
     });
 }
 
-void extract_via_mapping(const Dataspace& filespace, const Dataspace& memspace,
-                         const void* membuf, const Dataspace& want, std::size_t elem,
-                         std::vector<std::byte>& out) {
+void extract_via_mapping_naive(const Dataspace& filespace, const Dataspace& memspace,
+                               const void* membuf, const Dataspace& want, std::size_t elem,
+                               std::vector<std::byte>& out) {
     if (filespace.npoints() != memspace.npoints())
         throw Error("h5: extract_via_mapping: filespace/memspace sizes differ");
 
-    auto fruns = collect_runs(filespace);
+    auto fruns = collect_runs_uncoalesced(filespace);
     std::sort(fruns.begin(), fruns.end(),
               [](const Run& a, const Run& b) { return a.file_off < b.file_off; });
-    auto mruns = collect_runs(memspace); // increasing packed_off by construction
+    auto mruns = collect_runs_uncoalesced(memspace); // increasing packed_off by construction
 
     const auto* src  = static_cast<const std::byte*>(membuf);
     const auto  base = out.size();

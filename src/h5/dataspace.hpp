@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,15 @@ public:
 };
 
 using Extent = std::vector<std::uint64_t>;
+
+/// A contiguous run of a selection: position in the row-major
+/// linearization of the full extent, length in elements, and position in
+/// the packed (iteration-order) enumeration of the selection.
+struct SelRun {
+    std::uint64_t file_off;
+    std::uint64_t len;
+    std::uint64_t packed_off;
+};
 
 /// An N-dimensional dataspace with a selection, mirroring HDF5: the
 /// extent describes the full array shape; the selection names the subset
@@ -93,6 +103,16 @@ public:
     /// packed_offset indexes the packed (iteration-order) buffer.
     void for_each_run(const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& fn) const;
 
+    /// The selection's runs in iteration order, with runs that are
+    /// adjacent in both the file linearization and the packed buffer
+    /// merged (a full-row slab becomes one run). Memoized per selection:
+    /// the first call materializes, later calls (and copies of this
+    /// dataspace) reuse the cached vector until the selection mutates.
+    const std::vector<SelRun>& runs() const;
+    /// The same coalesced runs sorted by file offset — the lookup side of
+    /// the scatter/extract kernels. Memoized alongside runs().
+    const std::vector<SelRun>& runs_by_file() const;
+
     bool operator==(const Dataspace& o) const {
         return dims_ == o.dims_ && all_ == o.all_ && boxes_ == o.boxes_;
     }
@@ -105,9 +125,21 @@ public:
 private:
     void resolve() const; ///< materialize boxes for "all"
 
+    /// add_box without the pairwise-disjointness scan, for callers that
+    /// construct provably disjoint boxes (hyperslab expansion, copies of
+    /// already-validated selections). Bounds checks still apply.
+    Dataspace& add_box_unchecked(const diy::Bounds& b);
+
+    struct RunsCache {
+        std::vector<SelRun> iter;    ///< coalesced, iteration order
+        std::vector<SelRun> by_file; ///< same runs sorted by file_off
+    };
+    const RunsCache& run_cache() const;
+
     Extent                           dims_;
     bool                             all_ = true;
     mutable std::vector<diy::Bounds> boxes_; // disjoint; cached resolution for "all"
+    mutable std::shared_ptr<const RunsCache> runs_; // memoized runs; reset on mutation
 };
 
 // --- selection algebra -------------------------------------------------------
@@ -146,16 +178,8 @@ void extract_from_packed(const Dataspace& piece_space, const void* piece_packed,
 void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const Dataspace& sub,
                          const void* sub_packed, std::size_t elem);
 
-/// A contiguous run of a selection: position in the row-major
-/// linearization of the full extent, length in elements, and position in
-/// the packed (iteration-order) enumeration of the selection.
-struct SelRun {
-    std::uint64_t file_off;
-    std::uint64_t len;
-    std::uint64_t packed_off;
-};
-
-/// Materialize the runs of a selection, in iteration order.
+/// Materialize the coalesced runs of a selection, in iteration order
+/// (equivalent to `space.runs()` but returned by value).
 std::vector<SelRun> selection_runs(const Dataspace& space);
 
 /// Extract `want` (a sub-selection of `filespace`'s selection, in file
@@ -167,5 +191,30 @@ std::vector<SelRun> selection_runs(const Dataspace& space);
 void extract_via_mapping(const Dataspace& filespace, const Dataspace& memspace,
                          const void* membuf, const Dataspace& want, std::size_t elem,
                          std::vector<std::byte>& out);
+
+// --- reference (uncoalesced) kernels ----------------------------------------
+//
+// The original per-run binary-search implementations, kept as the
+// correctness reference for the property tests and as the "naive" side of
+// the kernel benchmarks. Behaviour is byte-identical to the coalesced
+// two-pointer kernels above.
+
+void extract_from_packed_naive(const Dataspace& piece_space, const void* piece_packed,
+                               const Dataspace& want, std::size_t elem,
+                               std::vector<std::byte>& out);
+
+void scatter_into_packed_naive(const Dataspace& dest_space, void* dest_packed,
+                               const Dataspace& sub, const void* sub_packed,
+                               std::size_t elem);
+
+void extract_via_mapping_naive(const Dataspace& filespace, const Dataspace& memspace,
+                               const void* membuf, const Dataspace& want, std::size_t elem,
+                               std::vector<std::byte>& out);
+
+/// Route extract_from_packed / scatter_into_packed / extract_via_mapping
+/// through the naive reference kernels (process-wide; used by benchmarks
+/// to measure the coalesced kernels' end-to-end effect).
+void set_naive_selection_kernels(bool enable);
+bool naive_selection_kernels();
 
 } // namespace h5

@@ -10,22 +10,6 @@ constexpr char          magic[8]      = {'M', 'I', 'N', 'I', 'H', '5', 'F', '\0'
 constexpr std::uint32_t format_version = 1;
 constexpr std::uint64_t header_size    = 28;
 
-/// Merge selection runs that are adjacent both in the file linearization
-/// and in the packed buffer, so large contiguous regions become single
-/// I/O operations.
-std::vector<SelRun> coalesced_runs(const Dataspace& sp) {
-    auto                runs = selection_runs(sp);
-    std::vector<SelRun> out;
-    for (const auto& r : runs) {
-        if (!out.empty() && out.back().file_off + out.back().len == r.file_off
-            && out.back().packed_off + out.back().len == r.packed_off)
-            out.back().len += r.len;
-        else
-            out.push_back(r);
-    }
-    return out;
-}
-
 void check_spaces(const Dataspace& memspace, const Dataspace& filespace, const Object& dset,
                   const char* what) {
     if (memspace.npoints() != filespace.npoints())
@@ -128,7 +112,7 @@ void NativeVol::write_created_file(OpenFile& f) {
         if (obj.kind == ObjectKind::Dataset) {
             const std::size_t elem = obj.type.size();
             for (const auto& piece : obj.pieces) {
-                for (const auto& run : coalesced_runs(piece.filespace))
+                for (const auto& run : piece.filespace.runs())
                     io.pwrite(piece.owned.data() + run.packed_off * elem, run.len * elem,
                               obj.file_data_offset + run.file_off * elem);
             }
@@ -216,7 +200,7 @@ void NativeVol::dataset_read(void* dset, const Dataspace& memspace, const Datasp
     if (f.writable) {
         read_from_pieces(*d, filespace, packed.data());
     } else {
-        for (const auto& run : coalesced_runs(filespace))
+        for (const auto& run : filespace.runs())
             f.io.pread(packed.data() + run.packed_off * elem, run.len * elem,
                        d->file_data_offset + run.file_off * elem);
     }

@@ -3,6 +3,7 @@
 #include <diy/serialization.hpp>
 
 #include <algorithm>
+#include <set>
 #include <thread>
 
 namespace lowfive {
@@ -21,9 +22,12 @@ enum class Op : std::uint8_t {
     Done           = 4,
 };
 
-constexpr int rpc_request = 901;
-constexpr int rpc_reply   = 902;
-constexpr int rpc_ready   = 903;
+constexpr int rpc_request    = 901;
+constexpr int rpc_reply      = 902; ///< metadata / intersect replies
+constexpr int rpc_ready      = 903;
+constexpr int rpc_data_reply = 904; ///< data-query replies (separate tag so
+                                    ///< eagerly issued data queries cannot
+                                    ///< match the intersect drain)
 
 void send_buffer(const simmpi::Comm& ic, int dest, int tag, diy::BinaryBuffer&& bb) {
     ic.send(dest, tag, std::move(bb).take());
@@ -111,7 +115,16 @@ void DistMetadataVol::drop_file(const std::string& name) {
     // (conservative: waits for every outstanding round)
     if (serve_thread_.joinable())
         dones_cv_.wait(lock, [&] { return dones_received_ >= dones_expected_; });
+    index_.erase(name);
+    invalidate_producer_cache(name);
     MetadataVol::drop_file(name);
+}
+
+void DistMetadataVol::invalidate_producer_cache(const std::string& file) {
+    const std::string prefix = file + '\0';
+    auto              it     = producer_cache_.lower_bound(prefix);
+    while (it != producer_cache_.end() && it->first.compare(0, prefix.size(), prefix) == 0)
+        it = producer_cache_.erase(it);
 }
 
 void DistMetadataVol::serve_to(simmpi::Comm intercomm, std::string pattern) {
@@ -131,6 +144,8 @@ int DistMetadataVol::route_consume(const std::string& name) const {
 // --- producer: index (Algorithm 1) ------------------------------------------
 
 void DistMetadataVol::index_file(FileEntry& entry) {
+    index_.erase(entry.name); // a rewrite replaces the index, never appends
+
     std::vector<std::pair<std::string, Object*>> dsets;
     collect_datasets(entry.root.get(), dsets);
 
@@ -229,6 +244,7 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         break;
     }
     case Op::IntersectQuery: {
+        const auto  req_id = bb.load<std::uint64_t>();
         std::string name, dset;
         bb.load(name);
         bb.load(dset);
@@ -246,11 +262,13 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
 
         diy::BinaryBuffer reply;
+        reply.save(req_id);
         reply.save(ranks);
         send_buffer(conn.ic, src, rpc_reply, std::move(reply));
         break;
     }
     case Op::DataQuery: {
+        const auto  req_id = bb.load<std::uint64_t>();
         std::string name, dset;
         bb.load(name);
         bb.load(dset);
@@ -264,25 +282,30 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
             throw Error("lowfive: data query for unknown dataset '" + dset + "'");
         const std::size_t elem = node->type.size();
 
-        diy::BinaryBuffer reply;
-        std::uint64_t     npieces = 0;
-        for (const auto& piece : node->pieces)
-            if (!intersect_selections(piece.filespace, fs).empty()) ++npieces;
-        reply.save(npieces);
+        // intersect each piece with the query exactly once, keeping the
+        // per-piece sub-selection for the extraction below
+        std::vector<std::pair<const h5::DataPiece*, Dataspace>> hits;
         for (const auto& piece : node->pieces) {
             auto common = intersect_selections(piece.filespace, fs);
             if (common.empty()) continue;
             Dataspace sub(node->space.dims());
             sub.select_none();
             for (const auto& b : common) sub.add_box(b);
+            hits.emplace_back(&piece, std::move(sub));
+        }
+
+        diy::BinaryBuffer reply;
+        reply.save(req_id);
+        reply.save<std::uint64_t>(hits.size());
+        for (auto& [piece, sub] : hits) {
             sub.save(reply);
             // extract straight into the reply buffer: no intermediate copy
             const std::uint64_t nbytes = sub.npoints() * elem;
             reply.save(nbytes);
-            piece.extract(sub, elem, reply.mutable_data());
+            piece->extract(sub, elem, reply.mutable_data());
             stats_.bytes_served += nbytes;
         }
-        send_buffer(conn.ic, src, rpc_reply, std::move(reply));
+        send_buffer(conn.ic, src, rpc_data_reply, std::move(reply));
         break;
     }
     }
@@ -299,14 +322,18 @@ void DistMetadataVol::retry_deferred() {
 
 void DistMetadataVol::after_file_close(FileEntry& entry) {
     if (entry.remote) {
-        // consumer side: tell every producer rank we are done with this file
+        // consumer side: the producers may rewrite the file once released,
+        // so cached producer sets for it are no longer trustworthy
+        invalidate_producer_cache(entry.name);
+        // tell every producer rank we are done with this file; one shared
+        // payload fans out to all of them
         auto& conn = consume_conns_[static_cast<std::size_t>(entry.conn)];
-        for (int p = 0; p < conn.ic.peer_size(); ++p) {
-            diy::BinaryBuffer bb;
-            bb.save(static_cast<std::uint8_t>(Op::Done));
-            bb.save(entry.name);
-            send_buffer(conn.ic, p, rpc_request, std::move(bb));
-        }
+        diy::BinaryBuffer bb;
+        bb.save(static_cast<std::uint8_t>(Op::Done));
+        bb.save(entry.name);
+        auto payload = simmpi::make_shared_payload(std::move(bb).take());
+        for (int p = 0; p < conn.ic.peer_size(); ++p)
+            conn.ic.send_shared(p, rpc_request, payload);
         return;
     }
 
@@ -333,12 +360,12 @@ void DistMetadataVol::after_file_close(FileEntry& entry) {
     } else if (local_.rank() == 0) {
         // passthru-only file: physical file is complete (collective close
         // barriered); notify consumers it is ready to be opened
+        diy::BinaryBuffer bb;
+        bb.save(entry.name);
+        auto payload = simmpi::make_shared_payload(std::move(bb).take());
         for (auto* c : matching)
-            for (int r = 0; r < c->ic.peer_size(); ++r) {
-                diy::BinaryBuffer bb;
-                bb.save(entry.name);
-                send_buffer(c->ic, r, rpc_ready, std::move(bb));
-            }
+            for (int r = 0; r < c->ic.peer_size(); ++r)
+                c->ic.send_shared(r, rpc_ready, payload);
     }
 }
 
@@ -406,44 +433,113 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
     const std::size_t elem = node->type.size();
     const int         n    = conn.ic.peer_size();
 
-    // Step 1: common decomposition, then ask the index-owning blocks
+    // Step 1: common decomposition; the index-owning blocks to ask
     diy::RegularDecomposer decomp(node->space.extent_bounds(), n);
     diy::Bounds            bb = filespace.bounding_box();
 
-    std::vector<int> idx_blocks = decomp.intersecting_blocks(bb);
-    for (int p : idx_blocks) {
-        diy::BinaryBuffer req;
-        req.save(static_cast<std::uint8_t>(Op::IntersectQuery));
-        req.save(f.name);
-        req.save(dset);
-        bb.save(req);
-        send_buffer(conn.ic, p, rpc_request, std::move(req));
-        ++stats_.n_intersect_queries;
+    // did an earlier read of this (file, dataset, bounds) already learn
+    // which producers answer it?
+    std::string key;
+    if (query_cache_) {
+        diy::BinaryBuffer kb;
+        bb.save(kb);
+        key = f.name;
+        key.push_back('\0');
+        key += dset;
+        key.push_back('\0');
+        key.append(reinterpret_cast<const char*>(kb.data().data()), kb.size());
     }
     std::vector<std::int32_t> producers;
-    for (int p : idx_blocks) {
-        auto                      reply = recv_buffer(conn.ic, p, rpc_reply);
-        std::vector<std::int32_t> ranks;
-        reply.load(ranks);
-        producers.insert(producers.end(), ranks.begin(), ranks.end());
+    bool                      cached = false;
+    if (query_cache_) {
+        if (auto it = producer_cache_.find(key); it != producer_cache_.end()) {
+            producers = it->second;
+            cached    = true;
+            ++stats_.n_intersect_cache_hits;
+        } else {
+            ++stats_.n_intersect_cache_misses;
+        }
     }
-    std::sort(producers.begin(), producers.end());
-    producers.erase(std::unique(producers.begin(), producers.end()), producers.end());
 
-    // Step 2: request and receive the data from exactly those producers
-    for (int p : producers) {
-        diy::BinaryBuffer req;
+    std::map<std::uint64_t, int> pending_data; // req id -> producer rank
+    auto send_data_query = [&](int p) {
+        const std::uint64_t id = next_req_id_++;
+        diy::BinaryBuffer   req;
         req.save(static_cast<std::uint8_t>(Op::DataQuery));
+        req.save(id);
         req.save(f.name);
         req.save(dset);
         filespace.save(req);
         send_buffer(conn.ic, p, rpc_request, std::move(req));
+        pending_data.emplace(id, p);
         ++stats_.n_data_queries;
-    }
+    };
 
+    if (cached) {
+        // cache hit: skip the intersect round entirely
+        for (int p : producers) send_data_query(p);
+    } else if (pipelining_) {
+        // issue every intersect query up front...
+        std::map<std::uint64_t, int> pending; // req id -> index block rank
+        for (int p : decomp.intersecting_blocks(bb)) {
+            const std::uint64_t id = next_req_id_++;
+            diy::BinaryBuffer   req;
+            req.save(static_cast<std::uint8_t>(Op::IntersectQuery));
+            req.save(id);
+            req.save(f.name);
+            req.save(dset);
+            bb.save(req);
+            send_buffer(conn.ic, p, rpc_request, std::move(req));
+            pending.emplace(id, p);
+            ++stats_.n_intersect_queries;
+        }
+        // ...and drain replies in arrival order (they may complete out of
+        // rank order); a data query goes out the moment a reply first
+        // names a producer, overlapping with the remaining intersect round
+        std::set<std::int32_t> seen;
+        while (!pending.empty()) {
+            int  from  = -1;
+            auto reply = recv_buffer(conn.ic, simmpi::any_source, rpc_reply, &from);
+            const auto id  = reply.load<std::uint64_t>();
+            auto       pit = pending.find(id);
+            if (pit == pending.end() || pit->second != from)
+                throw Error("lowfive: intersect reply with unexpected id or source");
+            pending.erase(pit);
+            std::vector<std::int32_t> ranks;
+            reply.load(ranks);
+            for (auto r : ranks)
+                if (seen.insert(r).second) send_data_query(static_cast<int>(r));
+        }
+        producers.assign(seen.begin(), seen.end());
+    } else {
+        // serial reference path: one intersect query in flight at a time,
+        // replies taken in rank order
+        for (int p : decomp.intersecting_blocks(bb)) {
+            const std::uint64_t id = next_req_id_++;
+            diy::BinaryBuffer   req;
+            req.save(static_cast<std::uint8_t>(Op::IntersectQuery));
+            req.save(id);
+            req.save(f.name);
+            req.save(dset);
+            bb.save(req);
+            send_buffer(conn.ic, p, rpc_request, std::move(req));
+            ++stats_.n_intersect_queries;
+            auto reply = recv_buffer(conn.ic, p, rpc_reply);
+            if (reply.load<std::uint64_t>() != id)
+                throw Error("lowfive: intersect reply with unexpected id");
+            std::vector<std::int32_t> ranks;
+            reply.load(ranks);
+            producers.insert(producers.end(), ranks.begin(), ranks.end());
+        }
+        std::sort(producers.begin(), producers.end());
+        producers.erase(std::unique(producers.begin(), producers.end()), producers.end());
+        for (int p : producers) send_data_query(p);
+    }
+    if (query_cache_ && !cached) producer_cache_[key] = producers;
+
+    // Step 2: scatter the replies as they arrive
     std::vector<std::byte> packed(filespace.npoints() * elem); // zero fill
-    for (int p : producers) {
-        auto reply = recv_buffer(conn.ic, p, rpc_reply);
+    auto scatter_reply = [&](diy::BinaryBuffer& reply) {
         auto npieces = reply.load<std::uint64_t>();
         for (std::uint64_t k = 0; k < npieces; ++k) {
             Dataspace        sub    = Dataspace::load(reply);
@@ -452,6 +548,26 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
             stats_.bytes_fetched += nbytes;
             scatter_into_packed(filespace, packed.data(), sub, data, elem);
         }
+    };
+    if (pipelining_) {
+        while (!pending_data.empty()) {
+            int  from  = -1;
+            auto reply = recv_buffer(conn.ic, simmpi::any_source, rpc_data_reply, &from);
+            const auto id  = reply.load<std::uint64_t>();
+            auto       pit = pending_data.find(id);
+            if (pit == pending_data.end() || pit->second != from)
+                throw Error("lowfive: data reply with unexpected id or source");
+            pending_data.erase(pit);
+            scatter_reply(reply);
+        }
+    } else {
+        for (auto& [id, p] : pending_data) {
+            auto reply = recv_buffer(conn.ic, p, rpc_data_reply);
+            if (reply.load<std::uint64_t>() != id)
+                throw Error("lowfive: data reply with unexpected id");
+            scatter_reply(reply);
+        }
+        pending_data.clear();
     }
     unpack_selection(memspace, packed.data(), elem, buf);
 }

@@ -70,12 +70,31 @@ public:
 
     ~DistMetadataVol() override;
 
+    /// Consumer-side request pipelining: when true (default), a remote
+    /// read issues every intersect query up front and drains replies in
+    /// arrival order, sending each data query the moment a producer is
+    /// first named; replies carry a request id so they may complete out
+    /// of order. When false, the serial reference path runs: one request
+    /// in flight at a time, replies taken in rank order.
+    void set_pipelining(bool v) { pipelining_ = v; }
+
+    /// Consumer-side producer-set cache: when true (default), the set of
+    /// producer ranks answering a (file, dataset, query-bounds) triple is
+    /// remembered, so repeated reads skip the intersect round entirely.
+    /// Invalidated when the consumer closes or drops the file.
+    void set_query_cache(bool v) {
+        query_cache_ = v;
+        if (!v) producer_cache_.clear();
+    }
+
     /// Transfer statistics for reporting.
     struct Stats {
         std::uint64_t bytes_served   = 0; ///< payload bytes sent while serving
         std::uint64_t bytes_fetched  = 0; ///< payload bytes received by queries
         std::uint64_t n_data_queries = 0;
         std::uint64_t n_intersect_queries = 0;
+        std::uint64_t n_intersect_cache_hits   = 0; ///< reads that skipped the intersect round
+        std::uint64_t n_intersect_cache_misses = 0; ///< reads that had to run it
     };
     const Stats& stats() const { return stats_; }
 
@@ -110,10 +129,20 @@ private:
 
     void background_loop();
 
+    /// Drop every cached producer set belonging to `file`.
+    void invalidate_producer_cache(const std::string& file);
+
     simmpi::Comm      local_;
     std::vector<Conn> serve_conns_;
     std::vector<Conn> consume_conns_;
     bool              serve_on_close_ = true;
+    bool              pipelining_     = true;
+    bool              query_cache_    = true;
+
+    // consumer state (touched only by the consumer's own thread)
+    // producer_cache_[file \0 dset \0 bounds] = producer ranks to query
+    std::map<std::string, std::vector<std::int32_t>> producer_cache_;
+    std::uint64_t                                    next_req_id_ = 1;
 
     // background serving (off by default): the serve thread and the
     // producer thread share files_/index_/deferred_/done counters, all

@@ -29,6 +29,10 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) const {
 }
 
 void Comm::send(int dest, int tag, std::vector<std::byte>&& payload) const {
+    send_shared(dest, tag, make_shared_payload(std::move(payload)));
+}
+
+void Comm::send_shared(int dest, int tag, SharedPayload payload) const {
     if (tag < 0) throw Error("simmpi: user tags must be non-negative");
     detail::Envelope env;
     env.context = context_;
@@ -41,8 +45,8 @@ void Comm::send(int dest, int tag, std::vector<std::byte>&& payload) const {
 Status Comm::recv(int src, int tag, std::vector<std::byte>& out) const {
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
     detail::Envelope env = my_mailbox().pop(context_, src, tag);
-    Status           st{env.src, env.tag, env.payload.size()};
-    out = std::move(env.payload);
+    Status           st{env.src, env.tag, env.size()};
+    out = detail::take_payload(std::move(env.payload));
     return st;
 }
 
@@ -95,17 +99,25 @@ Request Comm::irecv(int src, int tag, std::vector<std::byte>& out) const {
 // --- internal collective plumbing -----------------------------------------
 
 void Comm::coll_send(int dest, int tag, std::span<const std::byte> data) const {
+    coll_send(dest, tag, std::vector<std::byte>(data.begin(), data.end()));
+}
+
+void Comm::coll_send(int dest, int tag, std::vector<std::byte>&& data) const {
+    coll_send_shared(dest, tag, make_shared_payload(std::move(data)));
+}
+
+void Comm::coll_send_shared(int dest, int tag, SharedPayload data) const {
     detail::Envelope env;
     env.context = coll_context();
     env.src     = rank_;
     env.tag     = tag;
-    env.payload.assign(data.begin(), data.end());
+    env.payload = std::move(data);
     peer_mailbox(dest).push(std::move(env));
 }
 
 std::vector<std::byte> Comm::coll_recv(int src, int tag) const {
     detail::Envelope env = my_mailbox().pop(coll_context(), src, tag);
-    return std::move(env.payload);
+    return detail::take_payload(std::move(env.payload));
 }
 
 // --- collectives ------------------------------------------------------------
@@ -115,9 +127,9 @@ void Comm::barrier() const {
     const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
     if (rank_ == 0) {
         for (int r = 1; r < size(); ++r) (void)coll_recv(r, tag);
-        for (int r = 1; r < size(); ++r) coll_send(r, tag + 1, {});
+        for (int r = 1; r < size(); ++r) coll_send(r, tag + 1, std::vector<std::byte>{});
     } else {
-        coll_send(0, tag, {});
+        coll_send(0, tag, std::vector<std::byte>{});
         (void)coll_recv(0, tag + 1);
     }
 }
@@ -126,8 +138,11 @@ void Comm::bcast(std::vector<std::byte>& data, int root) const {
     check_intra("bcast");
     const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
     if (rank_ == root) {
+        // one refcounted buffer fanned out to the whole group (the root
+        // keeps `data`, so a single copy replaces the former N-1)
+        auto shared = make_shared_payload(std::vector<std::byte>(data.begin(), data.end()));
         for (int r = 0; r < size(); ++r)
-            if (r != root) coll_send(r, tag, data);
+            if (r != root) coll_send_shared(r, tag, shared);
     } else {
         data = coll_recv(root, tag);
     }
@@ -181,14 +196,8 @@ std::vector<std::vector<std::byte>> Comm::alltoall(std::vector<std::vector<std::
     if (outgoing.size() != static_cast<std::size_t>(size()))
         throw Error("simmpi: alltoall requires one payload per rank");
     const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
-    for (int r = 0; r < size(); ++r) {
-        detail::Envelope env;
-        env.context = coll_context();
-        env.src     = rank_;
-        env.tag     = tag;
-        env.payload = std::move(outgoing[static_cast<std::size_t>(r)]);
-        peer_mailbox(r).push(std::move(env));
-    }
+    for (int r = 0; r < size(); ++r)
+        coll_send(r, tag, std::move(outgoing[static_cast<std::size_t>(r)]));
     std::vector<std::vector<std::byte>> incoming(static_cast<std::size_t>(size()));
     for (int r = 0; r < size(); ++r)
         incoming[static_cast<std::size_t>(r)] = coll_recv(r, tag);
@@ -203,12 +212,7 @@ std::vector<std::byte> Comm::scatter(std::vector<std::vector<std::byte>>&& parts
             throw Error("simmpi: scatter requires one part per rank");
         for (int r = 0; r < size(); ++r) {
             if (r == root) continue;
-            detail::Envelope env;
-            env.context = coll_context();
-            env.src     = rank_;
-            env.tag     = tag;
-            env.payload = std::move(parts[static_cast<std::size_t>(r)]);
-            peer_mailbox(r).push(std::move(env));
+            coll_send(r, tag, std::move(parts[static_cast<std::size_t>(r)]));
         }
         return std::move(parts[static_cast<std::size_t>(root)]);
     }

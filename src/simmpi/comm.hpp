@@ -40,6 +40,12 @@ public:
     void send(int dest, int tag, const void* data, std::size_t bytes) const;
     void send(int dest, int tag, std::vector<std::byte>&& payload) const;
 
+    /// Zero-copy fan-out send: enqueue a refcounted payload without
+    /// copying. Sending the same SharedPayload to N destinations shares
+    /// one buffer instead of making N copies (used by serve notifications
+    /// and collective roots).
+    void send_shared(int dest, int tag, SharedPayload payload) const;
+
     /// Receive into a freshly sized vector. `src` may be any_source, `tag`
     /// may be any_tag.
     Status recv(int src, int tag, std::vector<std::byte>& out) const;
@@ -258,8 +264,13 @@ private:
         if (inter_) throw Error(std::string("simmpi: ") + what + " requires an intracommunicator");
     }
 
-    // Internal collective helpers using the collective context.
+    // Internal collective helpers using the collective context. The move
+    // and shared overloads avoid per-destination copies when the caller
+    // already owns the bytes (alltoall/scatter) or fans one buffer out to
+    // the whole group (bcast).
     void coll_send(int dest, int tag, std::span<const std::byte> data) const;
+    void coll_send(int dest, int tag, std::vector<std::byte>&& data) const;
+    void coll_send_shared(int dest, int tag, SharedPayload data) const;
     std::vector<std::byte> coll_recv(int src, int tag) const;
 
     std::shared_ptr<detail::World> world_;

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace simmpi {
@@ -17,17 +19,41 @@ struct Status {
     std::size_t count  = 0;    ///< payload size in bytes
 };
 
+/// Immutable, refcounted message payload. Fan-out operations (bcast,
+/// file-ready/done notifications, serve replies to several consumers)
+/// enqueue the same buffer at every destination instead of copying it
+/// per destination; the last receiver frees it.
+using SharedPayload = std::shared_ptr<const std::vector<std::byte>>;
+
+/// Wrap owned bytes as a shared payload without copying.
+inline SharedPayload make_shared_payload(std::vector<std::byte>&& bytes) {
+    // created non-const so a sole owner may legally move the bytes back out
+    return std::make_shared<std::vector<std::byte>>(std::move(bytes));
+}
+
 namespace detail {
 
 /// A message in flight. `context` identifies the communicator (so that
 /// traffic on different communicators can never match each other), `src`
 /// is the sender's rank in the receiver's peer group.
 struct Envelope {
-    std::uint64_t          context = 0;
-    int                    src     = -1;
-    int                    tag     = 0;
-    std::vector<std::byte> payload;
+    std::uint64_t context = 0;
+    int           src     = -1;
+    int           tag     = 0;
+    SharedPayload payload;
+
+    std::size_t size() const { return payload ? payload->size() : 0; }
 };
+
+/// Claim an envelope's bytes: moved out when this is the sole reference
+/// (the common point-to-point case — zero copy), copied when the buffer
+/// is shared with other destinations still waiting to receive it.
+inline std::vector<std::byte> take_payload(SharedPayload&& p) {
+    if (!p) return {};
+    if (p.use_count() == 1)
+        return std::move(*std::const_pointer_cast<std::vector<std::byte>>(p));
+    return *p;
+}
 
 } // namespace detail
 } // namespace simmpi

@@ -46,7 +46,7 @@ public:
     std::optional<Status> probe(std::uint64_t context, int src, int tag) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (auto it = find(context, src, tag); it != queue_.end())
-            return Status{it->src, it->tag, it->payload.size()};
+            return Status{it->src, it->tag, it->size()};
         return std::nullopt;
     }
 
@@ -55,7 +55,7 @@ public:
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
             if (auto it = find(context, src, tag); it != queue_.end())
-                return Status{it->src, it->tag, it->payload.size()};
+                return Status{it->src, it->tag, it->size()};
             cv_.wait(lock);
         }
     }
@@ -71,7 +71,7 @@ public:
             for (std::size_t k = 0; k < contexts.size(); ++k) {
                 if (auto it = find(contexts[k], src, tag); it != queue_.end()) {
                     if (which) *which = k;
-                    return Status{it->src, it->tag, it->payload.size()};
+                    return Status{it->src, it->tag, it->size()};
                 }
             }
             cv_.wait(lock);
