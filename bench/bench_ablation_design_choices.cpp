@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::in_situ(), false);
                     st.SetIterationTime(t);
-                    record("Deep copy", ws, t);
+                    record_lowfive("Deep copy", ws, t);
                 }
             })
             ->UseManualTime()
@@ -128,7 +128,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::in_situ(), true);
                     st.SetIterationTime(t);
-                    record("Zero copy", ws, t);
+                    record_lowfive("Zero copy", ws, t);
                 }
             })
             ->UseManualTime()
@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
                     h5::PfsModel::instance().configure(1000, 2, 5);
                     double t = run_lowfive(ws, p, workflow::Mode::file());
                     st.SetIterationTime(t);
-                    record("File mode, lock model on", ws, t);
+                    record_lowfive("File mode, lock model on", ws, t);
                     h5::PfsModel::instance().configure(0, 0, 0);
                 }
             })
@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
                     h5::PfsModel::instance().configure(1000, 2, 0);
                     double t = run_lowfive(ws, p, workflow::Mode::file());
                     st.SetIterationTime(t);
-                    record("File mode, lock model off", ws, t);
+                    record_lowfive("File mode, lock model off", ws, t);
                     h5::PfsModel::instance().configure(0, 0, 0);
                 }
             })
@@ -197,6 +197,7 @@ int main(int argc, char** argv) {
 
     benchmark::RunSpecifiedBenchmarks();
     print_recorded("Ablation: copy modes and file-mode lock model (seconds)", p, sizes);
+    write_recorded_json("ablation_design_choices", p, sizes);
     benchmark::Shutdown();
     return 0;
 }

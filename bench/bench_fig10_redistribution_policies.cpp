@@ -126,6 +126,7 @@ int main(int argc, char** argv) {
     print_recorded("Figure 10 summary (column 'procs' = kilo-items per producer)", p, rows);
     std::printf("Expected shape (paper): contiguous stays cheap; bounding-box pays intersection "
                 "indexing + per-point serialization and grows much faster.\n");
+    write_recorded_json("fig10_redistribution_policies", p, rows);
     benchmark::Shutdown();
     return 0;
 }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::in_situ(), /*zerocopy=*/true);
                     st.SetIterationTime(t);
-                    record("LowFive Memory Mode", ws, t);
+                    record_lowfive("LowFive Memory Mode", ws, t);
                 }
             })
             ->UseManualTime()
@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
                    p, sizes);
     std::printf("Expected shape (paper): same ordering as Figs. 7/8 — LowFive ~ MPI, DataSpaces "
                 "modestly faster.\n");
+    write_recorded_json("fig11_large_data", p, sizes);
     benchmark::Shutdown();
     return 0;
 }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::in_situ(), /*zerocopy=*/true);
                     st.SetIterationTime(t);
-                    record("LowFive Memory Mode", ws, t);
+                    record_lowfive("LowFive Memory Mode", ws, t);
                 }
             })
             ->UseManualTime()
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::file());
                     st.SetIterationTime(t);
-                    record("LowFive File Mode", ws, t);
+                    record_lowfive("LowFive File Mode", ws, t);
                 }
             })
             ->UseManualTime()
@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
                    p, sizes);
     std::printf("Expected shape (paper): file mode orders of magnitude slower; memory mode "
                 "rises slowly with scale.\n");
+    write_recorded_json("fig5_file_vs_memory", p, sizes);
     benchmark::Shutdown();
     return 0;
 }

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::file());
                     st.SetIterationTime(t);
-                    record("LowFive File Mode", ws, t);
+                    record_lowfive("LowFive File Mode", ws, t);
                 }
             })
             ->UseManualTime()
@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
                    p, sizes);
     std::printf("Expected shape (paper): LowFive file-mode overhead bounded (~2x worst case), "
                 "within variance at scale.\n");
+    write_recorded_json("fig6_file_vs_hdf5", p, sizes);
     benchmark::Shutdown();
     return 0;
 }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::in_situ(), /*zerocopy=*/true);
                     st.SetIterationTime(t);
-                    record("LowFive Memory Mode", ws, t);
+                    record_lowfive("LowFive Memory Mode", ws, t);
                 }
             })
             ->UseManualTime()
@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
                    p, sizes);
     std::printf("Expected shape (paper): comparable; LowFive often faster at small scale thanks "
                 "to contiguous-run serialization vs the hand-written per-point loop.\n");
+    write_recorded_json("fig7_memory_vs_mpi", p, sizes);
     benchmark::Shutdown();
     return 0;
 }

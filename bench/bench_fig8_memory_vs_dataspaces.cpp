@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::in_situ(), /*zerocopy=*/true);
                     st.SetIterationTime(t);
-                    record("LowFive Memory Mode", ws, t);
+                    record_lowfive("LowFive Memory Mode", ws, t);
                 }
             })
             ->UseManualTime()
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
                 extra);
     std::printf("Expected shape (paper): DataSpaces somewhat faster (20-50%%), curves roughly "
                 "parallel.\n");
+    write_recorded_json("fig8_memory_vs_dataspaces", p, sizes);
     benchmark::Shutdown();
     return 0;
 }

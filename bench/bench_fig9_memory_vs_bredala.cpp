@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
                 for (auto _ : st) {
                     double t = run_lowfive(ws, p, workflow::Mode::in_situ(), /*zerocopy=*/true);
                     st.SetIterationTime(t);
-                    record("LowFive Memory Mode", ws, t);
+                    record_lowfive("LowFive Memory Mode", ws, t);
                 }
             })
             ->UseManualTime()
@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
     std::printf("Expected shape (paper): LowFive much faster overall; Bredala's particle "
                 "(contiguous) time reasonable, grid (bounding-box) time dominating and scaling "
                 "poorly.\n");
+    write_recorded_json("fig9_memory_vs_bredala", p, sizes);
     benchmark::Shutdown();
     return 0;
 }

@@ -34,10 +34,15 @@ constexpr int           nprod = 8, ncons = 4;
 constexpr int           reads_per_open = 4;
 
 struct ScenarioResult {
-    std::string         label;
-    std::vector<double> seconds; ///< one entry per trial
-    std::uint64_t       n_intersect_queries = 0;
-    std::uint64_t       cache_hits          = 0;
+    std::string             label;
+    std::vector<double>     seconds; ///< one entry per trial
+    obs::Registry::Snapshot metrics; ///< consumer rank 0, last trial
+    double                  last_wall = 0; ///< wall of the trial `metrics` describes
+
+    std::uint64_t counter(const char* name) const {
+        auto it = metrics.counters.find(name);
+        return it == metrics.counters.end() ? 0 : it->second;
+    }
 
     double median() const {
         auto s = seconds;
@@ -105,7 +110,7 @@ double run_trial(bool pipelined, bool cached, bool naive_kernels,
                  Dataspace  sel({dim_x, dim_y, dim_z});
                  sel.select_box(mine);
 
-                 benchcommon::timed_section(ctx.world, [&] {
+                 double t = benchcommon::timed_section(ctx.world, [&] {
                      File f = File::open("qp.h5", ctx.vol);
                      auto d = f.open_dataset("grid");
                      for (int r = 0; r < reads_per_open; ++r) {
@@ -118,8 +123,8 @@ double run_trial(bool pipelined, bool cached, bool naive_kernels,
                      f.close();
                  });
                  if (stats_sink && ctx.rank() == 0) {
-                     stats_sink->n_intersect_queries = ctx.vol->stats().n_intersect_queries;
-                     stats_sink->cache_hits          = ctx.vol->stats().n_intersect_cache_hits;
+                     stats_sink->metrics   = ctx.vol->metrics().snapshot();
+                     stats_sink->last_wall = t;
                  }
              }},
         },
@@ -136,39 +141,27 @@ ScenarioResult run_scenario(const std::string& label, int trials, bool pipelined
     for (int t = 0; t < trials; ++t)
         res.seconds.push_back(run_trial(pipelined, cached, naive_kernels, &res));
     std::printf("  %-24s median %.4f s  (intersects/rank %llu, cache hits %llu)\n", label.c_str(),
-                res.median(), static_cast<unsigned long long>(res.n_intersect_queries),
-                static_cast<unsigned long long>(res.cache_hits));
+                res.median(),
+                static_cast<unsigned long long>(res.counter("n_intersect_queries")),
+                static_cast<unsigned long long>(res.counter("n_intersect_cache_hits")));
     return res;
 }
 
-void emit_json(const std::vector<ScenarioResult>& results, double speedup) {
-    FILE* f = std::fopen("BENCH_query_pipeline.json", "w");
-    if (!f) return;
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"query_pipeline\",\n");
-    std::fprintf(f, "  \"nprod\": %d,\n  \"ncons\": %d,\n", nprod, ncons);
-    std::fprintf(f, "  \"grid\": [%llu, %llu, %llu],\n",
-                 static_cast<unsigned long long>(dim_x), static_cast<unsigned long long>(dim_y),
-                 static_cast<unsigned long long>(dim_z));
-    std::fprintf(f, "  \"dataset_bytes\": %llu,\n",
-                 static_cast<unsigned long long>(dim_x * dim_y * dim_z * 8));
-    std::fprintf(f, "  \"reads_per_open\": %d,\n", reads_per_open);
-    std::fprintf(f, "  \"scenarios\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto& r = results[i];
-        std::fprintf(f, "    {\"label\": \"%s\", \"seconds_median\": %.6f, \"seconds\": [",
-                     r.label.c_str(), r.median());
-        for (std::size_t t = 0; t < r.seconds.size(); ++t)
-            std::fprintf(f, "%s%.6f", t ? ", " : "", r.seconds[t]);
-        std::fprintf(f, "], \"n_intersect_queries_rank0\": %llu, \"cache_hits_rank0\": %llu}%s\n",
-                     static_cast<unsigned long long>(r.n_intersect_queries),
-                     static_cast<unsigned long long>(r.cache_hits),
-                     i + 1 < results.size() ? "," : "");
+void emit_json(const std::vector<ScenarioResult>& results, double speedup, int trials) {
+    auto env = benchcommon::bench_envelope("query_pipeline", dim_x * dim_y * dim_z * 8 / nprod,
+                                           trials);
+    env.set("grid", obs::json::Value{obs::json::Array{
+                        obs::json::Value{dim_x}, obs::json::Value{dim_y}, obs::json::Value{dim_z}}});
+    env.set("dataset_bytes", dim_x * dim_y * dim_z * 8);
+    env.set("reads_per_open", reads_per_open);
+    for (const auto& r : results) {
+        auto sc = benchcommon::scenario_json(r.label, nprod + ncons, nprod, ncons, r.seconds,
+                                             &r.metrics);
+        sc.set("wall_last_trial_seconds", r.last_wall);
+        benchcommon::add_scenario(env, std::move(sc));
     }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"speedup_pipelined_cached_vs_serial_uncached_naive\": %.3f\n", speedup);
-    std::fprintf(f, "}\n");
-    std::fclose(f);
+    env.set("speedup_pipelined_cached_vs_serial_uncached_naive", speedup);
+    benchcommon::write_bench_json(env);
 }
 
 } // namespace
@@ -194,6 +187,6 @@ int main() {
 
     const double speedup = results.front().median() / results.back().median();
     std::printf("speedup (pipelined_cached vs serial_uncached_naive): %.2fx\n", speedup);
-    emit_json(results, speedup);
+    emit_json(results, speedup, trials);
     return 0;
 }

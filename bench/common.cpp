@@ -225,12 +225,16 @@ namespace {
 std::mutex                                        record_mutex;
 std::map<std::string, std::map<int, std::vector<double>>> recorded;
 std::vector<std::string>                          record_order;
+// latest metrics snapshot per (label, world size); missing = no metrics
+std::map<std::string, std::map<int, obs::Registry::Snapshot>> recorded_metrics;
 } // namespace
 
-void record(const std::string& label, int world_size, double seconds) {
+void record(const std::string& label, int world_size, double seconds,
+            const obs::Registry::Snapshot* metrics) {
     std::lock_guard<std::mutex> lock(record_mutex);
     if (!recorded.count(label)) record_order.push_back(label);
     recorded[label][world_size].push_back(seconds);
+    if (metrics) recorded_metrics[label][world_size] = *metrics;
 }
 
 void print_recorded(const std::string& title, const Params& p, const std::vector<int>& sizes) {
@@ -256,6 +260,109 @@ void print_recorded(const std::string& title, const Params& p, const std::vector
         }
     }
     print_table(title, p, sizes, series);
+}
+
+// --- unified BENCH_*.json envelope -------------------------------------
+
+obs::json::Value bench_envelope(const std::string& bench,
+                                std::uint64_t payload_bytes_per_rank, int trials) {
+    obs::json::Value env{obs::json::Object{}};
+    env.set("bench", bench);
+    env.set("schema", 1);
+    env.set("trials", trials);
+    env.set("payload_bytes_per_rank", payload_bytes_per_rank);
+    env.set("scenarios", obs::json::Value{obs::json::Array{}});
+    return env;
+}
+
+obs::json::Value phase_json(const obs::Registry::Snapshot& metrics) {
+    auto c = [&](const char* name) -> std::uint64_t {
+        auto it = metrics.counters.find(name);
+        return it == metrics.counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t query     = c("time_query_ns");
+    const std::uint64_t intersect = c("time_query_intersect_ns");
+    const std::uint64_t data      = c("time_query_data_ns");
+
+    obs::json::Value phases{obs::json::Object{}};
+    phases.set("index_ns", c("time_index_ns"));
+    phases.set("serve_ns", c("time_serve_ns"));
+    phases.set("query_ns", query);
+    phases.set("query_intersect_ns", intersect);
+    phases.set("query_data_ns", data);
+    phases.set("query_other_ns", query >= intersect + data ? query - intersect - data : 0);
+    return phases;
+}
+
+obs::json::Value scenario_json(const std::string& label, int procs, int nprod, int ncons,
+                               const std::vector<double>& seconds,
+                               const obs::Registry::Snapshot* metrics) {
+    obs::json::Value sc{obs::json::Object{}};
+    sc.set("label", label);
+    sc.set("procs", procs);
+    sc.set("nprod", nprod);
+    sc.set("ncons", ncons);
+    obs::json::Array times;
+    for (double s : seconds) times.emplace_back(s);
+    sc.set("seconds", obs::json::Value{std::move(times)});
+    {
+        auto v = seconds;
+        std::sort(v.begin(), v.end());
+        sc.set("seconds_median", v.empty() ? 0.0 : v[v.size() / 2]);
+    }
+    if (metrics) {
+        sc.set("phases", phase_json(*metrics));
+        obs::json::Value counters{obs::json::Object{}};
+        for (const auto& [name, v] : metrics->counters)
+            if (name.rfind("time_", 0) != 0) counters.set(name, v);
+        sc.set("counters", std::move(counters));
+        if (auto it = metrics->histograms.find("query_latency_ns");
+            it != metrics->histograms.end() && it->second.count) {
+            obs::json::Value h{obs::json::Object{}};
+            h.set("count", it->second.count);
+            h.set("mean", it->second.mean());
+            h.set("p50", it->second.quantile(0.5));
+            h.set("p99", it->second.quantile(0.99));
+            sc.set("query_latency_ns", std::move(h));
+        }
+    }
+    return sc;
+}
+
+void add_scenario(obs::json::Value& envelope, obs::json::Value scenario) {
+    if (auto* scs = envelope.find("scenarios")) scs->array().push_back(std::move(scenario));
+}
+
+bool write_bench_json(const obs::json::Value& envelope) {
+    const auto* name = envelope.find("bench");
+    if (!name || !name->is_string()) return false;
+    const std::string path = "BENCH_" + name->str() + ".json";
+    FILE*             f    = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string text = envelope.dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+void write_recorded_json(const std::string& bench, const Params& p,
+                         const std::vector<int>& sizes) {
+    auto env = bench_envelope(bench, p.bytes_per_rank(), p.trials);
+    std::lock_guard<std::mutex> lock(record_mutex);
+    for (const auto& label : record_order) {
+        for (int ws : sizes) {
+            auto it = recorded[label].find(ws);
+            if (it == recorded[label].end() || it->second.empty()) continue;
+            auto [np, nc] = split_3_to_1(ws);
+            const obs::Registry::Snapshot* metrics = nullptr;
+            if (auto lit = recorded_metrics.find(label); lit != recorded_metrics.end())
+                if (auto mit = lit->second.find(ws); mit != lit->second.end())
+                    metrics = &mit->second;
+            add_scenario(env, scenario_json(label, ws, np, nc, it->second, metrics));
+        }
+    }
+    write_bench_json(env);
 }
 
 Series sweep(const std::string& label, const Params& p, const std::vector<int>& sizes,

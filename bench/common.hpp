@@ -19,6 +19,7 @@
 #include <diy/decomposer.hpp>
 #include <h5/h5.hpp>
 #include <lowfive/lowfive.hpp>
+#include <obs/obs.hpp>
 #include <simmpi/simmpi.hpp>
 #include <workflow/workflow.hpp>
 
@@ -109,9 +110,55 @@ Series sweep(const std::string& label, const Params& p, const std::vector<int>& 
              const std::function<double(int)>& run_once);
 
 /// Collector used by the google-benchmark-driven binaries: each manual
-/// iteration records its timing here; the binary prints a paper-style
-/// table at the end from the recorded means.
-void record(const std::string& label, int world_size, double seconds);
+/// iteration records its timing here (optionally with the consumer-side
+/// metrics registry snapshot of that run); the binary prints a
+/// paper-style table at the end from the recorded medians and writes the
+/// unified BENCH_*.json artifact.
+void record(const std::string& label, int world_size, double seconds,
+            const obs::Registry::Snapshot* metrics = nullptr);
 void print_recorded(const std::string& title, const Params& p, const std::vector<int>& sizes);
+
+/// --- unified BENCH_*.json envelope -------------------------------------
+///
+/// Every benchmark binary emits its machine-readable results through the
+/// same schema:
+///
+///   { "bench": <name>, "schema": 1, "trials": N,
+///     "payload_bytes_per_rank": B,
+///     "scenarios": [
+///       { "label": ..., "procs": P, "nprod": ..., "ncons": ...,
+///         "seconds": [...], "seconds_median": ...,
+///         "phases":   { "index_ns", "serve_ns", "query_ns",
+///                       "query_intersect_ns", "query_data_ns",
+///                       "query_other_ns" },            // when metrics known
+///         "counters": { "bytes_served", ... },         // when metrics known
+///         "query_latency_ns": { "count", "mean", "p50", "p99" } }, ... ],
+///     ...bench-specific extras }
+///
+/// `phases` comes from the DistMetadataVol registry of consumer rank 0:
+/// the time_*_ns counters accumulated by obs::ScopedTimerNs, so the
+/// index / intersect / data / other breakdown is available without
+/// tracing. query_intersect_ns + query_data_ns + query_other_ns ==
+/// query_ns by construction.
+
+obs::json::Value bench_envelope(const std::string& bench,
+                                std::uint64_t payload_bytes_per_rank, int trials);
+
+/// The "phases" object of the schema above; zeros for unknown counters.
+obs::json::Value phase_json(const obs::Registry::Snapshot& metrics);
+
+obs::json::Value scenario_json(const std::string& label, int procs, int nprod, int ncons,
+                               const std::vector<double>& seconds,
+                               const obs::Registry::Snapshot* metrics = nullptr);
+
+void add_scenario(obs::json::Value& envelope, obs::json::Value scenario);
+
+/// Write `envelope` to BENCH_<bench>.json in the working directory.
+bool write_bench_json(const obs::json::Value& envelope);
+
+/// Build the envelope from everything record()ed and write
+/// BENCH_<bench>.json (one scenario per recorded label × world size).
+void write_recorded_json(const std::string& bench, const Params& p,
+                         const std::vector<int>& sizes);
 
 } // namespace benchcommon

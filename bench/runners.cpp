@@ -31,7 +31,20 @@ struct TimeSink {
     }
 };
 
+std::mutex              metrics_mutex;
+obs::Registry::Snapshot last_metrics;
+
 } // namespace
+
+obs::Registry::Snapshot last_lowfive_metrics() {
+    std::lock_guard<std::mutex> lock(metrics_mutex);
+    return last_metrics;
+}
+
+void record_lowfive(const std::string& label, int world_size, double seconds) {
+    auto m = last_lowfive_metrics();
+    record(label, world_size, seconds, &m);
+}
 
 double run_lowfive(int world_size, const Params& p, workflow::Mode mode, bool zerocopy) {
     Shape s = make_shape(world_size, p);
@@ -63,6 +76,10 @@ double run_lowfive(int world_size, const Params& p, workflow::Mode mode, bool ze
                  (void)timed_section(ctx.world, [&] {
                      consume_synthetic(s, ctx.rank(), fname, ctx.vol, true);
                  });
+                 if (ctx.rank() == 0) {
+                     std::lock_guard<std::mutex> lock(metrics_mutex);
+                     last_metrics = ctx.vol->metrics().snapshot();
+                 }
              }},
         },
         {workflow::Link{0, 1, "*"}}, opts);

@@ -12,6 +12,14 @@ namespace benchcommon {
 /// LowFive in the given mode (memory = Figs. 5/7/8/9/11, file = Figs. 5/6).
 double run_lowfive(int world_size, const Params& p, workflow::Mode mode, bool zerocopy = false);
 
+/// Metrics registry snapshot of consumer rank 0 from the most recent
+/// run_lowfive (per-phase time_*_ns breakdown, transfer counters).
+obs::Registry::Snapshot last_lowfive_metrics();
+
+/// record() with the last lowfive run's metrics attached, so the
+/// BENCH_*.json scenario gains its per-phase breakdown.
+void record_lowfive(const std::string& label, int world_size, double seconds);
+
 /// Writing and reading the shared file directly through the native VOL,
 /// without the LowFive layer ("Pure HDF5", Fig. 6).
 double run_pure_hdf5(int world_size, const Params& p);

@@ -29,9 +29,10 @@ if [[ $tsan -eq 1 ]]; then
     cmake -B build-tsan -S . -DLOWFIVE_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$jobs"
     # the concurrency-heavy suites: simmpi mailboxes/collectives,
-    # background serving, and the pipelined query plane
+    # background serving, the pipelined query plane, and the telemetry
+    # ring buffers / registry (concurrent emit vs snapshot)
     ctest --test-dir build-tsan --output-on-failure --no-tests=error -j "$jobs" \
-          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol'
+          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol|Telemetry'
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local mirror of the CI pipeline (.github/workflows/ci.yml):
+# tier-1 verify (configure + build + full ctest) followed by the
+# ThreadSanitizer tree over the concurrency-sensitive suites.
+#
+#   scripts/ci.sh
+#
+# This is just check.sh with the sanitizer tree always on; kept as a
+# separate entry point so "run what CI runs" stays a one-liner.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec scripts/check.sh --tsan

@@ -1,5 +1,7 @@
 #include "dataspace.hpp"
 
+#include <obs/trace.hpp>
+
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -430,6 +432,8 @@ void copy_selected(const Dataspace& src_space, const void* src, const Dataspace&
 
 void extract_from_packed(const Dataspace& piece_space, const void* piece_packed,
                          const Dataspace& want, std::size_t elem, std::vector<std::byte>& out) {
+    obs::Span span("extract_from_packed", "h5.kernel",
+                   {{"bytes", want.npoints() * elem, nullptr}});
     if (naive_selection_kernels())
         return extract_from_packed_naive(piece_space, piece_packed, want, elem, out);
 
@@ -460,6 +464,8 @@ void extract_from_packed(const Dataspace& piece_space, const void* piece_packed,
 
 void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const Dataspace& sub,
                          const void* sub_packed, std::size_t elem) {
+    obs::Span span("scatter_into_packed", "h5.kernel",
+                   {{"bytes", sub.npoints() * elem, nullptr}});
     if (naive_selection_kernels())
         return scatter_into_packed_naive(dest_space, dest_packed, sub, sub_packed, elem);
 
@@ -489,6 +495,8 @@ void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const D
 void extract_via_mapping(const Dataspace& filespace, const Dataspace& memspace,
                          const void* membuf, const Dataspace& want, std::size_t elem,
                          std::vector<std::byte>& out) {
+    obs::Span span("extract_via_mapping", "h5.kernel",
+                   {{"bytes", want.npoints() * elem, nullptr}});
     if (naive_selection_kernels())
         return extract_via_mapping_naive(filespace, memspace, membuf, want, elem, out);
 

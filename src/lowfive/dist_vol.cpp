@@ -1,6 +1,7 @@
 #include "dist_vol.hpp"
 
 #include <diy/serialization.hpp>
+#include <obs/trace.hpp>
 
 #include <algorithm>
 #include <set>
@@ -50,6 +51,17 @@ void collect_datasets(Object* obj, std::vector<std::pair<std::string, Object*>>&
 
 DistMetadataVol::DistMetadataVol(simmpi::Comm local, h5::VolPtr passthru_vol)
     : MetadataVol(std::move(passthru_vol)), local_(std::move(local)) {}
+
+DistMetadataVol::Stats DistMetadataVol::stats() const {
+    Stats s;
+    s.bytes_served             = c_bytes_served_.value();
+    s.bytes_fetched            = c_bytes_fetched_.value();
+    s.n_data_queries           = c_data_queries_.value();
+    s.n_intersect_queries      = c_intersect_queries_.value();
+    s.n_intersect_cache_hits   = c_cache_hits_.value();
+    s.n_intersect_cache_misses = c_cache_misses_.value();
+    return s;
+}
 
 DistMetadataVol::~DistMetadataVol() {
     try {
@@ -144,6 +156,10 @@ int DistMetadataVol::route_consume(const std::string& name) const {
 // --- producer: index (Algorithm 1) ------------------------------------------
 
 void DistMetadataVol::index_file(FileEntry& entry) {
+    obs::ScopedTimerNs timer(c_t_index_ns_);
+    obs::Span          span("dist.index", "lowfive",
+                            {{"file", 0, obs::intern_if_enabled(entry.name)}});
+
     index_.erase(entry.name); // a rewrite replaces the index, never appends
 
     std::vector<std::pair<std::string, Object*>> dsets;
@@ -216,15 +232,20 @@ bool DistMetadataVol::poll_requests() {
 }
 
 void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>&& payload) {
+    obs::ScopedTimerNs timer(c_t_serve_ns_);
     diy::BinaryBuffer bb{std::move(payload)};
     const auto        op = static_cast<Op>(bb.load<std::uint8_t>());
 
     switch (op) {
     case Op::Done: {
+        obs::instant("serve.done", "lowfive",
+                     {{"src", static_cast<std::uint64_t>(src), nullptr}});
         ++dones_received_;
         break;
     }
     case Op::MetadataQuery: {
+        obs::Span   span("serve.metadata", "lowfive",
+                         {{"src", static_cast<std::uint64_t>(src), nullptr}});
         std::string name;
         bb.load(name);
         auto it = files_.find(name);
@@ -244,6 +265,8 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         break;
     }
     case Op::IntersectQuery: {
+        obs::Span   span("serve.intersect", "lowfive",
+                         {{"src", static_cast<std::uint64_t>(src), nullptr}});
         const auto  req_id = bb.load<std::uint64_t>();
         std::string name, dset;
         bb.load(name);
@@ -268,6 +291,8 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         break;
     }
     case Op::DataQuery: {
+        obs::Span   span("serve.data", "lowfive",
+                         {{"src", static_cast<std::uint64_t>(src), nullptr}});
         const auto  req_id = bb.load<std::uint64_t>();
         std::string name, dset;
         bb.load(name);
@@ -297,14 +322,17 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         diy::BinaryBuffer reply;
         reply.save(req_id);
         reply.save<std::uint64_t>(hits.size());
+        std::uint64_t served = 0;
         for (auto& [piece, sub] : hits) {
             sub.save(reply);
             // extract straight into the reply buffer: no intermediate copy
             const std::uint64_t nbytes = sub.npoints() * elem;
             reply.save(nbytes);
             piece->extract(sub, elem, reply.mutable_data());
-            stats_.bytes_served += nbytes;
+            served += nbytes;
         }
+        c_bytes_served_.add(served);
+        span.end_arg("bytes", served);
         send_buffer(conn.ic, src, rpc_data_reply, std::move(reply));
         break;
     }
@@ -433,6 +461,11 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
     const std::size_t elem = node->type.size();
     const int         n    = conn.ic.peer_size();
 
+    obs::ScopedTimerNs q_timer(c_t_query_ns_, &h_query_ns_);
+    obs::Span          q_span("query.read", "lowfive",
+                              {{"dset", 0, obs::intern_if_enabled(dset)},
+                               {"points", filespace.npoints(), nullptr}});
+
     // Step 1: common decomposition; the index-owning blocks to ask
     diy::RegularDecomposer decomp(node->space.extent_bounds(), n);
     diy::Bounds            bb = filespace.bounding_box();
@@ -455,9 +488,12 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         if (auto it = producer_cache_.find(key); it != producer_cache_.end()) {
             producers = it->second;
             cached    = true;
-            ++stats_.n_intersect_cache_hits;
+            c_cache_hits_.inc();
+            obs::instant("cache.hit", "lowfive",
+                         {{"producers", producers.size(), nullptr}});
         } else {
-            ++stats_.n_intersect_cache_misses;
+            c_cache_misses_.inc();
+            obs::instant("cache.miss", "lowfive");
         }
     }
 
@@ -472,13 +508,15 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         filespace.save(req);
         send_buffer(conn.ic, p, rpc_request, std::move(req));
         pending_data.emplace(id, p);
-        ++stats_.n_data_queries;
+        c_data_queries_.inc();
     };
 
     if (cached) {
         // cache hit: skip the intersect round entirely
         for (int p : producers) send_data_query(p);
     } else if (pipelining_) {
+        obs::ScopedTimerNs i_timer(c_t_intersect_ns_);
+        obs::Span          i_span("query.intersect", "lowfive");
         // issue every intersect query up front...
         std::map<std::uint64_t, int> pending; // req id -> index block rank
         for (int p : decomp.intersecting_blocks(bb)) {
@@ -491,7 +529,7 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
             bb.save(req);
             send_buffer(conn.ic, p, rpc_request, std::move(req));
             pending.emplace(id, p);
-            ++stats_.n_intersect_queries;
+            c_intersect_queries_.inc();
         }
         // ...and drain replies in arrival order (they may complete out of
         // rank order); a data query goes out the moment a reply first
@@ -512,6 +550,8 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         }
         producers.assign(seen.begin(), seen.end());
     } else {
+        obs::ScopedTimerNs i_timer(c_t_intersect_ns_);
+        obs::Span          i_span("query.intersect", "lowfive");
         // serial reference path: one intersect query in flight at a time,
         // replies taken in rank order
         for (int p : decomp.intersecting_blocks(bb)) {
@@ -523,7 +563,7 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
             req.save(dset);
             bb.save(req);
             send_buffer(conn.ic, p, rpc_request, std::move(req));
-            ++stats_.n_intersect_queries;
+            c_intersect_queries_.inc();
             auto reply = recv_buffer(conn.ic, p, rpc_reply);
             if (reply.load<std::uint64_t>() != id)
                 throw Error("lowfive: intersect reply with unexpected id");
@@ -538,6 +578,10 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
     if (query_cache_ && !cached) producer_cache_[key] = producers;
 
     // Step 2: scatter the replies as they arrive
+    obs::ScopedTimerNs     d_timer(c_t_data_ns_);
+    obs::Span              d_span("query.data", "lowfive",
+                                  {{"producers", pending_data.size(), nullptr}});
+    std::uint64_t          fetched = 0;
     std::vector<std::byte> packed(filespace.npoints() * elem); // zero fill
     auto scatter_reply = [&](diy::BinaryBuffer& reply) {
         auto npieces = reply.load<std::uint64_t>();
@@ -545,7 +589,7 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
             Dataspace        sub    = Dataspace::load(reply);
             auto             nbytes = reply.load<std::uint64_t>();
             const std::byte* data   = reply.skip(nbytes); // scatter in place
-            stats_.bytes_fetched += nbytes;
+            fetched += nbytes;
             scatter_into_packed(filespace, packed.data(), sub, data, elem);
         }
     };
@@ -569,6 +613,8 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         }
         pending_data.clear();
     }
+    c_bytes_fetched_.add(fetched);
+    d_span.end_arg("bytes", fetched);
     unpack_selection(memspace, packed.data(), elem, buf);
 }
 

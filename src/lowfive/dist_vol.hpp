@@ -3,6 +3,7 @@
 #include "metadata_vol.hpp"
 
 #include <diy/decomposer.hpp>
+#include <obs/metrics.hpp>
 #include <simmpi/comm.hpp>
 
 #include <condition_variable>
@@ -87,7 +88,9 @@ public:
         if (!v) producer_cache_.clear();
     }
 
-    /// Transfer statistics for reporting.
+    /// Transfer statistics for reporting: a point-in-time snapshot of the
+    /// metrics registry, returned by value so it is safe to read while a
+    /// background serve thread is updating the underlying counters.
     struct Stats {
         std::uint64_t bytes_served   = 0; ///< payload bytes sent while serving
         std::uint64_t bytes_fetched  = 0; ///< payload bytes received by queries
@@ -96,7 +99,11 @@ public:
         std::uint64_t n_intersect_cache_hits   = 0; ///< reads that skipped the intersect round
         std::uint64_t n_intersect_cache_misses = 0; ///< reads that had to run it
     };
-    const Stats& stats() const { return stats_; }
+    Stats stats() const;
+
+    /// The full metrics registry behind stats(): counters (including the
+    /// per-phase time_*_ns breakdown) and latency histograms.
+    const obs::Registry& metrics() const { return metrics_; }
 
     void* file_create(const std::string& name) override;
     void* file_open(const std::string& name) override;
@@ -168,7 +175,23 @@ private:
     };
     std::vector<Deferred> deferred_;
 
-    Stats stats_;
+    // metrics (always on): atomics shared between the producer thread,
+    // the consumer thread, and the background serve thread — updates and
+    // stats() snapshots never race. Refs are resolved once here; the
+    // registry member must precede them.
+    obs::Registry   metrics_;
+    obs::Counter&   c_bytes_served_     = metrics_.counter("bytes_served");
+    obs::Counter&   c_bytes_fetched_    = metrics_.counter("bytes_fetched");
+    obs::Counter&   c_data_queries_     = metrics_.counter("n_data_queries");
+    obs::Counter&   c_intersect_queries_ = metrics_.counter("n_intersect_queries");
+    obs::Counter&   c_cache_hits_       = metrics_.counter("n_intersect_cache_hits");
+    obs::Counter&   c_cache_misses_     = metrics_.counter("n_intersect_cache_misses");
+    obs::Counter&   c_t_index_ns_       = metrics_.counter("time_index_ns");
+    obs::Counter&   c_t_serve_ns_       = metrics_.counter("time_serve_ns");
+    obs::Counter&   c_t_query_ns_       = metrics_.counter("time_query_ns");
+    obs::Counter&   c_t_intersect_ns_   = metrics_.counter("time_query_intersect_ns");
+    obs::Counter&   c_t_data_ns_        = metrics_.counter("time_query_data_ns");
+    obs::Histogram& h_query_ns_         = metrics_.histogram("query_latency_ns");
 };
 
 } // namespace lowfive

@@ -1,0 +1,170 @@
+#include "export.hpp"
+
+#include "json.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <vector>
+
+namespace obs {
+
+namespace {
+
+const char* phase_letter(EventType t) {
+    switch (t) {
+    case EventType::Begin: return "B";
+    case EventType::End: return "E";
+    case EventType::Instant: return "i";
+    case EventType::Counter: return "C";
+    }
+    return "i";
+}
+
+json::Value args_object(const Event& e) {
+    json::Object args;
+    for (int i = 0; i < e.nargs; ++i) {
+        const auto& a = e.args[i];
+        if (!a.key) continue;
+        if (a.str)
+            args.emplace_back(a.key, json::Value(std::string(a.str)));
+        else
+            args.emplace_back(a.key, json::Value(a.num));
+    }
+    return json::Value(std::move(args));
+}
+
+} // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events) {
+    // lane metadata: name + sort order per rank seen in the stream
+    std::set<std::int32_t> ranks;
+    for (const auto& e : events) ranks.insert(e.rank);
+
+    // stream the array instead of building one json::Value for the whole
+    // trace (traces can hold hundreds of thousands of events)
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    auto emit  = [&](const json::Value& v) {
+        os << (first ? "\n" : ",\n") << v.dump();
+        first = false;
+    };
+
+    for (std::int32_t r : ranks) {
+        const std::string lane = r < 0 ? "driver" : "rank " + std::to_string(r);
+        json::Value       meta;
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", 0);
+        meta.set("tid", r);
+        json::Value args;
+        args.set("name", lane);
+        meta.set("args", std::move(args));
+        emit(meta);
+
+        json::Value sort;
+        sort.set("name", "thread_sort_index");
+        sort.set("ph", "M");
+        sort.set("pid", 0);
+        sort.set("tid", r);
+        json::Value sargs;
+        sargs.set("sort_index", r);
+        sort.set("args", std::move(sargs));
+        emit(sort);
+    }
+
+    for (const auto& e : events) {
+        json::Value v;
+        v.set("name", std::string(e.name ? e.name : "?"));
+        if (e.cat) v.set("cat", std::string(e.cat));
+        v.set("ph", phase_letter(e.type));
+        v.set("ts", static_cast<double>(e.ts_ns) / 1000.0); // microseconds
+        v.set("pid", 0);
+        v.set("tid", e.rank);
+        if (e.type == EventType::Instant) v.set("s", "t");
+        if (e.nargs) v.set("args", args_object(e));
+        emit(v);
+    }
+    os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+    std::ofstream os(path);
+    if (!os) return false;
+    write_chrome_trace(os, Tracer::instance().snapshot());
+    return bool(os);
+}
+
+std::map<std::string, PhaseStat> phase_totals(const std::vector<Event>& events) {
+    std::map<std::string, PhaseStat> out;
+
+    auto bytes_of = [](const Event& e) {
+        std::uint64_t b = 0;
+        for (int i = 0; i < e.nargs; ++i)
+            if (e.args[i].key && std::strcmp(e.args[i].key, "bytes") == 0 && !e.args[i].str)
+                b += e.args[i].num;
+        return b;
+    };
+
+    struct Open {
+        const char*   name;
+        std::uint64_t ts;
+    };
+    std::map<std::int32_t, std::vector<Open>> stacks; // per rank (events are rank-sorted)
+
+    for (const auto& e : events) {
+        const std::string name = e.name ? e.name : "?";
+        switch (e.type) {
+        case EventType::Begin: {
+            auto& s = out[name];
+            ++s.count;
+            s.bytes += bytes_of(e);
+            stacks[e.rank].push_back({e.name, e.ts_ns});
+            break;
+        }
+        case EventType::End: {
+            auto& stack = stacks[e.rank];
+            // pop to the matching open span (tolerates truncated streams:
+            // drops from a full ring can orphan opens)
+            while (!stack.empty()) {
+                Open open = stack.back();
+                stack.pop_back();
+                if (open.name && e.name && std::strcmp(open.name, e.name) == 0) {
+                    out[name].total_ns += e.ts_ns - open.ts;
+                    break;
+                }
+            }
+            out[name].bytes += bytes_of(e);
+            break;
+        }
+        case EventType::Instant: {
+            auto& s = out[name];
+            ++s.count;
+            s.bytes += bytes_of(e);
+            break;
+        }
+        case EventType::Counter: break;
+        }
+    }
+    return out;
+}
+
+void write_summary(std::ostream& os, const std::map<std::string, PhaseStat>& phases) {
+    char line[192];
+    std::snprintf(line, sizeof line, "%-28s %10s %12s %12s %10s\n", "phase", "count",
+                  "total(ms)", "mean(us)", "MiB");
+    os << line;
+    for (const auto& [name, s] : phases) {
+        const double total_ms = static_cast<double>(s.total_ns) / 1e6;
+        const double mean_us =
+            s.count ? static_cast<double>(s.total_ns) / 1e3 / static_cast<double>(s.count) : 0.0;
+        const double mib = static_cast<double>(s.bytes) / (1024.0 * 1024.0);
+        std::snprintf(line, sizeof line, "%-28s %10llu %12.3f %12.3f %10.2f\n", name.c_str(),
+                      static_cast<unsigned long long>(s.count), total_ms, mean_us, mib);
+        os << line;
+    }
+}
+
+} // namespace obs

@@ -1,0 +1,38 @@
+#pragma once
+
+/// Exporters over a trace snapshot: Chrome trace-event JSON (one timeline
+/// lane per simulated rank; loadable in chrome://tracing or Perfetto), a
+/// plain-text per-phase summary, and the per-phase aggregation the bench
+/// envelopes embed.
+
+#include "trace.hpp"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace obs {
+
+/// Write events as a Chrome trace-event JSON object
+/// ({"traceEvents": [...]}) with thread-name metadata per rank lane.
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events);
+
+/// Snapshot the global tracer and write it to `path`; returns false when
+/// the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path);
+
+/// Aggregate per span name: how often it ran, total time inside it, and
+/// the sum of its "bytes" arguments (Begin or End). Spans are paired per
+/// rank in LIFO order; unmatched events are ignored. Instants contribute
+/// count/bytes only.
+struct PhaseStat {
+    std::uint64_t count    = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t bytes    = 0;
+};
+std::map<std::string, PhaseStat> phase_totals(const std::vector<Event>& events);
+
+/// Per-phase text table (name, count, total ms, mean us, MiB).
+void write_summary(std::ostream& os, const std::map<std::string, PhaseStat>& phases);
+
+} // namespace obs

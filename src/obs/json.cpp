@@ -1,0 +1,279 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace obs::json {
+
+const Value* Value::find(std::string_view key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    for (const auto& [k, v] : obj_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+Value* Value::find(std::string_view key) {
+    return const_cast<Value*>(static_cast<const Value*>(this)->find(key));
+}
+
+void Value::set(std::string key, Value v) {
+    if (kind_ == Kind::Null) kind_ = Kind::Object;
+    for (auto& [k, old] : obj_)
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    obj_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace {
+
+void write_number(std::string& out, double n) {
+    if (std::floor(n) == n && std::fabs(n) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+        out += buf;
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.9g", n);
+        out += buf;
+    }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+    if (!indent) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+} // namespace
+
+void Value::write(std::string& out, int indent, int depth) const {
+    switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: write_number(out, num_); break;
+    case Kind::String: out += escape(str_); break;
+    case Kind::Array:
+        out.push_back('[');
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i) out.push_back(',');
+            newline_indent(out, indent, depth + 1);
+            arr_[i].write(out, indent, depth + 1);
+        }
+        if (!arr_.empty()) newline_indent(out, indent, depth);
+        out.push_back(']');
+        break;
+    case Kind::Object:
+        out.push_back('{');
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i) out.push_back(',');
+            newline_indent(out, indent, depth + 1);
+            out += escape(obj_[i].first);
+            out += indent ? ": " : ":";
+            obj_[i].second.write(out, indent, depth + 1);
+        }
+        if (!obj_.empty()) newline_indent(out, indent, depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string Value::dump(int indent) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parse_document() {
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing content");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const char* what) {
+        throw std::runtime_error("json: " + std::string(what) + " at byte "
+                                 + std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n'
+                   || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    bool consume(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail("unexpected character");
+    }
+
+    bool consume_word(std::string_view w) {
+        if (text_.substr(pos_, w.size()) == w) {
+            pos_ += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    Value parse_value() {
+        skip_ws();
+        char c = peek();
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') return Value(parse_string());
+        if (consume_word("true")) return Value(true);
+        if (consume_word("false")) return Value(false);
+        if (consume_word("null")) return Value(nullptr);
+        return parse_number();
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+                    else fail("bad \\u escape");
+                }
+                // minimal UTF-8 encoding (surrogate pairs unsupported)
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size()
+               && (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.'
+                   || text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+'
+                   || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) fail("expected a value");
+        return Value(std::stod(std::string(text_.substr(start, pos_ - start))));
+    }
+
+    Value parse_array() {
+        expect('[');
+        Array out;
+        skip_ws();
+        if (consume(']')) return Value(std::move(out));
+        for (;;) {
+            out.push_back(parse_value());
+            skip_ws();
+            if (consume(']')) return Value(std::move(out));
+            expect(',');
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Object out;
+        skip_ws();
+        if (consume('}')) return Value(std::move(out));
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            out.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            if (consume('}')) return Value(std::move(out));
+            expect(',');
+        }
+    }
+
+    std::string_view text_;
+    std::size_t      pos_ = 0;
+};
+
+} // namespace
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+} // namespace obs::json

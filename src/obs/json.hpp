@@ -1,0 +1,82 @@
+#pragma once
+
+/// Minimal JSON value model: enough to write the Chrome trace-event files
+/// the exporter produces and to parse them back (mh5trace, tests, and the
+/// bench envelopes). Numbers are doubles; object key order is preserved.
+/// Not a general-purpose JSON library — no \u escapes beyond pass-through,
+/// no streaming — but it round-trips everything this repo emits.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace obs::json {
+
+class Value;
+using Array  = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;
+
+class Value {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+    Value(std::nullptr_t) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double n) : kind_(Kind::Number), num_(n) {}
+    Value(int n) : kind_(Kind::Number), num_(n) {}
+    Value(std::uint64_t n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+    Value(std::int64_t n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(const char* s) : kind_(Kind::String), str_(s) {}
+    Value(Array a) : kind_(Kind::Array), arr_(std::move(a)) {}
+    Value(Object o) : kind_(Kind::Object), obj_(std::move(o)) {}
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::Null; }
+    bool is_number() const { return kind_ == Kind::Number; }
+    bool is_string() const { return kind_ == Kind::String; }
+    bool is_array() const { return kind_ == Kind::Array; }
+    bool is_object() const { return kind_ == Kind::Object; }
+
+    bool               boolean() const { return bool_; }
+    double             number() const { return num_; }
+    const std::string& str() const { return str_; }
+    const Array&       array() const { return arr_; }
+    Array&             array() { return arr_; }
+    const Object&      object() const { return obj_; }
+    Object&            object() { return obj_; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const Value* find(std::string_view key) const;
+    Value*       find(std::string_view key);
+
+    /// Append/overwrite an object member.
+    void set(std::string key, Value v);
+
+    /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+    std::string dump(int indent = 0) const;
+
+    /// Parse a complete JSON document; throws std::runtime_error with a
+    /// byte offset on malformed input.
+    static Value parse(std::string_view text);
+
+private:
+    void write(std::string& out, int indent, int depth) const;
+
+    Kind        kind_ = Kind::Null;
+    bool        bool_ = false;
+    double      num_  = 0;
+    std::string str_;
+    Array       arr_;
+    Object      obj_;
+};
+
+/// Quote and escape a string for direct JSON emission.
+std::string escape(std::string_view s);
+
+} // namespace obs::json

@@ -1,0 +1,74 @@
+#include "metrics.hpp"
+
+#include "trace.hpp"
+
+namespace obs {
+
+std::uint64_t Histogram::Snapshot::quantile(double q) const {
+    if (!count) return 0;
+    auto target = static_cast<std::uint64_t>(q * static_cast<double>(count));
+    if (target >= count) target = count - 1;
+    std::uint64_t seen = 0;
+    for (int k = 0; k < n_buckets; ++k) {
+        seen += buckets[static_cast<std::size_t>(k)];
+        if (seen > target) return k >= 63 ? ~0ull : (2ull << k);
+    }
+    return ~0ull;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+    Snapshot s;
+    for (int k = 0; k < n_buckets; ++k) {
+        s.buckets[static_cast<std::size_t>(k)] =
+            buckets_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
+        s.count += s.buckets[static_cast<std::size_t>(k)];
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto&                       slot = counters_[std::string(name)];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto&                       slot = gauges_[std::string(name)];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto&                       slot = histograms_[std::string(name)];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot                    s;
+    for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+    return s;
+}
+
+Registry& Registry::global() {
+    static Registry registry;
+    return registry;
+}
+
+ScopedTimerNs::ScopedTimerNs(Counter& total_ns, Histogram* hist)
+    : total_(total_ns), hist_(hist), t0_(now_ns()) {}
+
+ScopedTimerNs::~ScopedTimerNs() {
+    const std::uint64_t dt = now_ns() - t0_;
+    total_.add(dt);
+    if (hist_) hist_->observe(dt);
+}
+
+} // namespace obs

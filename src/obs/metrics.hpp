@@ -1,0 +1,121 @@
+#pragma once
+
+/// Always-on metrics: named counters, gauges, and log-scale latency
+/// histograms backed by atomics. Unlike tracing (trace.hpp), metrics are
+/// never switched off — increments are single relaxed atomic RMWs, cheap
+/// enough to leave in production paths — and reads take a consistent-ish
+/// snapshot by value, so concurrent writers (e.g. a background serve
+/// thread) never race with readers.
+///
+/// A Registry is a named collection owned by a component (each
+/// DistMetadataVol instance has one); Registry::global() is the
+/// process-wide registry for code without a natural owner.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+class Counter {
+public:
+    void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+    void inc() { add(1); }
+    std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+public:
+    void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram for latencies in nanoseconds: bucket k counts
+/// observations in [2^k, 2^(k+1)) (bucket 0 also takes 0). Covers 1 ns to
+/// ~18 s in 64 buckets with one relaxed RMW per observation.
+class Histogram {
+public:
+    static constexpr int n_buckets = 64;
+
+    void observe(std::uint64_t ns) {
+        buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    struct Snapshot {
+        std::array<std::uint64_t, n_buckets> buckets{};
+        std::uint64_t                        count = 0;
+        std::uint64_t                        sum   = 0;
+        /// Upper bound of the bucket holding quantile q (0 < q <= 1).
+        std::uint64_t quantile(double q) const;
+        double        mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+    };
+    Snapshot snapshot() const;
+
+    static int bucket_of(std::uint64_t ns) {
+        return ns ? 63 - __builtin_clzll(ns) : 0;
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, n_buckets> buckets_{};
+    std::atomic<std::uint64_t>                        sum_{0};
+};
+
+/// Named collection of metrics. Lookup interns the instrument on first
+/// use and returns a stable reference — resolve once, then update
+/// lock-free. Snapshots read every instrument with relaxed loads.
+class Registry {
+public:
+    Counter&   counter(std::string_view name);
+    Gauge&     gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);
+
+    struct Snapshot {
+        std::map<std::string, std::uint64_t>       counters;
+        std::map<std::string, std::int64_t>        gauges;
+        std::map<std::string, Histogram::Snapshot> histograms;
+    };
+    Snapshot snapshot() const;
+
+    /// The process-wide registry.
+    static Registry& global();
+
+private:
+    mutable std::mutex                                mutex_; ///< name maps only
+    std::map<std::string, std::unique_ptr<Counter>>   counters_;
+    std::map<std::string, std::unique_ptr<Gauge>>     gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII phase timer: adds the elapsed nanoseconds to a counter (and
+/// optionally observes a histogram) at scope exit. Always on — two
+/// steady-clock reads per phase, negligible against the ms-scale phases
+/// it wraps — so per-phase breakdowns are available without tracing.
+class ScopedTimerNs {
+public:
+    explicit ScopedTimerNs(Counter& total_ns, Histogram* hist = nullptr);
+    ~ScopedTimerNs();
+
+    ScopedTimerNs(const ScopedTimerNs&)            = delete;
+    ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+private:
+    Counter&      total_;
+    Histogram*    hist_;
+    std::uint64_t t0_;
+};
+
+} // namespace obs

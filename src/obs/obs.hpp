@@ -1,0 +1,10 @@
+#pragma once
+
+/// Umbrella header for the telemetry subsystem: span tracing (trace.hpp),
+/// always-on metrics (metrics.hpp), exporters (export.hpp), and the JSON
+/// value model they emit (json.hpp).
+
+#include "export.hpp"
+#include "json.hpp"
+#include "metrics.hpp"
+#include "trace.hpp"

@@ -1,0 +1,103 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <unordered_set>
+
+namespace obs {
+
+std::uint64_t now_ns() {
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch).count());
+}
+
+const char* intern(std::string_view s) {
+    static std::mutex                      mutex;
+    static std::unordered_set<std::string> pool;
+    std::lock_guard<std::mutex>            lock(mutex);
+    return pool.emplace(s).first->c_str();
+}
+
+namespace {
+
+struct ThreadState {
+    int                                  rank = -1;
+    std::shared_ptr<detail::EventBuffer> buffer;   ///< shared with the registry
+    std::uint64_t                        epoch = 0; ///< Tracer epoch the buffer belongs to
+};
+
+thread_local ThreadState tls;
+
+} // namespace
+
+void set_thread_rank(int rank) {
+    tls.rank = rank;
+    // a lane change invalidates the buffer (events carry the buffer's rank)
+    tls.buffer.reset();
+}
+
+int thread_rank() { return tls.rank; }
+
+Tracer& Tracer::instance() {
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::set_capacity(std::size_t events) {
+    capacity_.store(events ? events : 1, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::capacity() const { return capacity_.load(std::memory_order_relaxed); }
+
+void Tracer::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.clear();
+    // live threads notice the epoch bump and re-register on their next event
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+detail::EventBuffer* Tracer::thread_buffer() {
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    if (!tls.buffer || tls.epoch != epoch) {
+        tls.buffer = std::make_shared<detail::EventBuffer>(capacity(), tls.rank);
+        tls.epoch  = epoch;
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers_.push_back(tls.buffer);
+    }
+    return tls.buffer.get();
+}
+
+void Tracer::emit(Event&& e) {
+    Tracer& t = instance();
+    if (!t.enabled_.load(std::memory_order_relaxed)) return;
+    auto* buf = t.thread_buffer();
+    e.ts_ns   = now_ns();
+    e.rank    = buf->rank();
+    buf->push(e);
+}
+
+std::vector<Event> Tracer::snapshot() const {
+    std::vector<std::shared_ptr<detail::EventBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers = buffers_;
+    }
+    std::vector<Event> out;
+    for (const auto& b : buffers) b->read(out);
+    std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+        return a.rank != b.rank ? a.rank < b.rank : a.ts_ns < b.ts_ns;
+    });
+    return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t               n = 0;
+    for (const auto& b : buffers_) n += b->dropped();
+    return n;
+}
+
+} // namespace obs

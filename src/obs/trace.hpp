@@ -1,0 +1,240 @@
+#pragma once
+
+/// Span tracing for the transport stack: per-rank lock-free ring buffers
+/// of fixed-size trace events, filled through RAII spans, instant events,
+/// and counter samples. Recording is off by default; when disabled every
+/// instrumentation point costs one relaxed atomic load. When enabled,
+/// each rank-thread appends to its own single-writer ring buffer (no
+/// locks on the hot path); a full buffer drops further events and counts
+/// the drops rather than blocking or overwriting.
+///
+/// Rank lanes: simmpi::Runtime tags each rank-thread with its world rank
+/// (set_thread_rank), so every event lands in that rank's timeline lane.
+/// Threads outside a runtime (e.g. the driver) record under rank -1.
+///
+/// Exporters (export.hpp) turn a snapshot into Chrome trace-event JSON
+/// (loadable in chrome://tracing or Perfetto) or a per-phase text summary.
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+/// Nanoseconds on the steady clock since the process-wide trace epoch
+/// (the first call in the process).
+std::uint64_t now_ns();
+
+enum class EventType : std::uint8_t {
+    Begin,   ///< span opened
+    End,     ///< span closed (innermost open span of the rank)
+    Instant, ///< point event
+    Counter, ///< sampled value (args[0] holds the sample)
+};
+
+/// One fixed-size trace record. Strings are not owned: `name`, `cat`,
+/// and arg keys/strings must be literals or interned (see intern()).
+struct Event {
+    struct Arg {
+        const char*   key = nullptr;
+        std::uint64_t num = 0;
+        const char*   str = nullptr; ///< when non-null, exported instead of num
+    };
+    static constexpr int max_args = 4;
+
+    const char*   name  = nullptr;
+    const char*   cat   = nullptr;
+    std::uint64_t ts_ns = 0;
+    EventType     type  = EventType::Instant;
+    std::int32_t  rank  = -1;
+    std::uint8_t  nargs = 0;
+    Arg           args[max_args];
+};
+
+/// Intern a dynamic string so its pointer stays valid for the lifetime of
+/// the process (idempotent: equal contents return the same pointer).
+const char* intern(std::string_view s);
+
+class Tracer;
+
+/// intern() only when tracing is enabled — keeps dynamic-string args off
+/// the hot path in the (default) disabled state. Declared here, defined
+/// after Tracer below.
+inline const char* intern_if_enabled(std::string_view s);
+
+/// Tag the calling thread with a rank lane; -1 untags.
+void set_thread_rank(int rank);
+int  thread_rank();
+
+namespace detail {
+
+/// Single-writer ring with drop-when-full semantics: the owning thread
+/// appends and release-publishes the count; any thread may read the
+/// published prefix concurrently, race-free, because published slots are
+/// never rewritten.
+class EventBuffer {
+public:
+    explicit EventBuffer(std::size_t capacity, int rank)
+        : slots_(capacity), rank_(rank) {}
+
+    int rank() const { return rank_; }
+
+    bool push(const Event& e) {
+        const std::size_t n = size_.load(std::memory_order_relaxed);
+        if (n >= slots_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[n] = e;
+        size_.store(n + 1, std::memory_order_release);
+        return true;
+    }
+
+    std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+    /// Append the published prefix to `out`.
+    void read(std::vector<Event>& out) const {
+        const std::size_t n = size_.load(std::memory_order_acquire);
+        out.insert(out.end(), slots_.begin(),
+                   slots_.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+
+private:
+    std::vector<Event>         slots_;
+    std::atomic<std::size_t>   size_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    int                        rank_;
+};
+
+} // namespace detail
+
+/// Process-wide trace collector. All methods are thread-safe; emit() and
+/// the Span/instant/counter helpers are lock-free after a thread's first
+/// event (which registers its buffer).
+class Tracer {
+public:
+    static Tracer& instance();
+
+    /// Recording switch. Disabled is the default and the near-zero-cost
+    /// state: instrumentation points check this and return.
+    static bool enabled() {
+        return instance().enabled_.load(std::memory_order_relaxed);
+    }
+    void set_enabled(bool v) { enabled_.store(v, std::memory_order_relaxed); }
+
+    /// Capacity (events) of buffers created after the call; default 1<<15.
+    void        set_capacity(std::size_t events);
+    std::size_t capacity() const;
+
+    /// Drop every completed buffer and detach live threads from theirs
+    /// (they re-register on their next event). Events recorded so far are
+    /// discarded.
+    void clear();
+
+    /// Copy of all published events, stably sorted by (rank, timestamp).
+    std::vector<Event> snapshot() const;
+
+    /// Total events dropped across all buffers since the last clear().
+    std::uint64_t dropped() const;
+
+    /// Append `e` (timestamp/rank filled in) to this thread's buffer.
+    /// No-op when disabled.
+    static void emit(Event&& e);
+
+private:
+    Tracer() = default;
+
+    detail::EventBuffer* thread_buffer();
+
+    std::atomic<bool>        enabled_{false};
+    std::atomic<std::size_t> capacity_{1u << 15};
+    std::atomic<std::uint64_t> epoch_{0}; ///< bumped by clear(); stale TLS detection
+
+    mutable std::mutex mutex_; ///< guards buffers_ (registration + snapshot)
+    std::vector<std::shared_ptr<detail::EventBuffer>> buffers_;
+
+    friend class Span;
+};
+
+inline const char* intern_if_enabled(std::string_view s) {
+    return Tracer::enabled() ? intern(s) : "";
+}
+
+// --- emission helpers ---------------------------------------------------------
+
+inline void instant(const char* name, const char* cat,
+                    std::initializer_list<Event::Arg> args = {}) {
+    if (!Tracer::enabled()) return;
+    Event e;
+    e.name = name;
+    e.cat  = cat;
+    e.type = EventType::Instant;
+    for (const auto& a : args)
+        if (e.nargs < Event::max_args) e.args[e.nargs++] = a;
+    Tracer::emit(std::move(e));
+}
+
+inline void counter(const char* name, const char* cat, std::uint64_t value) {
+    if (!Tracer::enabled()) return;
+    Event e;
+    e.name    = name;
+    e.cat     = cat;
+    e.type    = EventType::Counter;
+    e.nargs   = 1;
+    e.args[0] = {"value", value, nullptr};
+    Tracer::emit(std::move(e));
+}
+
+/// RAII span: emits Begin at construction and End at destruction. When
+/// tracing is disabled at construction the span is inert (one relaxed
+/// load, nothing else — the End is suppressed even if tracing turns on
+/// mid-span, keeping every rank's Begin/End stream balanced).
+class Span {
+public:
+    Span(const char* name, const char* cat,
+         std::initializer_list<Event::Arg> args = {}) {
+        if (!Tracer::enabled()) return;
+        name_ = name;
+        cat_  = cat;
+        Event e;
+        e.name = name;
+        e.cat  = cat;
+        e.type = EventType::Begin;
+        for (const auto& a : args)
+            if (e.nargs < Event::max_args) e.args[e.nargs++] = a;
+        Tracer::emit(std::move(e));
+    }
+
+    Span(const Span&)            = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Attach an argument to the closing End event (e.g. a byte count
+    /// known only at completion).
+    void end_arg(const char* key, std::uint64_t num) {
+        if (!name_ || end_nargs_ >= Event::max_args) return;
+        end_args_[end_nargs_++] = {key, num, nullptr};
+    }
+
+    ~Span() {
+        if (!name_) return;
+        Event e;
+        e.name  = name_;
+        e.cat   = cat_;
+        e.type  = EventType::End;
+        e.nargs = end_nargs_;
+        for (int i = 0; i < end_nargs_; ++i) e.args[i] = end_args_[i];
+        Tracer::emit(std::move(e));
+    }
+
+private:
+    const char* name_ = nullptr; ///< null = inert
+    const char* cat_  = nullptr;
+    std::uint8_t end_nargs_ = 0;
+    Event::Arg   end_args_[Event::max_args];
+};
+
+} // namespace obs

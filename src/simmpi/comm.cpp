@@ -1,5 +1,7 @@
 #include "comm.hpp"
 
+#include <obs/trace.hpp>
+
 #include <algorithm>
 #include <map>
 
@@ -34,6 +36,11 @@ void Comm::send(int dest, int tag, std::vector<std::byte>&& payload) const {
 
 void Comm::send_shared(int dest, int tag, SharedPayload payload) const {
     if (tag < 0) throw Error("simmpi: user tags must be non-negative");
+    obs::instant("pt2pt.send", "simmpi",
+                 {{"comm", context_, nullptr},
+                  {"peer", static_cast<std::uint64_t>(dest), nullptr},
+                  {"tag", static_cast<std::uint64_t>(tag), nullptr},
+                  {"bytes", payload ? payload->size() : 0, nullptr}});
     detail::Envelope env;
     env.context = context_;
     env.src     = rank_;
@@ -44,8 +51,13 @@ void Comm::send_shared(int dest, int tag, SharedPayload payload) const {
 
 Status Comm::recv(int src, int tag, std::vector<std::byte>& out) const {
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    obs::Span span("pt2pt.recv", "simmpi",
+                   {{"comm", context_, nullptr},
+                    {"peer", static_cast<std::uint64_t>(src), nullptr},
+                    {"tag", static_cast<std::uint64_t>(tag), nullptr}});
     detail::Envelope env = my_mailbox().pop(context_, src, tag);
     Status           st{env.src, env.tag, env.size()};
+    span.end_arg("bytes", st.count);
     out = detail::take_payload(std::move(env.payload));
     return st;
 }
@@ -62,6 +74,9 @@ Status Comm::recv_into(int src, int tag, void* buf, std::size_t capacity) const 
 
 Status Comm::probe(int src, int tag) const {
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    obs::Span span("pt2pt.probe", "simmpi",
+                   {{"comm", context_, nullptr},
+                    {"tag", static_cast<std::uint64_t>(tag), nullptr}});
     return my_mailbox().probe_wait(context_, src, tag);
 }
 
@@ -84,6 +99,9 @@ Status Comm::probe_any(std::span<const Comm* const> comms, int src, int tag, std
             throw Error("simmpi: probe_any communicators must share this rank's mailbox");
         contexts.push_back(c->context_);
     }
+    obs::Span span("pt2pt.probe_any", "simmpi",
+                   {{"comms", contexts.size(), nullptr},
+                    {"tag", static_cast<std::uint64_t>(tag), nullptr}});
     return first.my_mailbox().probe_wait_any(contexts, src, tag, which);
 }
 
@@ -124,6 +142,9 @@ std::vector<std::byte> Comm::coll_recv(int src, int tag) const {
 
 void Comm::barrier() const {
     check_intra("barrier");
+    obs::Span span("coll.barrier", "simmpi",
+                   {{"comm", context_, nullptr},
+                    {"size", static_cast<std::uint64_t>(size()), nullptr}});
     const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
     if (rank_ == 0) {
         for (int r = 1; r < size(); ++r) (void)coll_recv(r, tag);
@@ -136,6 +157,10 @@ void Comm::barrier() const {
 
 void Comm::bcast(std::vector<std::byte>& data, int root) const {
     check_intra("bcast");
+    obs::Span span("coll.bcast", "simmpi",
+                   {{"comm", context_, nullptr},
+                    {"root", static_cast<std::uint64_t>(root), nullptr},
+                    {"bytes", data.size(), nullptr}});
     const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
     if (rank_ == root) {
         // one refcounted buffer fanned out to the whole group (the root
@@ -150,6 +175,10 @@ void Comm::bcast(std::vector<std::byte>& data, int root) const {
 
 std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> mine, int root) const {
     check_intra("gather");
+    obs::Span span("coll.gather", "simmpi",
+                   {{"comm", context_, nullptr},
+                    {"root", static_cast<std::uint64_t>(root), nullptr},
+                    {"bytes", mine.size(), nullptr}});
     const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
     std::vector<std::vector<std::byte>> out;
     if (rank_ == root) {
@@ -165,6 +194,8 @@ std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> mine
 
 std::vector<std::vector<std::byte>> Comm::allgather(std::span<const std::byte> mine) const {
     check_intra("allgather");
+    obs::Span span("coll.allgather", "simmpi",
+                   {{"comm", context_, nullptr}, {"bytes", mine.size(), nullptr}});
     // gather at rank 0, then broadcast the concatenation (2N messages, not N^2)
     auto gathered = gather(mine, 0);
 
@@ -195,6 +226,10 @@ std::vector<std::vector<std::byte>> Comm::alltoall(std::vector<std::vector<std::
     check_intra("alltoall");
     if (outgoing.size() != static_cast<std::size_t>(size()))
         throw Error("simmpi: alltoall requires one payload per rank");
+    std::size_t out_bytes = 0;
+    for (const auto& p : outgoing) out_bytes += p.size();
+    obs::Span span("coll.alltoall", "simmpi",
+                   {{"comm", context_, nullptr}, {"bytes", out_bytes, nullptr}});
     const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
     for (int r = 0; r < size(); ++r)
         coll_send(r, tag, std::move(outgoing[static_cast<std::size_t>(r)]));
@@ -206,6 +241,9 @@ std::vector<std::vector<std::byte>> Comm::alltoall(std::vector<std::vector<std::
 
 std::vector<std::byte> Comm::scatter(std::vector<std::vector<std::byte>>&& parts, int root) const {
     check_intra("scatter");
+    obs::Span span("coll.scatter", "simmpi",
+                   {{"comm", context_, nullptr},
+                    {"root", static_cast<std::uint64_t>(root), nullptr}});
     const int tag = static_cast<int>((*coll_seq_)++ % (1u << 28)) * 4;
     if (rank_ == root) {
         if (parts.size() != static_cast<std::size_t>(size()))

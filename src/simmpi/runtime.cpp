@@ -1,5 +1,7 @@
 #include "runtime.hpp"
 
+#include <obs/trace.hpp>
+
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -28,6 +30,7 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn) {
     for (int r = 0; r < world_size; ++r) {
         threads.emplace_back([&, r] {
             try {
+                obs::set_thread_rank(r); // telemetry lane of this rank-thread
                 Comm comm(world, base, identity, identity, r, false);
                 fn(comm, r);
             } catch (...) {

@@ -1,12 +1,26 @@
 #include "workflow.hpp"
 
 #include <h5/native_vol.hpp>
+#include <obs/obs.hpp>
 
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
 
 namespace workflow {
+
+namespace {
+
+/// L5_TRACE= controls workflow-level tracing: unset/empty/"0" leaves it
+/// off, "1" records and writes l5_trace.json, any other value is the
+/// output path for the Chrome trace JSON.
+const char* trace_env_path() {
+    const char* s = std::getenv("L5_TRACE");
+    if (!s || !*s || std::strcmp(s, "0") == 0) return nullptr;
+    return std::strcmp(s, "1") == 0 ? "l5_trace.json" : s;
+}
+
+} // namespace
 
 Mode Mode::from_env() {
     const char* s = std::getenv("L5_MODE");
@@ -33,6 +47,9 @@ void run(const std::vector<TaskSpec>& tasks, const std::vector<Link>& links,
         if (l.producer < 0 || l.consumer < 0 || l.producer >= static_cast<int>(tasks.size())
             || l.consumer >= static_cast<int>(tasks.size()) || l.producer == l.consumer)
             throw std::runtime_error("workflow: bad link");
+
+    const char* trace_path = trace_env_path();
+    if (trace_path) obs::Tracer::instance().set_enabled(true);
 
     simmpi::Runtime::run(total, [&](simmpi::Comm& world) {
         // which task does this rank belong to?
@@ -77,9 +94,17 @@ void run(const std::vector<TaskSpec>& tasks, const std::vector<Link>& links,
                 ctx.vol->consume_from(link_comms[i], links[i].pattern);
         }
 
-        spec.fn(ctx);
+        {
+            obs::Span task_span(obs::intern_if_enabled("task:" + spec.name), "workflow",
+                                {{"nprocs", static_cast<std::uint64_t>(spec.nprocs), nullptr},
+                                 {"local_rank", static_cast<std::uint64_t>(ctx.rank()), nullptr}});
+            spec.fn(ctx);
+        }
+        obs::Span drain_span("task.drain", "workflow");
         ctx.vol->finish_serving(); // drain any background serving
     });
+
+    if (trace_path) obs::write_chrome_trace_file(trace_path);
 }
 
 } // namespace workflow

@@ -5,6 +5,7 @@
 /// producer computes the next step.
 
 #include <lowfive/lowfive.hpp>
+#include <obs/obs.hpp>
 #include <workflow/workflow.hpp>
 
 #include <gtest/gtest.h>
@@ -133,6 +134,49 @@ TEST(AsyncServe, DropFileWaitsForConsumers) {
             {"consumer", 2, [](Context& ctx) { read_step(ctx, "dropwait.h5", 3, 16); }},
         },
         {Link{0, 1, "*"}}, async_opts());
+}
+
+// Regression for the Stats data race: the background serve thread used
+// to bump a plain Stats struct that the producer thread read while
+// serving was still in flight. stats() / metrics snapshots / tracer
+// snapshots must all be safe to call concurrently with serving (this is
+// what the ThreadSanitizer tree checks).
+TEST(AsyncServe, ConcurrentStatsAndTraceReads) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.set_enabled(true);
+
+    constexpr int steps = 3;
+    workflow::run(
+        {
+            {"producer", 2,
+             [](Context& ctx) {
+                 std::uint64_t last_served = 0;
+                 for (int s = 0; s < steps; ++s) {
+                     write_step(ctx, "race" + std::to_string(s) + ".h5", s, 256);
+                     // racing reads: the serve thread is updating the
+                     // counters and emitting trace events right now
+                     for (int i = 0; i < 20; ++i) {
+                         auto st = ctx.vol->stats();
+                         EXPECT_GE(st.bytes_served, last_served); // monotone
+                         last_served = st.bytes_served;
+                         (void)ctx.vol->metrics().snapshot();
+                         (void)obs::Tracer::instance().snapshot();
+                         (void)obs::Tracer::instance().dropped();
+                     }
+                 }
+             }},
+            {"consumer", 2,
+             [](Context& ctx) {
+                 for (int s = 0; s < steps; ++s)
+                     read_step(ctx, "race" + std::to_string(s) + ".h5", s, 256);
+             }},
+        },
+        {Link{0, 1, "*"}}, async_opts());
+
+    tracer.set_enabled(false);
+    EXPECT_FALSE(tracer.snapshot().empty()); // serving was actually traced
+    tracer.clear();
 }
 
 TEST(AsyncServe, ProducerRunsAheadOfSlowConsumer) {

@@ -409,7 +409,7 @@ TEST(DistVol, ConsumerReadsSubsetOnly) {
                      }
                  }
                  f.close();
-                 auto& st = ctx.vol->stats();
+                 auto st = ctx.vol->stats();
                  // at most one dataset's worth of payload was served
                  EXPECT_LT(st.bytes_served, 4u * 4 * sizeof(std::int32_t));
              }},

@@ -1,0 +1,385 @@
+/// The obs telemetry subsystem: span tracing well-formedness across
+/// simmpi rank lanes, near-zero disabled mode, the metrics registry, the
+/// JSON model, the Chrome trace exporter, the per-phase aggregation, and
+/// the L5_TRACE workflow hook.
+
+#include <h5/h5.hpp>
+#include <obs/obs.hpp>
+#include <simmpi/simmpi.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+/// Enable tracing on a clean slate; disable and wipe on scope exit so
+/// tests cannot leak state into each other.
+struct TraceGuard {
+    TraceGuard() {
+        obs::Tracer::instance().clear();
+        obs::Tracer::instance().set_enabled(true);
+    }
+    ~TraceGuard() {
+        obs::Tracer::instance().set_enabled(false);
+        obs::Tracer::instance().clear();
+    }
+};
+
+std::map<int, std::vector<obs::Event>> events_by_rank(const std::vector<obs::Event>& events) {
+    std::map<int, std::vector<obs::Event>> by_rank;
+    for (const auto& e : events) by_rank[e.rank].push_back(e);
+    return by_rank;
+}
+
+} // namespace
+
+TEST(Telemetry, DisabledModeEmitsNothing) {
+    obs::Tracer::instance().clear();
+    ASSERT_FALSE(obs::Tracer::enabled());
+    {
+        obs::Span span("outer", "test");
+        span.end_arg("bytes", 7);
+        obs::instant("point", "test");
+        obs::counter("gauge", "test", 42);
+    }
+    EXPECT_TRUE(obs::Tracer::instance().snapshot().empty());
+    EXPECT_EQ(obs::Tracer::instance().dropped(), 0u);
+}
+
+TEST(Telemetry, SpanInertWhenDisabledAtConstruction) {
+    obs::Tracer::instance().clear();
+    auto span = std::make_unique<obs::Span>("late", "test");
+    obs::Tracer::instance().set_enabled(true);
+    span.reset(); // End must be suppressed: its Begin was never emitted
+    obs::Tracer::instance().set_enabled(false);
+    EXPECT_TRUE(obs::Tracer::instance().snapshot().empty());
+    obs::Tracer::instance().clear();
+}
+
+TEST(Telemetry, SpanNestingWellFormedPerRank) {
+    TraceGuard guard;
+    simmpi::Runtime::run(4, [](simmpi::Comm& world) {
+        obs::Span outer("outer", "test", {{"rank", static_cast<std::uint64_t>(world.rank()), nullptr}});
+        {
+            obs::Span inner("inner", "test");
+            obs::instant("tick", "test");
+        }
+        world.barrier();
+    });
+    obs::Tracer::instance().set_enabled(false);
+
+    auto by_rank = events_by_rank(obs::Tracer::instance().snapshot());
+    for (int r = 0; r < 4; ++r) {
+        ASSERT_TRUE(by_rank.count(r)) << "rank " << r << " has no lane";
+        // every Begin closes in LIFO order with a matching End, and
+        // timestamps never go backwards within the lane
+        std::vector<const char*> stack;
+        std::uint64_t            last_ts = 0;
+        for (const auto& e : by_rank[r]) {
+            EXPECT_GE(e.ts_ns, last_ts);
+            last_ts = e.ts_ns;
+            if (e.type == obs::EventType::Begin) {
+                stack.push_back(e.name);
+            } else if (e.type == obs::EventType::End) {
+                ASSERT_FALSE(stack.empty()) << "orphan End '" << e.name << "' on rank " << r;
+                EXPECT_STREQ(stack.back(), e.name) << "non-LIFO End on rank " << r;
+                stack.pop_back();
+            }
+        }
+        EXPECT_TRUE(stack.empty()) << "unclosed span on rank " << r;
+        // the explicit test spans are all present in this lane
+        int outer_begins = 0, inner_begins = 0, ticks = 0;
+        for (const auto& e : by_rank[r]) {
+            if (std::string_view(e.name) == "outer" && e.type == obs::EventType::Begin) ++outer_begins;
+            if (std::string_view(e.name) == "inner" && e.type == obs::EventType::Begin) ++inner_begins;
+            if (std::string_view(e.name) == "tick") ++ticks;
+        }
+        EXPECT_EQ(outer_begins, 1);
+        EXPECT_EQ(inner_begins, 1);
+        EXPECT_EQ(ticks, 1);
+    }
+}
+
+TEST(Telemetry, RingOverflowDropsInsteadOfBlocking) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.set_capacity(16);
+    tracer.set_enabled(true);
+    for (int i = 0; i < 100; ++i) obs::instant("burst", "test");
+    tracer.set_enabled(false);
+    EXPECT_EQ(tracer.snapshot().size(), 16u);
+    EXPECT_EQ(tracer.dropped(), 84u);
+    tracer.set_capacity(1u << 15);
+    tracer.clear();
+}
+
+TEST(Telemetry, InternIsStableAndIdempotent) {
+    const char* a = obs::intern("dynamic-name");
+    const char* b = obs::intern(std::string("dynamic-") + "name");
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ(a, "dynamic-name");
+}
+
+TEST(Telemetry, ChromeExportParsesAndRoundTrips) {
+    TraceGuard guard;
+    simmpi::Runtime::run(2, [](simmpi::Comm& world) {
+        obs::Span span("work", "test", {{"bytes", 128, nullptr}});
+        world.barrier();
+    });
+    obs::Tracer::instance().set_enabled(false);
+    auto events = obs::Tracer::instance().snapshot();
+    ASSERT_FALSE(events.empty());
+
+    std::ostringstream os;
+    obs::write_chrome_trace(os, events);
+
+    // parses as JSON, and survives a dump/parse round trip intact
+    auto doc = obs::json::Value::parse(os.str());
+    auto rt  = obs::json::Value::parse(doc.dump(2));
+    const auto* tev  = doc.find("traceEvents");
+    const auto* tev2 = rt.find("traceEvents");
+    ASSERT_NE(tev, nullptr);
+    ASSERT_NE(tev2, nullptr);
+    ASSERT_TRUE(tev->is_array());
+    EXPECT_EQ(tev->array().size(), tev2->array().size());
+
+    // per rank lane: named metadata, balanced Begin/End, "work" present
+    std::map<int, int> begins, ends;
+    int                name_meta = 0, work_spans = 0;
+    for (const auto& ev : tev->array()) {
+        const auto* ph  = ev.find("ph");
+        const auto* tid = ev.find("tid");
+        ASSERT_NE(ph, nullptr);
+        const int lane = tid && tid->is_number() ? static_cast<int>(tid->number()) : -2;
+        if (ph->str() == "M" && ev.find("name")->str() == "thread_name") ++name_meta;
+        if (ph->str() == "B") ++begins[lane];
+        if (ph->str() == "E") ++ends[lane];
+        if (ph->str() == "B" && ev.find("name")->str() == "work") ++work_spans;
+    }
+    EXPECT_GE(name_meta, 2);
+    EXPECT_EQ(work_spans, 2); // one per rank
+    for (const auto& [lane, n] : begins) EXPECT_EQ(n, ends[lane]) << "lane " << lane;
+}
+
+TEST(Telemetry, PhaseTotalsPairsSpansAndSumsBytes) {
+    std::vector<obs::Event> events;
+    auto push = [&](const char* name, obs::EventType type, std::uint64_t ts, std::uint64_t bytes) {
+        obs::Event e;
+        e.name  = name;
+        e.cat   = "test";
+        e.ts_ns = ts;
+        e.type  = type;
+        e.rank  = 0;
+        if (bytes) {
+            e.nargs   = 1;
+            e.args[0] = {"bytes", bytes, nullptr};
+        }
+        events.push_back(e);
+    };
+    push("a", obs::EventType::Begin, 100, 64);
+    push("b", obs::EventType::Begin, 200, 0);  // nested inside a
+    push("b", obs::EventType::End, 500, 32);
+    push("a", obs::EventType::End, 1100, 0);
+    push("i", obs::EventType::Instant, 1200, 8);
+
+    auto phases = obs::phase_totals(events);
+    ASSERT_TRUE(phases.count("a"));
+    ASSERT_TRUE(phases.count("b"));
+    ASSERT_TRUE(phases.count("i"));
+    EXPECT_EQ(phases["a"].count, 1u);
+    EXPECT_EQ(phases["a"].total_ns, 1000u);
+    EXPECT_EQ(phases["a"].bytes, 64u);
+    EXPECT_EQ(phases["b"].total_ns, 300u);
+    EXPECT_EQ(phases["b"].bytes, 32u);
+    EXPECT_EQ(phases["i"].count, 1u);
+    EXPECT_EQ(phases["i"].bytes, 8u);
+}
+
+TEST(Telemetry, MetricsRegistryCountersAndHistograms) {
+    obs::Registry reg;
+    auto&         c = reg.counter("bytes");
+    auto&         g = reg.gauge("depth");
+    auto&         h = reg.histogram("lat");
+
+    c.add(10);
+    c.inc();
+    g.set(5);
+    g.add(-2);
+    h.observe(1);
+    h.observe(1000);
+    h.observe(1'000'000);
+
+    // lookup by the same name returns the same instrument
+    EXPECT_EQ(&reg.counter("bytes"), &c);
+
+    auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("bytes"), 11u);
+    EXPECT_EQ(snap.gauges.at("depth"), 3);
+    const auto& hs = snap.histograms.at("lat");
+    EXPECT_EQ(hs.count, 3u);
+    EXPECT_EQ(hs.sum, 1'001'001u);
+    EXPECT_LE(hs.quantile(0.5), hs.quantile(0.99));
+    EXPECT_GE(hs.quantile(1.0), 1'000'000u);
+    EXPECT_NEAR(hs.mean(), 1'001'001.0 / 3.0, 1.0);
+}
+
+TEST(Telemetry, ScopedTimerAccumulates) {
+    obs::Registry reg;
+    auto&         total = reg.counter("t_ns");
+    auto&         hist  = reg.histogram("t_hist");
+    {
+        obs::ScopedTimerNs timer(total, &hist);
+    }
+    {
+        obs::ScopedTimerNs timer(total);
+    }
+    EXPECT_GT(total.value(), 0u);
+    EXPECT_EQ(reg.snapshot().histograms.at("t_hist").count, 1u);
+}
+
+TEST(Telemetry, JsonParseRejectsMalformedInput) {
+    EXPECT_THROW(obs::json::Value::parse("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(obs::json::Value::parse("[1, 2"), std::runtime_error);
+    EXPECT_THROW(obs::json::Value::parse(""), std::runtime_error);
+    EXPECT_THROW(obs::json::Value::parse("{\"a\": 1} trailing"), std::runtime_error);
+}
+
+TEST(Telemetry, JsonRoundTripsEscapesAndNumbers) {
+    const std::string text = R"({"s": "a\"b\\c\ndA", "n": -2.5, "i": 123456789, )"
+                             R"("arr": [true, false, null], "nested": {"k": 0}})";
+    auto v = obs::json::Value::parse(text);
+    EXPECT_EQ(v.find("s")->str(), "a\"b\\c\nd\x41");
+    EXPECT_DOUBLE_EQ(v.find("n")->number(), -2.5);
+    EXPECT_DOUBLE_EQ(v.find("i")->number(), 123456789.0);
+    auto rt = obs::json::Value::parse(v.dump());
+    EXPECT_EQ(rt.find("arr")->array().size(), 3u);
+    EXPECT_EQ(rt.find("nested")->find("k")->number(), 0.0);
+    EXPECT_EQ(v.dump(), rt.dump());
+}
+
+TEST(Telemetry, WorkflowTraceEnvWritesLoadableChromeJson) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "l5_test_trace.json").string();
+    std::filesystem::remove(path);
+    obs::Tracer::instance().clear(); // only this run's events in the file
+    ::setenv("L5_TRACE", path.c_str(), 1);
+
+    workflow::run(
+        {
+            {"producer", 2,
+             [](workflow::Context& ctx) {
+                 h5::File f = h5::File::create("trace.h5", ctx.vol);
+                 auto     d = f.create_dataset("v", h5::dt::int32(), h5::Dataspace({16}));
+                 if (ctx.rank() == 0) {
+                     std::vector<std::int32_t> v(16, 7);
+                     d.write(v.data());
+                 }
+                 f.close();
+             }},
+            {"consumer", 1,
+             [](workflow::Context& ctx) {
+                 h5::File f = h5::File::open("trace.h5", ctx.vol);
+                 auto     v = f.open_dataset("v").read_vector<std::int32_t>();
+                 EXPECT_EQ(v.size(), 16u);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+
+    ::unsetenv("L5_TRACE");
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "L5_TRACE did not write " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto doc = obs::json::Value::parse(ss.str());
+    const auto* tev = doc.find("traceEvents");
+    ASSERT_NE(tev, nullptr);
+    EXPECT_FALSE(tev->array().empty());
+
+    // the index / query / task phases all show up in the trace
+    bool saw_index = false, saw_query = false, saw_task = false;
+    for (const auto& ev : tev->array()) {
+        const auto* name = ev.find("name");
+        if (!name || !name->is_string()) continue;
+        if (name->str() == "dist.index") saw_index = true;
+        if (name->str() == "query.read") saw_query = true;
+        if (name->str().rfind("task:", 0) == 0) saw_task = true;
+    }
+    EXPECT_TRUE(saw_index);
+    EXPECT_TRUE(saw_query);
+    EXPECT_TRUE(saw_task);
+    std::filesystem::remove(path);
+}
+
+TEST(Telemetry, DistVolPhaseBreakdownSumsToQueryTime) {
+    std::mutex              mutex;
+    obs::Registry::Snapshot consumer_metrics;
+
+    workflow::run(
+        {
+            {"producer", 2,
+             [](workflow::Context& ctx) {
+                 h5::File f = h5::File::create("phases.h5", ctx.vol);
+                 auto d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({1024}));
+                 if (ctx.rank() == 0) {
+                     std::vector<std::uint64_t> v(1024, 3);
+                     d.write(v.data());
+                 }
+                 f.close();
+             }},
+            {"consumer", 2,
+             [&](workflow::Context& ctx) {
+                 h5::File f = h5::File::open("phases.h5", ctx.vol);
+                 for (int r = 0; r < 3; ++r)
+                     (void)f.open_dataset("v").read_vector<std::uint64_t>();
+                 f.close();
+                 if (ctx.rank() == 0) {
+                     std::lock_guard<std::mutex> lock(mutex);
+                     consumer_metrics = ctx.vol->metrics().snapshot();
+                 }
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+
+    const auto& c         = consumer_metrics.counters;
+    const auto  query     = c.at("time_query_ns");
+    const auto  intersect = c.at("time_query_intersect_ns");
+    const auto  data      = c.at("time_query_data_ns");
+    EXPECT_GT(query, 0u);
+    // the intersect and data timers nest inside the query timer, so the
+    // breakdown can never exceed the total
+    EXPECT_LE(intersect + data, query);
+    // and the measured sub-phases dominate a remote read: "other" (cache
+    // lookups, request marshalling) is bounded by the total
+    EXPECT_GT(intersect + data, 0u);
+    // the registry is per-vol, i.e. per-rank: rank 0 made 3 reads
+    EXPECT_EQ(consumer_metrics.histograms.at("query_latency_ns").count, 3u);
+}
+
+TEST(Telemetry, BenchScenarioJsonCarriesPhases) {
+    obs::Registry reg;
+    reg.counter("time_query_ns").add(1000);
+    reg.counter("time_query_intersect_ns").add(300);
+    reg.counter("time_query_data_ns").add(600);
+    reg.counter("bytes_fetched").add(4096);
+    auto snap = reg.snapshot();
+
+    // the envelope helpers live in bench/common.*, which tests do not
+    // link; this checks the underlying invariant they rely on instead:
+    // phase counters reconstruct an exact breakdown from any snapshot
+    const auto query     = snap.counters.at("time_query_ns");
+    const auto intersect = snap.counters.at("time_query_intersect_ns");
+    const auto data      = snap.counters.at("time_query_data_ns");
+    EXPECT_EQ(query - intersect - data, 100u);
+}

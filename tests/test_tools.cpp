@@ -1,13 +1,18 @@
-/// End-to-end tests for the CLI tools (mh5ls / mh5dump), exercised
-/// against a real on-disk file via the installed binaries.
+/// End-to-end tests for the CLI tools (mh5ls / mh5dump / mh5trace),
+/// exercised against real on-disk files via the installed binaries.
 
 #include <h5/h5.hpp>
+#include <obs/obs.hpp>
+#include <simmpi/simmpi.hpp>
 
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -165,4 +170,105 @@ TEST_F(ToolsTest, CopyMissingSourceFails) {
     (void)run_tool(tool_path("mh5copy") + " " + path_ + " nope " + dst + " x", &rc);
     EXPECT_EQ(rc, 1);
     EXPECT_FALSE(std::filesystem::exists(dst));
+}
+
+// --- mh5trace: merge / filter / summarize Chrome trace files ---------------
+
+namespace {
+
+/// Record a small trace in-process and export it to `path`.
+void write_sample_trace(const std::string& path) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.set_enabled(true);
+    simmpi::Runtime::run(2, [](simmpi::Comm& world) {
+        obs::Span span("sample.work", "tools-test", {{"bytes", 256, nullptr}});
+        obs::instant("sample.tick", "tools-test");
+        world.barrier();
+    });
+    tracer.set_enabled(false);
+    ASSERT_TRUE(obs::write_chrome_trace_file(path));
+    tracer.clear();
+}
+
+} // namespace
+
+TEST_F(ToolsTest, TraceSummary) {
+    auto trace = (std::filesystem::temp_directory_path() / "tools_trace.json").string();
+    write_sample_trace(trace);
+
+    int  rc  = -1;
+    auto out = run_tool(tool_path("mh5trace") + " " + trace, &rc);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("sample.work"), std::string::npos);
+    EXPECT_NE(out.find("sample.tick"), std::string::npos);
+    EXPECT_NE(out.find("coll.barrier"), std::string::npos);
+    std::filesystem::remove(trace);
+}
+
+TEST_F(ToolsTest, TraceFilterAndRoundTrip) {
+    auto trace  = (std::filesystem::temp_directory_path() / "tools_trace_rt.json").string();
+    auto merged = (std::filesystem::temp_directory_path() / "tools_trace_merged.json").string();
+    write_sample_trace(trace);
+
+    // filter to the test category and rank 0, write a merged trace
+    int rc = -1;
+    (void)run_tool(tool_path("mh5trace") + " -c tools-test -r 0 -o " + merged + " " + trace, &rc);
+    ASSERT_EQ(rc, 0);
+
+    // the output must itself parse as a Chrome trace and contain exactly
+    // rank 0's span + instant (plus metadata rows)
+    std::ifstream      in(merged);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto doc = obs::json::Value::parse(ss.str());
+    const auto* tev = doc.find("traceEvents");
+    ASSERT_NE(tev, nullptr);
+    int spans = 0, instants = 0;
+    for (const auto& ev : tev->array()) {
+        const auto* ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->str() == "M") continue;
+        EXPECT_EQ(static_cast<int>(ev.find("tid")->number()), 0);
+        EXPECT_EQ(ev.find("cat")->str(), "tools-test");
+        if (ph->str() == "B") ++spans;
+        if (ph->str() == "i") ++instants;
+    }
+    EXPECT_EQ(spans, 1);
+    EXPECT_EQ(instants, 1);
+
+    // and mh5trace can summarize its own output
+    auto out = run_tool(tool_path("mh5trace") + " " + merged, &rc);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("sample.work"), std::string::npos);
+    EXPECT_EQ(out.find("coll.barrier"), std::string::npos); // filtered away
+
+    std::filesystem::remove(trace);
+    std::filesystem::remove(merged);
+}
+
+TEST_F(ToolsTest, TraceMergeSeparatesInputsByPid) {
+    auto t1  = (std::filesystem::temp_directory_path() / "tools_trace_a.json").string();
+    auto t2  = (std::filesystem::temp_directory_path() / "tools_trace_b.json").string();
+    auto out = (std::filesystem::temp_directory_path() / "tools_trace_ab.json").string();
+    write_sample_trace(t1);
+    write_sample_trace(t2);
+
+    int rc = -1;
+    (void)run_tool(tool_path("mh5trace") + " -o " + out + " " + t1 + " " + t2, &rc);
+    ASSERT_EQ(rc, 0);
+
+    std::ifstream      in(out);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto doc = obs::json::Value::parse(ss.str());
+    std::set<int> pids;
+    for (const auto& ev : doc.find("traceEvents")->array())
+        if (const auto* pid = ev.find("pid"); pid && pid->is_number())
+            pids.insert(static_cast<int>(pid->number()));
+    EXPECT_EQ(pids, (std::set<int>{0, 1})); // one process lane per input
+
+    std::filesystem::remove(t1);
+    std::filesystem::remove(t2);
+    std::filesystem::remove(out);
 }

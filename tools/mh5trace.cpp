@@ -1,0 +1,230 @@
+/// mh5trace: merge, filter, and summarize Chrome trace-event JSON files
+/// produced by the telemetry subsystem (obs::write_chrome_trace / the
+/// L5_TRACE workflow hook).
+///
+///   mh5trace trace.json                     per-phase summary table
+///   mh5trace -o merged.json a.json b.json   merge into one Chrome trace
+///                                           (each input gets its own pid)
+///   mh5trace -c lowfive -r 8 trace.json     filter by category / rank
+///
+/// Options:
+///   -o FILE     write the merged/filtered Chrome trace JSON to FILE
+///               (default: print a per-phase summary instead)
+///   -c CAT      keep only events of this category (repeatable)
+///   -n SUBSTR   keep only events whose name contains SUBSTR (repeatable)
+///   -r RANK     keep only this rank lane (repeatable)
+///   -s          also print the summary when -o is given
+
+#include <obs/json.hpp>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using obs::json::Value;
+
+struct Filter {
+    std::vector<std::string> cats;
+    std::vector<std::string> names;
+    std::vector<int>         ranks;
+
+    bool keep(const Value& ev) const {
+        const Value* ph = ev.find("ph");
+        if (ph && ph->is_string() && ph->str() == "M") return true; // metadata
+        if (!cats.empty()) {
+            const Value* cat = ev.find("cat");
+            if (!cat || !cat->is_string()
+                || std::find(cats.begin(), cats.end(), cat->str()) == cats.end())
+                return false;
+        }
+        if (!names.empty()) {
+            const Value* name = ev.find("name");
+            if (!name || !name->is_string()) return false;
+            bool any = false;
+            for (const auto& n : names)
+                if (name->str().find(n) != std::string::npos) any = true;
+            if (!any) return false;
+        }
+        if (!ranks.empty()) {
+            const Value* tid = ev.find("tid");
+            if (!tid || !tid->is_number()
+                || std::find(ranks.begin(), ranks.end(), static_cast<int>(tid->number()))
+                       == ranks.end())
+                return false;
+        }
+        return true;
+    }
+};
+
+Value load_trace(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("mh5trace: cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    Value doc = Value::parse(ss.str());
+    if (!doc.find("traceEvents"))
+        throw std::runtime_error("mh5trace: " + path + " has no traceEvents array");
+    return doc;
+}
+
+/// Aggregate per span name: count, total time inside Begin/End pairs
+/// (paired LIFO per (pid, tid) lane), and the sum of "bytes" args.
+struct Phase {
+    std::uint64_t count    = 0;
+    double        total_us = 0;
+    std::uint64_t bytes    = 0;
+};
+
+std::uint64_t bytes_arg(const Value& ev) {
+    const Value* args = ev.find("args");
+    if (!args) return 0;
+    const Value* b = args->find("bytes");
+    return b && b->is_number() ? static_cast<std::uint64_t>(b->number()) : 0;
+}
+
+std::map<std::string, Phase> summarize(const std::vector<Value>& events) {
+    struct Open {
+        std::string name;
+        double      ts;
+        std::uint64_t bytes;
+    };
+    std::map<std::pair<int, int>, std::vector<Open>> stacks;
+    std::map<std::string, Phase>                     phases;
+
+    for (const auto& ev : events) {
+        const Value* ph   = ev.find("ph");
+        const Value* name = ev.find("name");
+        const Value* ts   = ev.find("ts");
+        if (!ph || !ph->is_string() || !name || !name->is_string()) continue;
+        const Value* pid  = ev.find("pid");
+        const Value* tid  = ev.find("tid");
+        std::pair<int, int> lane{pid && pid->is_number() ? static_cast<int>(pid->number()) : 0,
+                                 tid && tid->is_number() ? static_cast<int>(tid->number()) : 0};
+        const std::string& p = ph->str();
+        if (p == "B") {
+            stacks[lane].push_back({name->str(), ts ? ts->number() : 0, bytes_arg(ev)});
+        } else if (p == "E") {
+            auto& stack = stacks[lane];
+            // LIFO pairing; tolerate orphan Ends
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+                if (it->name != name->str()) continue;
+                auto& phase = phases[it->name];
+                phase.count++;
+                phase.total_us += (ts ? ts->number() : 0) - it->ts;
+                phase.bytes += it->bytes + bytes_arg(ev);
+                stack.erase(std::next(it).base());
+                break;
+            }
+        } else if (p == "i" || p == "I") {
+            auto& phase = phases[name->str()];
+            phase.count++;
+            phase.bytes += bytes_arg(ev);
+        }
+    }
+    return phases;
+}
+
+void print_summary(const std::map<std::string, Phase>& phases) {
+    std::printf("%-28s %10s %12s %12s %10s\n", "phase", "count", "total(ms)", "mean(us)", "MiB");
+    for (const auto& [name, ph] : phases)
+        std::printf("%-28s %10llu %12.3f %12.2f %10.2f\n", name.c_str(),
+                    static_cast<unsigned long long>(ph.count), ph.total_us / 1000.0,
+                    ph.count ? ph.total_us / static_cast<double>(ph.count) : 0.0,
+                    static_cast<double>(ph.bytes) / (1024.0 * 1024.0));
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: mh5trace [-o out.json] [-c cat]... [-n substr]... [-r rank]... [-s] "
+                 "trace.json...\n");
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string              out_path;
+    bool                     want_summary = false;
+    Filter                   filter;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (arg == "-o") {
+            const char* v = next();
+            if (!v) return usage();
+            out_path = v;
+        } else if (arg == "-c") {
+            const char* v = next();
+            if (!v) return usage();
+            filter.cats.emplace_back(v);
+        } else if (arg == "-n") {
+            const char* v = next();
+            if (!v) return usage();
+            filter.names.emplace_back(v);
+        } else if (arg == "-r") {
+            const char* v = next();
+            if (!v) return usage();
+            filter.ranks.push_back(std::atoi(v));
+        } else if (arg == "-s" || arg == "--summary") {
+            want_summary = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) return usage();
+    if (out_path.empty()) want_summary = true;
+
+    try {
+        // merge: each input file becomes its own pid so lanes from
+        // different runs stay separate in the viewer
+        std::vector<Value> merged;
+        for (std::size_t f = 0; f < inputs.size(); ++f) {
+            Value doc = load_trace(inputs[f]);
+            if (inputs.size() > 1) {
+                Value meta{obs::json::Object{}};
+                meta.set("name", "process_name");
+                meta.set("ph", "M");
+                meta.set("pid", static_cast<std::uint64_t>(f));
+                meta.set("tid", 0);
+                Value args{obs::json::Object{}};
+                args.set("name", inputs[f]);
+                meta.set("args", std::move(args));
+                merged.push_back(std::move(meta));
+            }
+            for (auto& ev : doc.find("traceEvents")->array()) {
+                if (!filter.keep(ev)) continue;
+                if (inputs.size() > 1) ev.set("pid", static_cast<std::uint64_t>(f));
+                merged.push_back(std::move(ev));
+            }
+        }
+
+        if (!out_path.empty()) {
+            Value out{obs::json::Object{}};
+            out.set("displayTimeUnit", "ms");
+            out.set("traceEvents", Value{obs::json::Array{merged.begin(), merged.end()}});
+            std::ofstream os(out_path, std::ios::binary);
+            if (!os) throw std::runtime_error("mh5trace: cannot write " + out_path);
+            os << out.dump(1) << "\n";
+            std::printf("mh5trace: wrote %zu events to %s\n", merged.size(), out_path.c_str());
+        }
+        if (want_summary) print_summary(summarize(merged));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
