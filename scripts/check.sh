@@ -22,17 +22,20 @@ jobs=$(nproc 2>/dev/null || echo 2)
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure --no-tests=error -j "$jobs" "$@"
+# --timeout turns any regression back into a hang (the failure mode the
+# fault-injection suite guards against) into a loud test failure
+ctest --test-dir build --output-on-failure --no-tests=error --timeout 180 -j "$jobs" "$@"
 
 if [[ $tsan -eq 1 ]]; then
     echo "== ThreadSanitizer tree (build-tsan) =="
     cmake -B build-tsan -S . -DLOWFIVE_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$jobs"
     # the concurrency-heavy suites: simmpi mailboxes/collectives,
-    # background serving, the pipelined query plane, and the telemetry
-    # ring buffers / registry (concurrent emit vs snapshot)
-    ctest --test-dir build-tsan --output-on-failure --no-tests=error -j "$jobs" \
-          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol|Telemetry'
+    # background serving, the pipelined query plane, the telemetry
+    # ring buffers / registry (concurrent emit vs snapshot), and the
+    # abort/deadline/fault-injection hang-regression suite
+    ctest --test-dir build-tsan --output-on-failure --no-tests=error --timeout 300 -j "$jobs" \
+          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol|Telemetry|FaultInjection'
 fi
 
 echo "check.sh: all green"

@@ -164,7 +164,7 @@ public:
     File(File&& o) noexcept : NodeRef(std::move(o)) { o.h_ = nullptr; }
     File& operator=(File&& o) noexcept {
         if (this != &o) {
-            close();
+            close_quiet();
             vol_ = std::move(o.vol_);
             h_   = o.h_;
             o.h_ = nullptr;
@@ -173,7 +173,11 @@ public:
     }
     File(const File&)            = delete;
     File& operator=(const File&) = delete;
-    ~File() { close(); }
+    /// Implicit close must not throw: closing can involve communication
+    /// (serving, done messages) that fails when a peer aborted the world,
+    /// and this destructor typically runs during that very unwinding.
+    /// Call close() explicitly to observe close-time errors.
+    ~File() { close_quiet(); }
 
     static File create(const std::string& path, VolPtr vol) {
         void* h = vol->file_create(path);
@@ -194,6 +198,13 @@ public:
     /// Persist current contents without closing (H5Fflush).
     void flush() const {
         if (h_) vol_->file_flush(h_);
+    }
+
+    void close_quiet() noexcept {
+        try {
+            close();
+        } catch (...) {
+        }
     }
 
 private:

@@ -78,24 +78,35 @@ void DistMetadataVol::set_serve_in_background(bool v) {
 }
 
 void DistMetadataVol::background_loop() {
-    std::vector<const simmpi::Comm*> comms;
-    comms.reserve(serve_conns_.size() + 1);
-    for (const auto& c : serve_conns_) comms.push_back(&c.ic);
-    comms.push_back(&local_); // self-send on tag rpc_request = shutdown
+    // any exception — a world abort unblocking the probe, a deadline, a
+    // malformed request — must not escape the thread (std::terminate) or
+    // strand waiters on dones_cv_: record it and wake everyone instead
+    try {
+        std::vector<const simmpi::Comm*> comms;
+        comms.reserve(serve_conns_.size() + 1);
+        for (const auto& c : serve_conns_) comms.push_back(&c.ic);
+        comms.push_back(&local_); // self-send on tag rpc_request = shutdown
 
-    for (;;) {
-        std::size_t which = 0;
-        auto st = simmpi::Comm::probe_any(comms, simmpi::any_source, rpc_request, &which);
-        if (which + 1 == comms.size()) {
-            std::vector<std::byte> raw;
-            local_.recv(st.source, rpc_request, raw);
-            return;
+        for (;;) {
+            std::size_t which = 0;
+            auto st = simmpi::Comm::probe_any(comms, simmpi::any_source, rpc_request, &which);
+            if (which + 1 == comms.size()) {
+                std::vector<std::byte> raw;
+                local_.recv(st.source, rpc_request, raw);
+                return;
+            }
+            auto& conn = serve_conns_[which];
+            auto  bb   = recv_buffer(conn.ic, st.source, rpc_request);
+            {
+                std::lock_guard<std::recursive_mutex> lock(mutex_);
+                handle_request(conn, st.source, std::move(bb).take());
+            }
+            dones_cv_.notify_all();
         }
-        auto& conn = serve_conns_[which];
-        auto  bb   = recv_buffer(conn.ic, st.source, rpc_request);
+    } catch (...) {
         {
             std::lock_guard<std::recursive_mutex> lock(mutex_);
-            handle_request(conn, st.source, std::move(bb).take());
+            serve_error_ = std::current_exception();
         }
         dones_cv_.notify_all();
     }
@@ -103,12 +114,29 @@ void DistMetadataVol::background_loop() {
 
 void DistMetadataVol::finish_serving() {
     if (!serve_thread_.joinable()) return;
+    std::exception_ptr err;
     {
         std::unique_lock<std::recursive_mutex> lock(mutex_);
-        dones_cv_.wait(lock, [&] { return dones_received_ >= dones_expected_; });
+        dones_cv_.wait(lock, [&] { return serve_error_ || dones_received_ >= dones_expected_; });
+        err = serve_error_;
     }
-    local_.send(local_.rank(), rpc_request, nullptr, 0); // shutdown signal
-    serve_thread_.join();
+    if (!err) {
+        try {
+            local_.send(local_.rank(), rpc_request, nullptr, 0); // shutdown signal
+        } catch (...) {
+            // the send can only fail when the world was aborted under us;
+            // the same poison has already woken the serve thread
+            err = std::current_exception();
+        }
+    }
+    serve_thread_.join(); // the thread exits via the shutdown message or its own error
+    if (err) {
+        {
+            std::lock_guard<std::recursive_mutex> lock(mutex_);
+            serve_error_ = nullptr; // surfaced once
+        }
+        std::rethrow_exception(err);
+    }
 }
 
 void* DistMetadataVol::file_create(const std::string& name) {
@@ -124,9 +152,10 @@ void DistMetadataVol::file_close(void* file) {
 void DistMetadataVol::drop_file(const std::string& name) {
     std::unique_lock<std::recursive_mutex> lock(mutex_);
     // never drop a file the background server may still be serving
-    // (conservative: waits for every outstanding round)
+    // (conservative: waits for every outstanding round; a dead server
+    // cannot serve anything, so its error also ends the wait)
     if (serve_thread_.joinable())
-        dones_cv_.wait(lock, [&] { return dones_received_ >= dones_expected_; });
+        dones_cv_.wait(lock, [&] { return serve_error_ || dones_received_ >= dones_expected_; });
     index_.erase(name);
     invalidate_producer_cache(name);
     MetadataVol::drop_file(name);
@@ -197,7 +226,8 @@ void DistMetadataVol::serve_all() {
     std::unique_lock<std::recursive_mutex> lock(mutex_);
     if (serve_thread_.joinable()) {
         // background mode: just wait for the server to drain the rounds
-        dones_cv_.wait(lock, [&] { return dones_received_ >= dones_expected_; });
+        dones_cv_.wait(lock, [&] { return serve_error_ || dones_received_ >= dones_expected_; });
+        if (serve_error_) std::rethrow_exception(serve_error_);
         return;
     }
     serve_until(dones_expected_);

@@ -67,6 +67,9 @@ public:
 
     /// Block until every outstanding round has been served and stop the
     /// background server. Safe to call when background serving is off.
+    /// Cannot hang: when the serve thread died (world abort, deadline,
+    /// malformed request) the wait ends, the thread is joined, and its
+    /// exception is rethrown here.
     void finish_serving();
 
     ~DistMetadataVol() override;
@@ -158,6 +161,10 @@ private:
     std::thread                  serve_thread_;
     mutable std::recursive_mutex mutex_;
     std::condition_variable_any  dones_cv_;
+    // set (under mutex_) when the background serve thread dies — from a
+    // world abort, a deadline, or a malformed request — so waiters on
+    // dones_cv_ wake instead of hanging; finish_serving() rethrows it
+    std::exception_ptr           serve_error_;
 
     // producer state
     // index_[file][dset] = (bounding box, producer rank) pairs for the

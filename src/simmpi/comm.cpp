@@ -16,6 +16,23 @@ void append_bytes(std::vector<std::byte>& out, const void* data, std::size_t n) 
 
 } // namespace
 
+void Comm::set_default_deadline(std::int64_t ms) const {
+    if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    world_->set_default_timeout_ms(ms);
+}
+
+std::int64_t Comm::effective_deadline_ms() const {
+    if (!world_) return -1;
+    std::int64_t ms = timeout_ms_ >= 0 ? timeout_ms_ : world_->default_timeout_ms();
+    return ms > 0 ? ms : -1;
+}
+
+detail::Deadline Comm::deadline() const {
+    std::int64_t ms = effective_deadline_ms();
+    if (ms <= 0) return {};
+    return {std::chrono::steady_clock::now() + std::chrono::milliseconds(ms), ms};
+}
+
 detail::Mailbox& Comm::peer_mailbox(int dest) const {
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
     if (dest < 0 || dest >= peer_size())
@@ -36,6 +53,9 @@ void Comm::send(int dest, int tag, std::vector<std::byte>&& payload) const {
 
 void Comm::send_shared(int dest, int tag, SharedPayload payload) const {
     if (tag < 0) throw Error("simmpi: user tags must be non-negative");
+    if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    world_->check_abort();
+    fault_op(tag, true);
     obs::instant("pt2pt.send", "simmpi",
                  {{"comm", context_, nullptr},
                   {"peer", static_cast<std::uint64_t>(dest), nullptr},
@@ -55,7 +75,8 @@ Status Comm::recv(int src, int tag, std::vector<std::byte>& out) const {
                    {{"comm", context_, nullptr},
                     {"peer", static_cast<std::uint64_t>(src), nullptr},
                     {"tag", static_cast<std::uint64_t>(tag), nullptr}});
-    detail::Envelope env = my_mailbox().pop(context_, src, tag);
+    fault_op(tag, false);
+    detail::Envelope env = my_mailbox().pop(context_, src, tag, deadline());
     Status           st{env.src, env.tag, env.size()};
     span.end_arg("bytes", st.count);
     out = detail::take_payload(std::move(env.payload));
@@ -77,7 +98,8 @@ Status Comm::probe(int src, int tag) const {
     obs::Span span("pt2pt.probe", "simmpi",
                    {{"comm", context_, nullptr},
                     {"tag", static_cast<std::uint64_t>(tag), nullptr}});
-    return my_mailbox().probe_wait(context_, src, tag);
+    fault_op(tag, false);
+    return my_mailbox().probe_wait(context_, src, tag, deadline());
 }
 
 std::optional<Status> Comm::iprobe(int src, int tag) const {
@@ -102,7 +124,8 @@ Status Comm::probe_any(std::span<const Comm* const> comms, int src, int tag, std
     obs::Span span("pt2pt.probe_any", "simmpi",
                    {{"comms", contexts.size(), nullptr},
                     {"tag", static_cast<std::uint64_t>(tag), nullptr}});
-    return first.my_mailbox().probe_wait_any(contexts, src, tag, which);
+    first.fault_op(tag, false);
+    return first.my_mailbox().probe_wait_any(contexts, src, tag, which, first.deadline());
 }
 
 Request Comm::isend(int dest, int tag, const void* data, std::size_t bytes) const {
@@ -125,6 +148,8 @@ void Comm::coll_send(int dest, int tag, std::vector<std::byte>&& data) const {
 }
 
 void Comm::coll_send_shared(int dest, int tag, SharedPayload data) const {
+    world_->check_abort();
+    fault_op(tag, true);
     detail::Envelope env;
     env.context = coll_context();
     env.src     = rank_;
@@ -134,7 +159,8 @@ void Comm::coll_send_shared(int dest, int tag, SharedPayload data) const {
 }
 
 std::vector<std::byte> Comm::coll_recv(int src, int tag) const {
-    detail::Envelope env = my_mailbox().pop(coll_context(), src, tag);
+    fault_op(tag, false);
+    detail::Envelope env = my_mailbox().pop(coll_context(), src, tag, deadline());
     return detail::take_payload(std::move(env.payload));
 }
 

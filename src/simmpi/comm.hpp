@@ -28,6 +28,26 @@ public:
 
     int  rank() const { return rank_; }
     int  size() const { return static_cast<int>(group_.size()); }
+
+    // --- deadlines --------------------------------------------------------
+
+    /// Copy of this handle whose blocking waits (recv/probe/collectives)
+    /// time out after `ms` milliseconds with TimeoutError. `ms == 0`
+    /// disables any deadline (overriding the world default); `ms < 0`
+    /// restores inheritance of the world default.
+    Comm with_deadline(std::int64_t ms) const {
+        Comm c       = *this;
+        c.timeout_ms_ = ms;
+        return c;
+    }
+
+    /// World-default deadline applied to every blocking wait of every
+    /// communicator of this world that has no per-handle override;
+    /// `ms <= 0` disables. Seeded from `L5_TIMEOUT_MS` by Runtime::run.
+    void set_default_deadline(std::int64_t ms) const;
+
+    /// The deadline this handle's blocking waits run under (-1 = none).
+    std::int64_t effective_deadline_ms() const;
     /// Number of ranks messages can be addressed to (remote group size for
     /// intercommunicators, local size otherwise).
     int  peer_size() const { return static_cast<int>(peer_group_.size()); }
@@ -258,6 +278,17 @@ private:
     }
     detail::Mailbox& peer_mailbox(int dest) const;
 
+    int world_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
+
+    /// Resolve this handle's timeout (per-handle override or world
+    /// default) into an absolute deadline for one blocking wait.
+    detail::Deadline deadline() const;
+
+    /// Fault-injection hook: one pointer check when no plan is installed.
+    void fault_op(int tag, bool is_send) const {
+        if (auto* f = world_->faults()) f->on_op(world_rank(), tag, is_send);
+    }
+
     std::uint64_t coll_context() const { return context_ + 1; }
 
     void check_intra(const char* what) const {
@@ -279,6 +310,7 @@ private:
     std::vector<int>               peer_group_;  ///< destination group (== group_ unless inter)
     int                            rank_  = -1;
     bool                           inter_ = false;
+    std::int64_t                   timeout_ms_ = -1; ///< per-handle deadline (-1 = world default)
     std::shared_ptr<std::uint32_t> coll_seq_;    ///< ordered-collective sequence number
 };
 
@@ -288,7 +320,9 @@ class Request {
 public:
     Request() = default;
 
-    /// Block until the operation completes.
+    /// Block until the operation completes. Honors the communicator's
+    /// deadline and the world abort: a dead peer yields AbortedError /
+    /// TimeoutError here instead of an indefinite block.
     Status wait();
     /// Nonblocking completion check; fills `status` when done.
     bool test(Status* status = nullptr);

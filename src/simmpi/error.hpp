@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace simmpi {
 
@@ -10,6 +12,90 @@ namespace simmpi {
 class Error : public std::runtime_error {
 public:
     explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by every blocked or subsequent communication operation once the
+/// world has been aborted (a rank-thread exited with an exception). Turns
+/// what used to be a whole-workflow deadlock into a structured error that
+/// names the rank whose failure poisoned the world.
+class AbortedError : public Error {
+public:
+    AbortedError(int origin_rank, const std::string& cause)
+        : Error("simmpi: world aborted by rank " + std::to_string(origin_rank) + ": " + cause),
+          origin_rank_(origin_rank), cause_(cause) {}
+
+    /// World rank whose failure aborted the world.
+    int origin_rank() const { return origin_rank_; }
+    /// what() of the originating exception.
+    const std::string& cause() const { return cause_; }
+
+private:
+    int         origin_rank_;
+    std::string cause_;
+};
+
+/// A blocking probe/recv/collective wait exceeded its deadline (per-call
+/// `Comm::with_deadline` or the world default from `set_default_deadline` /
+/// `L5_TIMEOUT_MS`). Carries the peer/tag/context the waiter was matching,
+/// so a silent protocol bug reports where the protocol stalled.
+class TimeoutError : public Error {
+public:
+    TimeoutError(std::int64_t ms, const std::string& where, int src, int tag)
+        : Error("simmpi: timeout after " + std::to_string(ms) + " ms waiting on " + where
+                + " (src=" + (src < 0 ? std::string("any") : std::to_string(src))
+                + ", tag=" + (tag < 0 ? std::string("any") : std::to_string(tag)) + ")"),
+          ms_(ms), src_(src), tag_(tag) {}
+
+    std::int64_t timeout_ms() const { return ms_; }
+    int          src() const { return src_; }
+    int          tag() const { return tag_; }
+
+private:
+    std::int64_t ms_;
+    int          src_;
+    int          tag_;
+};
+
+/// An injected fault (FaultPlan / `L5_FAULTS`) killed this rank. The op
+/// index is part of the message so determinism of the kill point can be
+/// asserted across runs.
+class FaultError : public Error {
+public:
+    FaultError(int rank, std::uint64_t op)
+        : Error("simmpi: injected fault: rank " + std::to_string(rank) + " killed at op "
+                + std::to_string(op)),
+          rank_(rank), op_(op) {}
+
+    int           rank() const { return rank_; }
+    std::uint64_t op() const { return op_; }
+
+private:
+    int           rank_;
+    std::uint64_t op_;
+};
+
+/// Thrown by Runtime::run when one or more rank-threads failed. The first
+/// non-Aborted failure is the primary cause (rethrow-first semantics); the
+/// message lists every failed rank, and the original exception remains
+/// reachable through cause().
+class RankFailure : public Error {
+public:
+    RankFailure(const std::string& what, int rank, std::exception_ptr cause,
+                std::vector<int> failed_ranks)
+        : Error(what), rank_(rank), cause_(std::move(cause)),
+          failed_ranks_(std::move(failed_ranks)) {}
+
+    /// World rank of the primary (first recorded, non-aborted) failure.
+    int rank() const { return rank_; }
+    /// The primary rank's original exception.
+    std::exception_ptr cause() const { return cause_; }
+    /// Every rank that exited with an exception, in capture order.
+    const std::vector<int>& failed_ranks() const { return failed_ranks_; }
+
+private:
+    int                rank_;
+    std::exception_ptr cause_;
+    std::vector<int>   failed_ranks_;
 };
 
 } // namespace simmpi

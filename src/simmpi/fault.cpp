@@ -1,0 +1,156 @@
+#include "fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace simmpi {
+
+namespace {
+
+/// splitmix64: cheap, stateless, high-quality mixing — the probabilistic
+/// draw for op n depends only on (seed, rank, n), never on shared RNG
+/// state, so delays are reproducible per op index.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+double u01(std::uint64_t seed, int rank, std::uint64_t op) {
+    std::uint64_t h = mix64(seed ^ mix64(static_cast<std::uint64_t>(rank) + 1) ^ mix64(op));
+    return static_cast<double>(h >> 11) * 0x1.0p-53; // 53 high bits -> [0,1)
+}
+
+struct Field {
+    std::string key, value;
+};
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::size_t              start = 0;
+    for (;;) {
+        std::size_t pos = s.find(sep, start);
+        out.push_back(s.substr(start, pos - start));
+        if (pos == std::string::npos) break;
+        start = pos + 1;
+    }
+    return out;
+}
+
+Field parse_field(const std::string& spec, const std::string& part) {
+    std::size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0)
+        throw Error("simmpi: bad fault spec field '" + part + "' in '" + spec
+                    + "' (expected key=value)");
+    return {part.substr(0, eq), part.substr(eq + 1)};
+}
+
+std::int64_t parse_int(const std::string& spec, const Field& f) {
+    try {
+        std::size_t  pos = 0;
+        std::int64_t v   = std::stoll(f.value, &pos);
+        if (pos != f.value.size()) throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception&) {
+        throw Error("simmpi: bad integer '" + f.value + "' for fault field '" + f.key + "' in '"
+                    + spec + "'");
+    }
+}
+
+double parse_double(const std::string& spec, const Field& f) {
+    try {
+        std::size_t pos = 0;
+        double      v   = std::stod(f.value, &pos);
+        if (pos != f.value.size()) throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception&) {
+        throw Error("simmpi: bad number '" + f.value + "' for fault field '" + f.key + "' in '"
+                    + spec + "'");
+    }
+}
+
+} // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+    FaultPlan plan;
+    for (const std::string& rule : split(spec, ';')) {
+        if (rule.empty()) continue;
+
+        std::size_t colon = rule.find(':');
+        std::string head  = rule.substr(0, colon);
+        std::string body  = colon == std::string::npos ? std::string() : rule.substr(colon + 1);
+
+        if (head.rfind("seed=", 0) == 0) {
+            plan.seed = static_cast<std::uint64_t>(parse_int(spec, parse_field(spec, head)));
+            continue;
+        }
+        if (head == "kill") {
+            Kill k;
+            for (const std::string& part : split(body, ',')) {
+                Field f = parse_field(spec, part);
+                if (f.key == "rank") k.rank = static_cast<int>(parse_int(spec, f));
+                else if (f.key == "after_ops") k.after_ops = static_cast<std::uint64_t>(parse_int(spec, f));
+                else throw Error("simmpi: unknown kill field '" + f.key + "' in '" + spec + "'");
+            }
+            if (k.rank < 0 || k.after_ops == 0)
+                throw Error("simmpi: kill rule needs rank>=0 and after_ops>=1 in '" + spec + "'");
+            plan.kills.push_back(k);
+            continue;
+        }
+        if (head == "delay") {
+            Delay d;
+            for (const std::string& part : split(body, ',')) {
+                Field f = parse_field(spec, part);
+                if (f.key == "tag") d.tag = static_cast<int>(parse_int(spec, f));
+                else if (f.key == "rank") d.rank = static_cast<int>(parse_int(spec, f));
+                else if (f.key == "ms") d.ms = parse_int(spec, f);
+                else if (f.key == "prob") d.prob = parse_double(spec, f);
+                else throw Error("simmpi: unknown delay field '" + f.key + "' in '" + spec + "'");
+            }
+            if (d.ms < 0 || d.prob < 0.0 || d.prob > 1.0)
+                throw Error("simmpi: delay rule needs ms>=0 and prob in [0,1] in '" + spec + "'");
+            plan.delays.push_back(d);
+            continue;
+        }
+        throw Error("simmpi: unknown fault rule '" + head + "' in '" + spec
+                    + "' (expected seed=/kill:/delay:)");
+    }
+    return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+    const char* s = std::getenv("L5_FAULTS");
+    if (!s || !*s) return std::nullopt;
+    FaultPlan plan = parse(s);
+    if (plan.empty()) return std::nullopt;
+    return plan;
+}
+
+namespace detail {
+
+FaultState::FaultState(FaultPlan plan, int world_size)
+    : plan_(std::move(plan)),
+      ops_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(world_size)]) {
+    for (int r = 0; r < world_size; ++r) ops_[static_cast<std::size_t>(r)].store(0);
+}
+
+void FaultState::on_op(int world_rank, int tag, bool is_send) {
+    const std::uint64_t n =
+        ops_[static_cast<std::size_t>(world_rank)].fetch_add(1, std::memory_order_relaxed) + 1;
+
+    for (const auto& k : plan_.kills)
+        if (k.rank == world_rank && n == k.after_ops) throw FaultError(world_rank, n);
+
+    if (!is_send) return;
+    for (const auto& d : plan_.delays) {
+        if (d.tag >= 0 && d.tag != tag) continue;
+        if (d.rank >= 0 && d.rank != world_rank) continue;
+        if (d.prob < 1.0 && u01(plan_.seed, world_rank, n) >= d.prob) continue;
+        if (d.ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(d.ms));
+    }
+}
+
+} // namespace detail
+} // namespace simmpi

@@ -1,0 +1,82 @@
+#pragma once
+
+#include "error.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simmpi {
+
+/// Deterministic fault plan for what-if studies of the protocol under
+/// perturbation (SIM-SITU-style reproducible injection). A plan is a set
+/// of rules applied at communication ops; with the same spec and seed the
+/// same ops are hit in the same way on every run (absent extra threads
+/// racing on one rank's op counter).
+///
+/// Spec grammar (also accepted from the `L5_FAULTS` environment variable),
+/// rules separated by ';', fields by ',':
+///
+///   seed=42                          — seed for probabilistic rules
+///   kill:rank=2,after_ops=50         — rank 2 throws FaultError at its 50th op
+///   delay:tag=904,ms=20,prob=0.3     — sends with tag 904 sleep 20 ms with p=0.3
+///   delay:tag=904,ms=5[,rank=1]      — optional rank restricts the sender
+///
+/// Example: `L5_FAULTS="seed=7;kill:rank=2,after_ops=50;delay:tag=904,ms=20,prob=0.3"`.
+struct FaultPlan {
+    struct Kill {
+        int           rank      = -1;
+        std::uint64_t after_ops = 0; ///< fires exactly at the Nth op (1-based)
+    };
+    struct Delay {
+        int          tag  = -1; ///< user tag of the send to delay (-1 = any)
+        int          rank = -1; ///< sending world rank (-1 = any)
+        std::int64_t ms   = 0;
+        double       prob = 1.0;
+    };
+
+    std::uint64_t      seed = 0;
+    std::vector<Kill>  kills;
+    std::vector<Delay> delays;
+
+    bool empty() const { return kills.empty() && delays.empty(); }
+
+    /// Parse a spec string; throws simmpi::Error on malformed input.
+    static FaultPlan parse(const std::string& spec);
+
+    /// Plan from `L5_FAULTS`, or nullopt when unset/empty.
+    static std::optional<FaultPlan> from_env();
+};
+
+namespace detail {
+
+/// Per-run fault state: the plan plus one op counter per world rank.
+/// on_op is called from the communication hot path only when a plan is
+/// installed (the unconfigured cost is a single null-pointer check in
+/// Comm). Counters are atomic so a rank whose mailbox is shared between
+/// its app thread and a background serve thread stays safe; determinism
+/// of the kill point is guaranteed when each rank's ops are sequential.
+class FaultState {
+public:
+    FaultState(FaultPlan plan, int world_size);
+
+    /// Account one communication op by `world_rank`. May throw FaultError
+    /// (kill rule) or sleep (delay rule matching a send's tag).
+    void on_op(int world_rank, int tag, bool is_send);
+
+    std::uint64_t ops(int world_rank) const {
+        return ops_[static_cast<std::size_t>(world_rank)].load(std::memory_order_relaxed);
+    }
+
+    const FaultPlan& plan() const { return plan_; }
+
+private:
+    FaultPlan                                 plan_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> ops_;
+};
+
+} // namespace detail
+} // namespace simmpi

@@ -2,6 +2,7 @@
 
 #include <obs/trace.hpp>
 
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -9,21 +10,59 @@
 
 namespace simmpi {
 
+namespace {
+
+std::int64_t timeout_ms_from_env() {
+    const char* s = std::getenv("L5_TIMEOUT_MS");
+    if (!s || !*s) return 0;
+    try {
+        std::size_t  pos = 0;
+        std::int64_t v   = std::stoll(s, &pos);
+        if (pos != std::string(s).size() || v < 0) throw std::invalid_argument("bad");
+        return v;
+    } catch (const std::exception&) {
+        throw Error(std::string("simmpi: bad L5_TIMEOUT_MS '") + s
+                    + "' (expected a non-negative integer)");
+    }
+}
+
+struct Failure {
+    int                rank;
+    std::exception_ptr error;
+    std::string        what;
+    bool               aborted; ///< secondary: unblocked by another rank's abort
+};
+
+} // namespace
+
 void Runtime::run(int world_size, const TaskFn& fn) {
     run(world_size, [&](Comm& c, int) { fn(c); });
 }
 
 void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn) {
+    run(world_size, fn, RunOptions{});
+}
+
+void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
+                  const RunOptions& opts) {
     if (world_size <= 0) throw Error("simmpi: world size must be positive");
 
     auto          world = std::make_shared<detail::World>(world_size);
     std::uint64_t base  = world->reserve_contexts(2);
 
+    world->set_default_timeout_ms(opts.default_timeout_ms >= 0 ? opts.default_timeout_ms
+                                                               : timeout_ms_from_env());
+    if (opts.faults) {
+        if (!opts.faults->empty()) world->set_faults(*opts.faults);
+    } else if (auto env_plan = FaultPlan::from_env()) {
+        world->set_faults(std::move(*env_plan));
+    }
+
     std::vector<int> identity(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) identity[static_cast<std::size_t>(r)] = r;
 
-    std::mutex         err_mutex;
-    std::exception_ptr first_error;
+    std::mutex           err_mutex;
+    std::vector<Failure> failures;
 
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(world_size));
@@ -34,13 +73,49 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn) {
                 Comm comm(world, base, identity, identity, r, false);
                 fn(comm, r);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(err_mutex);
-                if (!first_error) first_error = std::current_exception();
+                Failure f{r, std::current_exception(), "unknown exception", false};
+                try {
+                    throw;
+                } catch (const AbortedError& e) {
+                    f.what    = e.what();
+                    f.aborted = true;
+                } catch (const std::exception& e) {
+                    f.what = e.what();
+                } catch (...) {
+                }
+                std::string cause = f.what;
+                {
+                    std::lock_guard<std::mutex> lock(err_mutex);
+                    failures.push_back(std::move(f));
+                }
+                // poison the world so no peer is left blocked on this rank
+                world->abort(r, cause);
             }
         });
     }
     for (auto& t : threads) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    if (failures.empty()) return;
+
+    // rethrow-first: the primary cause is the first failure that is not a
+    // secondary abort (every rank unblocked by the poison reports one)
+    const Failure* primary = &failures.front();
+    for (const auto& f : failures)
+        if (!f.aborted) {
+            primary = &f;
+            break;
+        }
+
+    std::string msg = "simmpi: rank " + std::to_string(primary->rank) + " failed: " + primary->what;
+    std::vector<int> failed_ranks;
+    failed_ranks.reserve(failures.size());
+    for (const auto& f : failures) failed_ranks.push_back(f.rank);
+    if (failures.size() > 1) {
+        msg += " [" + std::to_string(failures.size()) + " ranks failed:";
+        for (const auto& f : failures)
+            msg += " " + std::to_string(f.rank) + (f.aborted ? "(aborted)" : "");
+        msg += "]";
+    }
+    throw RankFailure(msg, primary->rank, primary->error, std::move(failed_ranks));
 }
 
 } // namespace simmpi

@@ -1,8 +1,10 @@
 #pragma once
 
 #include "comm.hpp"
+#include "fault.hpp"
 
 #include <functional>
+#include <optional>
 
 namespace simmpi {
 
@@ -11,11 +13,24 @@ namespace simmpi {
 /// This stands in for `mpirun -np N`: every "MPI process" of the paper is
 /// one rank-thread here, exercising identical communication code paths.
 ///
-/// Exceptions thrown by any rank are captured; after all ranks finish (or
-/// are unblocked), the first exception is rethrown to the caller.
+/// Failure containment: the first rank-thread to exit with an exception
+/// aborts the world — every peer blocked in (or subsequently entering) a
+/// send/recv/probe/collective throws AbortedError instead of hanging.
+/// After all ranks are joined, run throws a RankFailure whose message
+/// names every failed rank and whose cause() is the first non-aborted
+/// exception (rethrow-first semantics).
 class Runtime {
 public:
     using TaskFn = std::function<void(Comm&)>;
+
+    /// Per-run knobs; the defaults read the environment.
+    struct RunOptions {
+        /// Fault-injection plan; when unset, `L5_FAULTS` is consulted.
+        std::optional<FaultPlan> faults;
+        /// World-default blocking-wait timeout in ms; < 0 means consult
+        /// `L5_TIMEOUT_MS` (0 there or here disables deadlines).
+        std::int64_t default_timeout_ms = -1;
+    };
 
     /// Run `fn` on `world_size` ranks and block until all complete.
     static void run(int world_size, const TaskFn& fn);
@@ -23,6 +38,9 @@ public:
     /// Run with per-rank functions (fn receives the world comm; rank
     /// selection is up to the callable), same join/exception semantics.
     static void run(int world_size, const std::function<void(Comm&, int)>& fn);
+
+    static void run(int world_size, const std::function<void(Comm&, int)>& fn,
+                    const RunOptions& opts);
 };
 
 } // namespace simmpi

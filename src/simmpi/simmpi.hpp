@@ -6,6 +6,7 @@
 /// in for real MPI in this reproduction; see DESIGN.md.
 
 #include "error.hpp"   // IWYU pragma: export
+#include "fault.hpp"   // IWYU pragma: export
 #include "message.hpp" // IWYU pragma: export
 #include "comm.hpp"    // IWYU pragma: export
 #include "runtime.hpp" // IWYU pragma: export

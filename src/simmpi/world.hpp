@@ -1,9 +1,11 @@
 #pragma once
 
 #include "error.hpp"
+#include "fault.hpp"
 #include "message.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -15,10 +17,29 @@
 
 namespace simmpi::detail {
 
+/// Who aborted the world and why; shared with every mailbox so waiters
+/// can throw a structured AbortedError instead of blocking forever.
+struct AbortInfo {
+    int         rank;
+    std::string cause;
+};
+
+/// Deadline of one blocking wait: absent means wait forever. `ms` keeps
+/// the configured duration for diagnostics in TimeoutError.
+struct Deadline {
+    std::optional<std::chrono::steady_clock::time_point> at;
+    std::int64_t                                         ms = 0;
+};
+
 /// Per-rank incoming-message queue. Senders push envelopes; the owning
 /// rank blocks until an envelope matching (context, src, tag) arrives.
 /// Matching scans front-to-back, which preserves MPI's non-overtaking
 /// guarantee per (context, src, tag) stream.
+///
+/// Every blocking wait also watches for two unblocking events: the world
+/// being aborted (poison(): the wait throws AbortedError) and the
+/// caller's deadline expiring (throws TimeoutError). Both checks happen
+/// under the mailbox mutex, so a poison can never race past a waiter.
 class Mailbox {
 public:
     void push(Envelope&& env) {
@@ -29,34 +50,46 @@ public:
         cv_.notify_all();
     }
 
+    /// Wake every waiter with an abort error; subsequent waits throw too.
+    void poison(std::shared_ptr<const AbortInfo> info) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!poison_) poison_ = std::move(info);
+        }
+        cv_.notify_all();
+    }
+
     /// Blocks until a matching envelope is available, removes and returns it.
-    Envelope pop(std::uint64_t context, int src, int tag) {
+    Envelope pop(std::uint64_t context, int src, int tag, const Deadline& dl = {}) {
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
+            check_poison();
             if (auto it = find(context, src, tag); it != queue_.end()) {
                 Envelope env = std::move(*it);
                 queue_.erase(it);
                 return env;
             }
-            cv_.wait(lock);
+            wait(lock, dl, "recv", src, tag);
         }
     }
 
     /// Non-destructive probe; nullopt when no matching envelope is queued.
     std::optional<Status> probe(std::uint64_t context, int src, int tag) {
         std::lock_guard<std::mutex> lock(mutex_);
+        check_poison();
         if (auto it = find(context, src, tag); it != queue_.end())
             return Status{it->src, it->tag, it->size()};
         return std::nullopt;
     }
 
     /// Blocking probe: waits until a matching envelope is queued.
-    Status probe_wait(std::uint64_t context, int src, int tag) {
+    Status probe_wait(std::uint64_t context, int src, int tag, const Deadline& dl = {}) {
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
+            check_poison();
             if (auto it = find(context, src, tag); it != queue_.end())
                 return Status{it->src, it->tag, it->size()};
-            cv_.wait(lock);
+            wait(lock, dl, "probe", src, tag);
         }
     }
 
@@ -65,20 +98,36 @@ public:
     /// envelope arrives on any of them; `which` receives its index.
     /// Blocks on the condition variable — no spinning.
     Status probe_wait_any(std::span<const std::uint64_t> contexts, int src, int tag,
-                          std::size_t* which) {
+                          std::size_t* which, const Deadline& dl = {}) {
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
+            check_poison();
             for (std::size_t k = 0; k < contexts.size(); ++k) {
                 if (auto it = find(contexts[k], src, tag); it != queue_.end()) {
                     if (which) *which = k;
                     return Status{it->src, it->tag, it->size()};
                 }
             }
-            cv_.wait(lock);
+            wait(lock, dl, "probe_any", src, tag);
         }
     }
 
 private:
+    void check_poison() const {
+        if (poison_) throw AbortedError(poison_->rank, poison_->cause);
+    }
+
+    void wait(std::unique_lock<std::mutex>& lock, const Deadline& dl, const char* where, int src,
+              int tag) {
+        if (!dl.at) {
+            cv_.wait(lock);
+            return;
+        }
+        if (std::chrono::steady_clock::now() >= *dl.at)
+            throw TimeoutError(dl.ms, where, src, tag);
+        cv_.wait_until(lock, *dl.at);
+    }
+
     std::deque<Envelope>::iterator find(std::uint64_t context, int src, int tag) {
         for (auto it = queue_.begin(); it != queue_.end(); ++it) {
             if (it->context != context) continue;
@@ -89,13 +138,16 @@ private:
         return queue_.end();
     }
 
-    std::mutex              mutex_;
-    std::condition_variable cv_;
-    std::deque<Envelope>    queue_;
+    std::mutex                       mutex_;
+    std::condition_variable          cv_;
+    std::deque<Envelope>             queue_;
+    std::shared_ptr<const AbortInfo> poison_;
 };
 
 /// Shared state of one "MPI world": a mailbox per rank plus a counter
-/// used to allocate communicator context ids collectively.
+/// used to allocate communicator context ids collectively, the abort
+/// state that poisons every mailbox when a rank-thread fails, the
+/// world-default deadline, and the optional fault-injection plan.
 class World {
 public:
     explicit World(int size) : mailboxes_(static_cast<std::size_t>(size)) {
@@ -118,9 +170,54 @@ public:
         return next_context_.fetch_add(count, std::memory_order_relaxed);
     }
 
+    // --- failure containment ---------------------------------------------
+
+    /// Mark the world aborted (first caller wins) and wake every blocked
+    /// waiter; all further communication ops throw AbortedError.
+    void abort(int rank, const std::string& cause) {
+        std::lock_guard<std::mutex> lock(abort_mutex_);
+        if (abort_info_) return;
+        abort_info_ = std::make_shared<const AbortInfo>(AbortInfo{rank, cause});
+        aborted_.store(true, std::memory_order_release);
+        for (auto& mb : mailboxes_) mb->poison(abort_info_);
+    }
+
+    bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+    /// Throw AbortedError when the world has been aborted (send-side
+    /// check: sends never block, so they consult the flag directly).
+    void check_abort() const {
+        if (!aborted()) return;
+        std::lock_guard<std::mutex> lock(abort_mutex_);
+        throw AbortedError(abort_info_->rank, abort_info_->cause);
+    }
+
+    // --- deadlines --------------------------------------------------------
+
+    /// World-default timeout for blocking waits; <= 0 disables.
+    void set_default_timeout_ms(std::int64_t ms) {
+        default_timeout_ms_.store(ms, std::memory_order_relaxed);
+    }
+    std::int64_t default_timeout_ms() const {
+        return default_timeout_ms_.load(std::memory_order_relaxed);
+    }
+
+    // --- fault injection --------------------------------------------------
+
+    /// Install the plan before rank-threads start (not thread-safe later).
+    void set_faults(FaultPlan plan) {
+        faults_ = std::make_unique<FaultState>(std::move(plan), size());
+    }
+    FaultState* faults() const { return faults_.get(); }
+
 private:
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
     std::atomic<std::uint64_t>            next_context_{1}; // 0 = world communicator
+    mutable std::mutex                    abort_mutex_;
+    std::shared_ptr<const AbortInfo>      abort_info_;
+    std::atomic<bool>                     aborted_{false};
+    std::atomic<std::int64_t>             default_timeout_ms_{-1};
+    std::unique_ptr<FaultState>           faults_;
 };
 
 } // namespace simmpi::detail

@@ -155,6 +155,8 @@ ParsedWorkflow parse_workflow(const std::string& text) {
                 task->ranks = parse_int(l);
             else if (l.key == "func")
                 task->func = l.value;
+            else if (l.key == "restarts")
+                task->restarts = parse_int(l);
             else if (!l.key.empty())
                 fail(l.number, "unknown task key '" + l.key + "'");
         } else if (section == Section::Links) {
@@ -184,6 +186,8 @@ ParsedWorkflow parse_workflow(const std::string& text) {
             throw ConfigError("workflow config: task '" + t.name + "' needs ranks > 0");
         if (t.func.empty())
             throw ConfigError("workflow config: task '" + t.name + "' needs a func");
+        if (t.restarts < 0)
+            throw ConfigError("workflow config: task '" + t.name + "' needs restarts >= 0");
     }
 
     auto index_of = [&](const std::string& name, int line) {
@@ -207,7 +211,7 @@ void run_workflow(const std::string& config_text, const Registry& registry) {
         if (it == registry.end())
             throw ConfigError("workflow config: no registered function '" + t.func + "' for task '"
                               + t.name + "'");
-        specs.push_back({t.name, t.ranks, it->second});
+        specs.push_back({t.name, t.ranks, it->second, t.restarts});
     }
     run(specs, parsed.links, parsed.options);
 }

@@ -28,6 +28,7 @@ public:
 ///   - name: sim
 ///     ranks: 8
 ///     func: nyx           # registry key
+///     restarts: 1         # optional retry budget for idempotent bodies
 ///   - name: ana
 ///     ranks: 4
 ///     func: reeber
@@ -45,6 +46,7 @@ struct ParsedWorkflow {
         std::string name;
         int         ranks = 0;
         std::string func;
+        int         restarts = 0; ///< max_restarts retry budget
     };
     std::vector<TaskDecl> tasks;
     std::vector<Link>     links;

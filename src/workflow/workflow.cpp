@@ -51,7 +51,7 @@ void run(const std::vector<TaskSpec>& tasks, const std::vector<Link>& links,
     const char* trace_path = trace_env_path();
     if (trace_path) obs::Tracer::instance().set_enabled(true);
 
-    simmpi::Runtime::run(total, [&](simmpi::Comm& world) {
+    simmpi::Runtime::run(total, [&](simmpi::Comm& world, int) {
         // which task does this rank belong to?
         int task_index = 0;
         while (task_index + 1 < static_cast<int>(tasks.size())
@@ -98,11 +98,33 @@ void run(const std::vector<TaskSpec>& tasks, const std::vector<Link>& links,
             obs::Span task_span(obs::intern_if_enabled("task:" + spec.name), "workflow",
                                 {{"nprocs", static_cast<std::uint64_t>(spec.nprocs), nullptr},
                                  {"local_rank", static_cast<std::uint64_t>(ctx.rank()), nullptr}});
-            spec.fn(ctx);
+            int attempt = 0;
+            for (;;) {
+                try {
+                    spec.fn(ctx);
+                    break;
+                } catch (...) {
+                    std::exception_ptr error = std::current_exception();
+                    std::string        cause = "unknown exception";
+                    try {
+                        throw;
+                    } catch (const simmpi::AbortedError&) {
+                        throw; // a peer's failure poisoned the world, not this task's fault
+                    } catch (const std::exception& e) {
+                        cause = e.what();
+                    } catch (...) {
+                    }
+                    if (attempt >= spec.max_restarts)
+                        throw TaskError(spec.name, ctx.rank(), cause, error);
+                    ++attempt;
+                    obs::instant("task.restart", "workflow",
+                                 {{"attempt", static_cast<std::uint64_t>(attempt), nullptr}});
+                }
+            }
         }
         obs::Span drain_span("task.drain", "workflow");
         ctx.vol->finish_serving(); // drain any background serving
-    });
+    }, opts.runtime);
 
     if (trace_path) obs::write_chrome_trace_file(trace_path);
 }

@@ -42,6 +42,31 @@ struct TaskSpec {
     std::string                   name;
     int                           nprocs = 1;
     std::function<void(Context&)> fn;
+    /// Retry budget for transient failures: a rank whose task body throws
+    /// reruns it up to this many times before the failure is final. Only
+    /// sound for idempotent bodies (reruns reuse the same Context and
+    /// VOL); a world abort caused by *another* rank is never retried.
+    int max_restarts = 0;
+};
+
+/// A task body failed (restarts exhausted): names the task and its local
+/// rank, keeps the original exception reachable. workflow::run surfaces
+/// this wrapped in simmpi::RankFailure, whose message embeds this one.
+class TaskError : public std::runtime_error {
+public:
+    TaskError(std::string task, int rank, const std::string& cause, std::exception_ptr error)
+        : std::runtime_error("workflow: task '" + task + "' rank " + std::to_string(rank)
+                             + " failed: " + cause),
+          task_(std::move(task)), rank_(rank), error_(std::move(error)) {}
+
+    const std::string& task() const { return task_; }
+    int                rank() const { return rank_; } ///< rank within the task
+    std::exception_ptr cause() const { return error_; }
+
+private:
+    std::string        task_;
+    int                rank_;
+    std::exception_ptr error_;
 };
 
 /// A producer→consumer edge in the task graph; `pattern` routes files by
@@ -60,12 +85,19 @@ struct Options {
     /// computation with data delivery (the paper's §V-C future work).
     /// The runner calls finish_serving() after each task body returns.
     bool background_serve = false;
+    /// Runtime knobs: fault-injection plan and world-default deadline
+    /// (defaults read `L5_FAULTS` / `L5_TIMEOUT_MS`).
+    simmpi::Runtime::RunOptions runtime;
 };
 
 /// Run a workflow: spawns the sum of all task process counts as ranks,
 /// splits a communicator per task, builds an intercommunicator per link,
-/// and hands each rank its Context. Blocks until every task finishes;
-/// rethrows the first task exception.
+/// and hands each rank its Context. Blocks until every task finishes.
+///
+/// Failure containment: a rank whose task body throws (after exhausting
+/// its max_restarts budget) aborts the world — peers blocked on it get
+/// simmpi::AbortedError instead of hanging — and run rethrows a
+/// simmpi::RankFailure naming the failed task and rank.
 void run(const std::vector<TaskSpec>& tasks, const std::vector<Link>& links,
          const Options& opts = Options{});
 
