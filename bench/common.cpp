@@ -271,6 +271,11 @@ obs::json::Value bench_envelope(const std::string& bench,
     env.set("schema", 1);
     env.set("trials", trials);
     env.set("payload_bytes_per_rank", payload_bytes_per_rank);
+    // timings taken under the deterministic scheduler measure the
+    // serialized schedule, not the parallel data plane — record the mode
+    // so such results are never compared against real ones
+    const char* sched = std::getenv("L5_SCHED");
+    env.set("sched", sched && *sched ? sched : "off");
     env.set("scenarios", obs::json::Value{obs::json::Array{}});
     return env;
 }

@@ -26,16 +26,26 @@ cmake --build build -j "$jobs"
 # fault-injection suite guards against) into a loud test failure
 ctest --test-dir build --output-on-failure --no-tests=error --timeout 180 -j "$jobs" "$@"
 
+# deterministic-scheduler sweep: replay the hang-regression suite under a
+# handful of seeded schedules (both policies) — interleavings wall-clock
+# timing would rarely hit; any failure prints an L5_SCHED repro line
+echo "== Deterministic-scheduler sweep (mh5sched) =="
+./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" \
+    -- ./build/tests/test_fault_injection --gtest_brief=1
+./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" \
+    -- ./build/tests/test_fault_injection --gtest_brief=1
+
 if [[ $tsan -eq 1 ]]; then
     echo "== ThreadSanitizer tree (build-tsan) =="
     cmake -B build-tsan -S . -DLOWFIVE_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$jobs"
     # the concurrency-heavy suites: simmpi mailboxes/collectives,
     # background serving, the pipelined query plane, the telemetry
-    # ring buffers / registry (concurrent emit vs snapshot), and the
-    # abort/deadline/fault-injection hang-regression suite
+    # ring buffers / registry (concurrent emit vs snapshot), the
+    # abort/deadline/fault-injection hang-regression suite, and the
+    # deterministic scheduler (cooperative handoffs + replay corpus)
     ctest --test-dir build-tsan --output-on-failure --no-tests=error --timeout 300 -j "$jobs" \
-          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol|Telemetry|FaultInjection'
+          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol|Telemetry|FaultInjection|Sched'
 fi
 
 echo "check.sh: all green"

@@ -2,6 +2,7 @@
 
 #include <diy/serialization.hpp>
 #include <obs/trace.hpp>
+#include <simmpi/sched.hpp>
 
 #include <algorithm>
 #include <set>
@@ -13,6 +14,12 @@ using h5::Dataspace;
 using h5::Error;
 using h5::Object;
 using h5::ObjectKind;
+
+/// Serve-state guard: a plain recursive lock normally; under a
+/// deterministic scheduler, contention becomes a scheduling point so a
+/// descheduled holder (the background serve thread at one of its send
+/// yield points) can be run to release it.
+using Guard = simmpi::detail::CoopLock<std::recursive_mutex>;
 
 namespace {
 
@@ -73,8 +80,13 @@ DistMetadataVol::~DistMetadataVol() {
 }
 
 void DistMetadataVol::set_serve_in_background(bool v) {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    Guard lock(local_.scheduler(), mutex_, "set_serve_in_background");
     background_ = v;
+}
+
+void DistMetadataVol::notify_dones() {
+    dones_cv_.notify_all();
+    if (auto* s = local_.scheduler()) s->notify(&dones_cv_);
 }
 
 void DistMetadataVol::background_loop() {
@@ -98,26 +110,29 @@ void DistMetadataVol::background_loop() {
             auto& conn = serve_conns_[which];
             auto  bb   = recv_buffer(conn.ic, st.source, rpc_request);
             {
-                std::lock_guard<std::recursive_mutex> lock(mutex_);
+                Guard lock(local_.scheduler(), mutex_, "serve/handle_request");
                 handle_request(conn, st.source, std::move(bb).take());
             }
-            dones_cv_.notify_all();
+            notify_dones();
         }
     } catch (...) {
         {
-            std::lock_guard<std::recursive_mutex> lock(mutex_);
+            Guard lock(local_.scheduler(), mutex_, "serve/record_error");
             serve_error_ = std::current_exception();
         }
-        dones_cv_.notify_all();
+        notify_dones();
     }
 }
 
 void DistMetadataVol::finish_serving() {
     if (!serve_thread_.joinable()) return;
+    auto*              sched = local_.scheduler();
     std::exception_ptr err;
     {
-        std::unique_lock<std::recursive_mutex> lock(mutex_);
-        dones_cv_.wait(lock, [&] { return serve_error_ || dones_received_ >= dones_expected_; });
+        Guard lock(sched, mutex_, "finish_serving");
+        simmpi::detail::coop_wait(sched, dones_cv_, lock, "finish_serving/dones", [&] {
+            return serve_error_ || dones_received_ >= dones_expected_;
+        });
         err = serve_error_;
     }
     if (!err) {
@@ -129,10 +144,12 @@ void DistMetadataVol::finish_serving() {
             err = std::current_exception();
         }
     }
-    serve_thread_.join(); // the thread exits via the shutdown message or its own error
+    // under a deterministic scheduler the joiner steps away so the serve
+    // thread can be scheduled to process the shutdown and exit
+    simmpi::detail::coop_join(sched, serve_thread_);
     if (err) {
         {
-            std::lock_guard<std::recursive_mutex> lock(mutex_);
+            Guard lock(sched, mutex_, "finish_serving/clear_error");
             serve_error_ = nullptr; // surfaced once
         }
         std::rethrow_exception(err);
@@ -140,22 +157,25 @@ void DistMetadataVol::finish_serving() {
 }
 
 void* DistMetadataVol::file_create(const std::string& name) {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    Guard lock(local_.scheduler(), mutex_, "file_create");
     return MetadataVol::file_create(name);
 }
 
 void DistMetadataVol::file_close(void* file) {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    Guard lock(local_.scheduler(), mutex_, "file_close");
     MetadataVol::file_close(file);
 }
 
 void DistMetadataVol::drop_file(const std::string& name) {
-    std::unique_lock<std::recursive_mutex> lock(mutex_);
+    auto* sched = local_.scheduler();
+    Guard lock(sched, mutex_, "drop_file");
     // never drop a file the background server may still be serving
     // (conservative: waits for every outstanding round; a dead server
     // cannot serve anything, so its error also ends the wait)
     if (serve_thread_.joinable())
-        dones_cv_.wait(lock, [&] { return serve_error_ || dones_received_ >= dones_expected_; });
+        simmpi::detail::coop_wait(sched, dones_cv_, lock, "drop_file/dones", [&] {
+            return serve_error_ || dones_received_ >= dones_expected_;
+        });
     index_.erase(name);
     invalidate_producer_cache(name);
     MetadataVol::drop_file(name);
@@ -223,10 +243,13 @@ void DistMetadataVol::index_file(FileEntry& entry) {
 // --- producer: serve (Algorithm 2) --------------------------------------------
 
 void DistMetadataVol::serve_all() {
-    std::unique_lock<std::recursive_mutex> lock(mutex_);
+    auto* sched = local_.scheduler();
+    Guard lock(sched, mutex_, "serve_all");
     if (serve_thread_.joinable()) {
         // background mode: just wait for the server to drain the rounds
-        dones_cv_.wait(lock, [&] { return serve_error_ || dones_received_ >= dones_expected_; });
+        simmpi::detail::coop_wait(sched, dones_cv_, lock, "serve_all/dones", [&] {
+            return serve_error_ || dones_received_ >= dones_expected_;
+        });
         if (serve_error_) std::rethrow_exception(serve_error_);
         return;
     }
@@ -409,9 +432,12 @@ void DistMetadataVol::after_file_close(FileEntry& entry) {
         for (auto* c : matching) dones_expected_ += static_cast<std::uint64_t>(c->ic.peer_size());
         if (background_) {
             // overlap mode: a background thread serves; the producer
-            // returns from close immediately and keeps computing
+            // returns from close immediately and keeps computing. Under a
+            // deterministic scheduler the server becomes an auxiliary
+            // task attached at this exact point.
             if (!serve_thread_.joinable())
-                serve_thread_ = std::thread([this] { background_loop(); });
+                serve_thread_ = simmpi::detail::spawn_participant(
+                    local_.scheduler(), "serve", [this] { background_loop(); });
         } else if (serve_on_close_) {
             serve_until(dones_expected_);
         }
@@ -430,15 +456,15 @@ void DistMetadataVol::after_file_close(FileEntry& entry) {
 void* DistMetadataVol::file_open(const std::string& name) {
     {
         // local (possibly retained) files win over remote connections
-        std::lock_guard<std::recursive_mutex> lock(mutex_);
-        auto                                  it = files_.find(name);
+        Guard lock(local_.scheduler(), mutex_, "file_open");
+        auto  it = files_.find(name);
         if (it != files_.end() && it->second.root && !it->second.remote)
             return MetadataVol::file_open(name);
     }
 
     int ci = route_consume(name);
     if (ci < 0) {
-        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        Guard lock(local_.scheduler(), mutex_, "file_open");
         return MetadataVol::file_open(name);
     }
     auto& conn = consume_conns_[static_cast<std::size_t>(ci)];
@@ -452,7 +478,7 @@ void* DistMetadataVol::file_open(const std::string& name) {
         if (ready_name != name)
             throw Error("lowfive: out-of-order file-ready: expected '" + name + "', got '"
                         + ready_name + "'");
-        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        Guard lock(local_.scheduler(), mutex_, "file_open");
         return MetadataVol::file_open(name);
     }
 
@@ -471,7 +497,7 @@ void* DistMetadataVol::file_open(const std::string& name) {
     entry.remote = true;
     entry.conn   = ci;
     entry.root   = Object::load_skeleton(reply);
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    Guard lock(local_.scheduler(), mutex_, "file_open");
     auto [it2, _] = files_.insert_or_assign(name, std::move(entry));
     return make_handle(it2->second, it2->second.root.get(), nullptr);
 }

@@ -139,6 +139,10 @@ private:
 
     void background_loop();
 
+    /// Wake dones_cv_ waiters on both paths: the real condition variable
+    /// and (when a deterministic scheduler is active) its channel.
+    void notify_dones();
+
     /// Drop every cached producer set belonging to `file`.
     void invalidate_producer_cache(const std::string& file);
 

@@ -38,6 +38,12 @@ enum class EventType : std::uint8_t {
 
 /// One fixed-size trace record. Strings are not owned: `name`, `cat`,
 /// and arg keys/strings must be literals or interned (see intern()).
+///
+/// Well-known categories: "simmpi" (point-to-point and collective spans),
+/// "vol" (metadata/dist VOL operations), "fault" (injected faults), and
+/// "sched" (deterministic-scheduler decisions: sched.pick,
+/// sched.change_point, sched.timeout, sched.deadlock — the pick sequence
+/// is the replayable schedule; filter with `mh5trace -c sched`).
 struct Event {
     struct Arg {
         const char*   key = nullptr;

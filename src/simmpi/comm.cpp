@@ -54,6 +54,7 @@ void Comm::send(int dest, int tag, std::vector<std::byte>&& payload) const {
 void Comm::send_shared(int dest, int tag, SharedPayload payload) const {
     if (tag < 0) throw Error("simmpi: user tags must be non-negative");
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    sched_point("send");
     world_->check_abort();
     fault_op(tag, true);
     obs::instant("pt2pt.send", "simmpi",
@@ -71,6 +72,7 @@ void Comm::send_shared(int dest, int tag, SharedPayload payload) const {
 
 Status Comm::recv(int src, int tag, std::vector<std::byte>& out) const {
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    sched_point("recv");
     obs::Span span("pt2pt.recv", "simmpi",
                    {{"comm", context_, nullptr},
                     {"peer", static_cast<std::uint64_t>(src), nullptr},
@@ -95,6 +97,7 @@ Status Comm::recv_into(int src, int tag, void* buf, std::size_t capacity) const 
 
 Status Comm::probe(int src, int tag) const {
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    sched_point("probe");
     obs::Span span("pt2pt.probe", "simmpi",
                    {{"comm", context_, nullptr},
                     {"tag", static_cast<std::uint64_t>(tag), nullptr}});
@@ -104,6 +107,7 @@ Status Comm::probe(int src, int tag) const {
 
 std::optional<Status> Comm::iprobe(int src, int tag) const {
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    sched_point("iprobe");
     return my_mailbox().probe(context_, src, tag);
 }
 
@@ -124,6 +128,7 @@ Status Comm::probe_any(std::span<const Comm* const> comms, int src, int tag, std
     obs::Span span("pt2pt.probe_any", "simmpi",
                    {{"comms", contexts.size(), nullptr},
                     {"tag", static_cast<std::uint64_t>(tag), nullptr}});
+    first.sched_point("probe_any");
     first.fault_op(tag, false);
     return first.my_mailbox().probe_wait_any(contexts, src, tag, which, first.deadline());
 }
@@ -148,6 +153,7 @@ void Comm::coll_send(int dest, int tag, std::vector<std::byte>&& data) const {
 }
 
 void Comm::coll_send_shared(int dest, int tag, SharedPayload data) const {
+    sched_point("coll_send");
     world_->check_abort();
     fault_op(tag, true);
     detail::Envelope env;
@@ -159,6 +165,7 @@ void Comm::coll_send_shared(int dest, int tag, SharedPayload data) const {
 }
 
 std::vector<std::byte> Comm::coll_recv(int src, int tag) const {
+    sched_point("coll_recv");
     fault_op(tag, false);
     detail::Envelope env = my_mailbox().pop(coll_context(), src, tag, deadline());
     return detail::take_payload(std::move(env.payload));

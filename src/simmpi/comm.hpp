@@ -48,6 +48,12 @@ public:
 
     /// The deadline this handle's blocking waits run under (-1 = none).
     std::int64_t effective_deadline_ms() const;
+
+    /// The deterministic cooperative scheduler of this world, or nullptr
+    /// in normal (free-running) mode. Code that spawns helper threads or
+    /// shares locks across rank-threads uses this to participate in the
+    /// schedule (spawn_participant / CoopLock / coop_wait).
+    detail::Scheduler* scheduler() const { return world_ ? world_->sched() : nullptr; }
     /// Number of ranks messages can be addressed to (remote group size for
     /// intercommunicators, local size otherwise).
     int  peer_size() const { return static_cast<int>(peer_group_.size()); }
@@ -287,6 +293,12 @@ private:
     /// Fault-injection hook: one pointer check when no plan is installed.
     void fault_op(int tag, bool is_send) const {
         if (auto* f = world_->faults()) f->on_op(world_rank(), tag, is_send);
+    }
+
+    /// Deterministic-scheduler hook at the entry of every communication
+    /// op: one pointer check when no scheduler is installed.
+    void sched_point(const char* site) const {
+        if (auto* s = world_->sched()) s->yield(site);
     }
 
     std::uint64_t coll_context() const { return context_ + 1; }

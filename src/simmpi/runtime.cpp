@@ -58,6 +58,11 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
         world->set_faults(std::move(*env_plan));
     }
 
+    std::optional<SchedConfig> sched_cfg = opts.sched;
+    if (!sched_cfg) sched_cfg = SchedConfig::from_env();
+    if (sched_cfg) world->set_scheduler(*sched_cfg);
+    detail::Scheduler* sched = world->sched();
+
     std::vector<int> identity(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) identity[static_cast<std::size_t>(r)] = r;
 
@@ -68,8 +73,17 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
     threads.reserve(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) {
         threads.emplace_back([&, r] {
+            obs::set_thread_rank(r); // telemetry lane of this rank-thread
+            // bind to the scheduler before running; unbind only after the
+            // catch handler so abort/poison happens while still scheduled
+            if (sched) sched->attach_rank(r);
+            struct DetachGuard {
+                detail::Scheduler* s;
+                ~DetachGuard() {
+                    if (s) s->detach();
+                }
+            } guard{sched};
             try {
-                obs::set_thread_rank(r); // telemetry lane of this rank-thread
                 Comm comm(world, base, identity, identity, r, false);
                 fn(comm, r);
             } catch (...) {
@@ -94,6 +108,7 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
         });
     }
     for (auto& t : threads) t.join();
+    if (sched) detail::set_last_schedule_hash(sched->schedule_hash());
     if (failures.empty()) return;
 
     // rethrow-first: the primary cause is the first failure that is not a

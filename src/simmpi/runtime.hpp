@@ -2,6 +2,7 @@
 
 #include "comm.hpp"
 #include "fault.hpp"
+#include "sched.hpp"
 
 #include <functional>
 #include <optional>
@@ -30,6 +31,9 @@ public:
         /// World-default blocking-wait timeout in ms; < 0 means consult
         /// `L5_TIMEOUT_MS` (0 there or here disables deadlines).
         std::int64_t default_timeout_ms = -1;
+        /// Deterministic cooperative scheduler; when unset, `L5_SCHED`
+        /// is consulted (unset there leaves scheduling to the OS).
+        std::optional<SchedConfig> sched;
     };
 
     /// Run `fn` on `world_size` ranks and block until all complete.

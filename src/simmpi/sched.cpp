@@ -1,0 +1,460 @@
+#include "sched.hpp"
+
+#include <obs/trace.hpp>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace simmpi {
+
+// --- SchedConfig -------------------------------------------------------------
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& field, const std::string& value) {
+    try {
+        std::size_t pos = 0;
+        auto        v   = std::stoull(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception&) {
+        throw Error("simmpi: bad L5_SCHED field '" + field + "=" + value
+                    + "' (expected a non-negative integer)");
+    }
+}
+
+std::atomic<std::uint64_t> g_last_schedule_hash{0};
+
+thread_local detail::Scheduler* t_sched = nullptr;
+thread_local int                t_task  = -1;
+/// Set while this thread holds a Scheduler's mutex across user code (the
+/// inner-lock release in block()); lets notify() re-enter without
+/// self-deadlocking.
+thread_local detail::Scheduler* t_m_owner = nullptr;
+
+} // namespace
+
+SchedConfig SchedConfig::parse(const std::string& spec) {
+    SchedConfig        cfg;
+    std::istringstream ss(spec);
+    std::string        field;
+    while (std::getline(ss, field, ',')) {
+        if (field.empty())
+            throw Error("simmpi: bad L5_SCHED spec '" + spec + "' (empty field)");
+        auto eq = field.find('=');
+        if (eq == std::string::npos)
+            throw Error("simmpi: bad L5_SCHED field '" + field + "' (expected key=value)");
+        std::string key   = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        if (key == "seed") {
+            cfg.seed = parse_u64(key, value);
+        } else if (key == "policy") {
+            if (value == "random") cfg.policy = Policy::random;
+            else if (value == "pct") cfg.policy = Policy::pct;
+            else
+                throw Error("simmpi: bad L5_SCHED policy '" + value
+                            + "' (expected 'random' or 'pct')");
+        } else if (key == "depth") {
+            cfg.depth = static_cast<int>(parse_u64(key, value));
+        } else if (key == "horizon") {
+            cfg.horizon = parse_u64(key, value);
+            if (cfg.horizon == 0)
+                throw Error("simmpi: L5_SCHED horizon must be positive");
+        } else {
+            throw Error("simmpi: unknown L5_SCHED field '" + key + "'");
+        }
+    }
+    return cfg;
+}
+
+std::optional<SchedConfig> SchedConfig::from_env() {
+    const char* s = std::getenv("L5_SCHED");
+    if (!s || !*s) return std::nullopt;
+    return parse(s);
+}
+
+std::string SchedConfig::describe() const {
+    return "seed=" + std::to_string(seed)
+           + ",policy=" + (policy == Policy::pct ? "pct" : "random")
+           + ",depth=" + std::to_string(depth) + ",horizon=" + std::to_string(horizon);
+}
+
+std::uint64_t last_schedule_hash() {
+    return g_last_schedule_hash.load(std::memory_order_acquire);
+}
+
+namespace detail {
+
+void set_last_schedule_hash(std::uint64_t h) {
+    g_last_schedule_hash.store(h, std::memory_order_release);
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+Scheduler::Scheduler(const SchedConfig& cfg, int nranks)
+    : cfg_(cfg), nranks_(nranks), rng_(cfg.seed) {
+    tasks_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+        auto t  = std::make_unique<Task>();
+        t->name = "rank " + std::to_string(r);
+        // PCT: distinct initial priorities well above any dropped one
+        t->priority = (1ull << 32) + (rng_() & 0xffffffffu);
+        tasks_.push_back(std::move(t));
+    }
+    if (cfg_.policy == SchedConfig::Policy::pct) {
+        for (int i = 0; i < cfg_.depth; ++i)
+            change_points_.push_back(1 + rng_() % cfg_.horizon);
+        std::sort(change_points_.begin(), change_points_.end());
+    }
+}
+
+bool Scheduler::attached_here() const { return t_sched == this; }
+
+void Scheduler::attach_rank(int rank) {
+    std::unique_lock<std::mutex> lk(m_);
+    Task& me = *tasks_[static_cast<std::size_t>(rank)];
+    me.state = Task::State::Ready;
+    t_sched  = this;
+    t_task   = rank;
+    if (++attached_ranks_ == nranks_) {
+        // start barrier passed: thread spawn order can no longer perturb
+        // the schedule; make the first decision
+        started_.store(true, std::memory_order_release);
+        schedule_locked();
+    }
+    wait_until_running(lk, me);
+}
+
+void Scheduler::attach_aux(const std::string& role) {
+    std::unique_lock<std::mutex> lk(m_);
+    auto t      = std::make_unique<Task>();
+    t->name     = role + "#" + std::to_string(tasks_.size());
+    t->priority = (1ull << 32) + (rng_() & 0xffffffffu);
+    t->tid      = std::this_thread::get_id();
+    t->state    = Task::State::Ready;
+    tasks_.push_back(std::move(t));
+    t_sched = this;
+    t_task  = static_cast<int>(tasks_.size()) - 1;
+    ++spawn_attached_;
+    spawn_cv_.notify_all();
+    wait_until_running(lk, *tasks_.back());
+}
+
+void Scheduler::detach() {
+    if (t_sched != this) return;
+    std::unique_lock<std::mutex> lk(m_);
+    Task& me = *tasks_[static_cast<std::size_t>(t_task)];
+    bool  was_running = (running_ == t_task);
+    me.state = Task::State::Done;
+    // promote a task joining this one *before* the next decision: the
+    // joiner becomes Ready at this deterministic point, not at the
+    // real-time instant its join() happens to return (which would race
+    // other tasks' scheduling points and perturb the replay)
+    if (me.joiner >= 0) {
+        Task& j = *tasks_[static_cast<std::size_t>(me.joiner)];
+        if (j.state == Task::State::Away) j.state = Task::State::Ready;
+        me.joiner = -1;
+    }
+    t_sched = nullptr;
+    t_task  = -1;
+    if (dead_.load(std::memory_order_relaxed)) return;
+    if (was_running) running_ = -1;
+    if (running_ == -1) schedule_locked();
+}
+
+void Scheduler::yield(const char* site) {
+    if (t_sched != this || !usable()) return;
+    std::unique_lock<std::mutex> lk(m_);
+    if (dead_.load(std::memory_order_relaxed)) return;
+    Task& me = *tasks_[static_cast<std::size_t>(t_task)];
+    if (me.state != Task::State::Running) return; // e.g. unwinding after deadlock delivery
+    me.state = Task::State::Ready;
+    me.site  = site;
+    running_ = -1;
+    schedule_locked();
+    wait_until_running(lk, me);
+}
+
+bool Scheduler::block_would_park() const {
+    return t_sched == this && started_.load(std::memory_order_relaxed)
+           && !dead_.load(std::memory_order_relaxed)
+           && tasks_[static_cast<std::size_t>(t_task)]->state == Task::State::Running;
+}
+
+bool Scheduler::block_registered(
+    std::unique_lock<std::mutex>& lk, const void* chan, const char* site, int src, int tag,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    std::int64_t deadline_ms) {
+    Task& me         = *tasks_[static_cast<std::size_t>(t_task)];
+    me.state         = Task::State::Blocked;
+    me.chan          = chan;
+    me.site          = site;
+    me.src           = src;
+    me.tag           = tag;
+    me.deadline      = deadline;
+    me.deadline_ms   = deadline_ms;
+    me.timeout_fired = false;
+    running_         = -1;
+    schedule_locked();
+    for (;;) {
+        if (me.deadlocked) {
+            me.deadlocked = false;
+            throw DeadlockError(deadlock_msg_, deadlock_sites_);
+        }
+        if (me.state == Task::State::Running) break;
+        me.cv.wait(lk);
+    }
+    me.chan = nullptr;
+    me.deadline.reset();
+    if (me.timeout_fired) {
+        me.timeout_fired = false;
+        return false;
+    }
+    return true;
+}
+
+void Scheduler::notify(const void* chan) {
+    if (t_m_owner == this) {
+        // re-entered from user code run under our own mutex (the
+        // inner-lock release inside block()): already locked
+        bool any = false;
+        for (auto& t : tasks_) {
+            if (t->state != Task::State::Blocked || t->chan != chan) continue;
+            t->state = Task::State::Ready;
+            any      = true;
+        }
+        // the blocking task is still Running here, so no scheduling
+        // decision is due
+        (void)any;
+        return;
+    }
+    std::lock_guard<std::mutex> lk(m_);
+    if (dead_.load(std::memory_order_relaxed)) return;
+    bool any = false;
+    for (auto& t : tasks_) {
+        if (t->state != Task::State::Blocked || t->chan != chan) continue;
+        t->state = Task::State::Ready;
+        any      = true;
+    }
+    if (any && running_ == -1 && started_.load(std::memory_order_relaxed)) schedule_locked();
+}
+
+std::uint64_t Scheduler::pre_spawn() {
+    std::lock_guard<std::mutex> lk(m_);
+    return ++spawn_expected_;
+}
+
+void Scheduler::wait_spawn(std::uint64_t token) {
+    std::unique_lock<std::mutex> lk(m_);
+    spawn_cv_.wait(lk, [&] { return spawn_attached_ >= token; });
+}
+
+bool Scheduler::leave_for(std::thread::id target) {
+    if (t_sched != this) return false;
+    std::unique_lock<std::mutex> lk(m_);
+    if (dead_.load(std::memory_order_relaxed)) return false;
+    Task& me = *tasks_[static_cast<std::size_t>(t_task)];
+    if (me.state != Task::State::Running) return false;
+    int idx = -1;
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+        if (tasks_[i]->tid == target && tasks_[i]->state != Task::State::Done) {
+            idx = static_cast<int>(i);
+            break;
+        }
+    // target already detached (or never attached): stay Running — the
+    // thread is exiting, join() returns promptly, and since we keep the
+    // Running slot no scheduling decision can happen in between
+    if (idx < 0) return false;
+    tasks_[static_cast<std::size_t>(idx)]->joiner = t_task;
+    me.state = Task::State::Away;
+    running_ = -1;
+    schedule_locked();
+    return true;
+}
+
+void Scheduler::reenter() {
+    if (t_sched != this) return;
+    std::unique_lock<std::mutex> lk(m_);
+    if (dead_.load(std::memory_order_relaxed)) return;
+    Task& me = *tasks_[static_cast<std::size_t>(t_task)];
+    // the joined task's detach may already have promoted us to Ready —
+    // or the schedule may even have picked us before our join() returned
+    if (me.state == Task::State::Running) return;
+    if (me.state == Task::State::Away) me.state = Task::State::Ready;
+    if (running_ == -1) schedule_locked();
+    wait_until_running(lk, me);
+}
+
+std::uint64_t Scheduler::steps() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return step_;
+}
+
+std::uint64_t Scheduler::schedule_hash() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return hash_;
+}
+
+void Scheduler::wait_until_running(std::unique_lock<std::mutex>& lk, Task& me) {
+    while (!dead_.load(std::memory_order_relaxed) && me.state != Task::State::Running
+           && !me.deadlocked)
+        me.cv.wait(lk);
+}
+
+void Scheduler::schedule_locked() {
+    std::vector<int> ready;
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+        if (tasks_[i]->state == Task::State::Ready) ready.push_back(static_cast<int>(i));
+    if (ready.empty()) {
+        handle_no_ready();
+        return;
+    }
+    int chosen = pick(ready);
+    record_decision(chosen);
+    Task& t  = *tasks_[static_cast<std::size_t>(chosen)];
+    t.state  = Task::State::Running;
+    running_ = chosen;
+    t.cv.notify_all();
+}
+
+int Scheduler::pick(const std::vector<int>& ready) {
+    ++step_;
+    if (cfg_.policy == SchedConfig::Policy::random)
+        return ready[static_cast<std::size_t>(rng_() % ready.size())];
+
+    // PCT: highest priority wins; at a change point (seeded, plus a
+    // forced one every `horizon` decisions as an anti-starvation bound
+    // for never-blocking spin loops) the would-be winner's priority
+    // drops below everyone else's
+    auto argmax = [&] {
+        int best = ready.front();
+        for (int i : ready)
+            if (tasks_[static_cast<std::size_t>(i)]->priority
+                > tasks_[static_cast<std::size_t>(best)]->priority)
+                best = i;
+        return best;
+    };
+    int  best       = argmax();
+    bool seeded_cp  = next_change_ < change_points_.size() && step_ >= change_points_[next_change_];
+    bool forced_cp  = step_ >= last_change_ + cfg_.horizon;
+    if (seeded_cp || forced_cp) {
+        if (seeded_cp) ++next_change_;
+        last_change_ = step_;
+        tasks_[static_cast<std::size_t>(best)]->priority = low_priority_--;
+        obs::instant("sched.change_point", "sched",
+                     {{"step", step_, nullptr},
+                      {"task", static_cast<std::uint64_t>(best), nullptr}});
+        best = argmax();
+    }
+    return best;
+}
+
+void Scheduler::handle_no_ready() {
+    // an Away task (e.g. joining an auxiliary thread) may return and
+    // unblock someone: make no decision until it reenters
+    for (const auto& t : tasks_)
+        if (t->state == Task::State::Away) return;
+
+    std::vector<int> blocked;
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+        if (tasks_[i]->state == Task::State::Blocked) blocked.push_back(static_cast<int>(i));
+    if (blocked.empty()) return; // world drained (all Done)
+
+    // simulated time: with every task blocked, the earliest-deadline
+    // wait is the next thing that can happen — fire it immediately
+    int earliest = -1;
+    for (int i : blocked) {
+        const Task& t = *tasks_[static_cast<std::size_t>(i)];
+        if (!t.deadline) continue;
+        if (earliest < 0
+            || *t.deadline < *tasks_[static_cast<std::size_t>(earliest)]->deadline)
+            earliest = i;
+    }
+    if (earliest >= 0) {
+        Task& t         = *tasks_[static_cast<std::size_t>(earliest)];
+        t.timeout_fired = true;
+        t.state         = Task::State::Running;
+        running_        = earliest;
+        record_decision(earliest);
+        obs::instant("sched.timeout", "sched",
+                     {{"task", static_cast<std::uint64_t>(earliest), nullptr},
+                      {"ms", static_cast<std::uint64_t>(t.deadline_ms), nullptr}});
+        t.cv.notify_all();
+        return;
+    }
+
+    declare_deadlock();
+}
+
+void Scheduler::declare_deadlock() {
+    deadlock_msg_ = "simmpi: deadlock detected: every task blocked:";
+    for (const auto& t : tasks_) {
+        if (t->state != Task::State::Blocked) continue;
+        std::string s = describe_wait(*t);
+        deadlock_msg_ += " [" + s + "]";
+        deadlock_sites_.push_back(std::move(s));
+    }
+    dead_.store(true, std::memory_order_release);
+    obs::instant("sched.deadlock", "sched", {{"step", step_, nullptr}});
+    for (auto& t : tasks_) {
+        if (t->state == Task::State::Blocked) t->deadlocked = true;
+        t->cv.notify_all();
+    }
+}
+
+void Scheduler::mark_m_owner() { t_m_owner = this; }
+void Scheduler::clear_m_owner() { t_m_owner = nullptr; }
+
+void Scheduler::record_decision(int chosen) {
+    // FNV-1a over the (step, chosen) pairs: equal hashes <=> identical
+    // decision sequences (task ids are deterministic: rank slots are
+    // pre-created and auxiliary tasks attach at deterministic points)
+    constexpr std::uint64_t prime = 1099511628211ull;
+    hash_ = (hash_ ^ step_) * prime;
+    hash_ = (hash_ ^ static_cast<std::uint64_t>(chosen)) * prime;
+    obs::instant("sched.pick", "sched",
+                 {{"step", step_, nullptr},
+                  {"task", static_cast<std::uint64_t>(chosen), nullptr}});
+}
+
+std::string Scheduler::describe_wait(const Task& t) const {
+    std::string s = t.name + " at " + (t.site && *t.site ? t.site : "unknown");
+    if (t.src != -1 || t.tag != -1) {
+        s += " (src=" + (t.src < 0 ? std::string("any") : std::to_string(t.src))
+             + ", tag=" + (t.tag < 0 ? std::string("any") : std::to_string(t.tag)) + ")";
+    }
+    return s;
+}
+
+// --- helpers -----------------------------------------------------------------
+
+std::thread spawn_participant(Scheduler* s, const char* role, std::function<void()> fn) {
+    if (!s || !s->attached_here() || !s->usable()) return std::thread(std::move(fn));
+    std::uint64_t token = s->pre_spawn();
+    std::thread   t([s, role, fn = std::move(fn)] {
+        s->attach_aux(role);
+        try {
+            fn();
+        } catch (...) {
+            s->detach();
+            throw;
+        }
+        s->detach();
+    });
+    s->wait_spawn(token);
+    return t;
+}
+
+void coop_join(Scheduler* s, std::thread& t) {
+    if (s && s->attached_here() && s->usable()) {
+        bool parked = s->leave_for(t.get_id());
+        t.join();
+        if (parked) s->reenter();
+    } else {
+        t.join();
+    }
+}
+
+} // namespace detail
+} // namespace simmpi

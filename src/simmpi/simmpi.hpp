@@ -7,6 +7,7 @@
 
 #include "error.hpp"   // IWYU pragma: export
 #include "fault.hpp"   // IWYU pragma: export
+#include "sched.hpp"   // IWYU pragma: export
 #include "message.hpp" // IWYU pragma: export
 #include "comm.hpp"    // IWYU pragma: export
 #include "runtime.hpp" // IWYU pragma: export

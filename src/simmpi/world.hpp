@@ -3,6 +3,7 @@
 #include "error.hpp"
 #include "fault.hpp"
 #include "message.hpp"
+#include "sched.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -42,12 +43,18 @@ struct Deadline {
 /// under the mailbox mutex, so a poison can never race past a waiter.
 class Mailbox {
 public:
+    /// Deterministic-scheduler hookup (installed before rank-threads
+    /// start): waits become scheduling points on this mailbox's channel,
+    /// and push/poison notify the controller.
+    void set_scheduler(Scheduler* s) { sched_ = s; }
+
     void push(Envelope&& env) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
             queue_.push_back(std::move(env));
         }
         cv_.notify_all();
+        if (sched_) sched_->notify(this);
     }
 
     /// Wake every waiter with an abort error; subsequent waits throw too.
@@ -57,6 +64,7 @@ public:
             if (!poison_) poison_ = std::move(info);
         }
         cv_.notify_all();
+        if (sched_) sched_->notify(this);
     }
 
     /// Blocks until a matching envelope is available, removes and returns it.
@@ -119,6 +127,14 @@ private:
 
     void wait(std::unique_lock<std::mutex>& lock, const Deadline& dl, const char* where, int src,
               int tag) {
+        if (sched_ && sched_->attached_here() && sched_->usable()) {
+            // deterministic mode: descheduled through the controller;
+            // deadlines run on simulated time (they fire, deterministically,
+            // only when the whole world is otherwise blocked)
+            if (!sched_->block(lock, this, where, src, tag, dl.at, dl.ms))
+                throw TimeoutError(dl.ms, where, src, tag);
+            return; // spurious returns fall out to the caller's re-check loop
+        }
         if (!dl.at) {
             cv_.wait(lock);
             return;
@@ -142,6 +158,7 @@ private:
     std::condition_variable          cv_;
     std::deque<Envelope>             queue_;
     std::shared_ptr<const AbortInfo> poison_;
+    Scheduler*                       sched_ = nullptr;
 };
 
 /// Shared state of one "MPI world": a mailbox per rank plus a counter
@@ -210,6 +227,16 @@ public:
     }
     FaultState* faults() const { return faults_.get(); }
 
+    // --- deterministic scheduling ----------------------------------------
+
+    /// Install the cooperative scheduler before rank-threads start (not
+    /// thread-safe later); every mailbox wait becomes a scheduling point.
+    void set_scheduler(const SchedConfig& cfg) {
+        sched_ = std::make_unique<Scheduler>(cfg, size());
+        for (auto& mb : mailboxes_) mb->set_scheduler(sched_.get());
+    }
+    Scheduler* sched() const { return sched_.get(); }
+
 private:
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
     std::atomic<std::uint64_t>            next_context_{1}; // 0 = world communicator
@@ -218,6 +245,7 @@ private:
     std::atomic<bool>                     aborted_{false};
     std::atomic<std::int64_t>             default_timeout_ms_{-1};
     std::unique_ptr<FaultState>           faults_;
+    std::unique_ptr<Scheduler>            sched_;
 };
 
 } // namespace simmpi::detail

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <numeric>
 
@@ -426,7 +428,10 @@ TEST(DistVol, ConsumerReadsSubsetOnly) {
 
 TEST(DistVol, FileModeThroughPhysicalStorage) {
     PfsModel::instance().configure(0, 0);
-    auto tmp = std::filesystem::temp_directory_path() / "l5_dist_filemode.h5";
+    // pid-unique name: parallel sweeps (mh5sched --jobs N) run several
+    // instances of this binary at once, and they must not share the file
+    auto tmp = std::filesystem::temp_directory_path()
+               / ("l5_dist_filemode." + std::to_string(getpid()) + ".h5");
     std::filesystem::remove(tmp);
 
     Options opts;

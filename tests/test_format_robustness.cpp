@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -16,7 +18,11 @@ class FormatTest : public ::testing::Test {
 protected:
     void SetUp() override {
         PfsModel::instance().configure(0, 0, 0);
-        path_ = (std::filesystem::temp_directory_path() / "fmt_robust.mh5").string();
+        // pid-unique name: ctest -j runs each test as its own process,
+        // and concurrent FormatTest cases must not share the file
+        path_ = (std::filesystem::temp_directory_path()
+                 / ("fmt_robust." + std::to_string(getpid()) + ".mh5"))
+                    .string();
         std::filesystem::remove(path_);
 
         auto vol = std::make_shared<NativeVol>();

@@ -1,0 +1,115 @@
+/// Seeded-schedule regression corpus: every seed pinned here once
+/// exposed (or sits in the neighborhood of) a real interleaving bug
+/// found with `mh5sched`, and is replayed forever as a named ctest case
+/// (SchedRegression.Seed<N>*). The scenario is the canonical
+/// background-serve workflow — the serve plane is where every schedule
+/// bug so far has lived, because it mixes rank tasks, an auxiliary serve
+/// task, a shared mutex, and a condition variable.
+///
+/// To grow the corpus: run
+///   mh5sched --seeds 1:500 --keep-going -- ./tests/test_fault_injection
+/// and add a SCHED_REGRESSION case per failing seed once fixed.
+
+#include <lowfive/lowfive.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace simmpi;
+
+namespace {
+
+/// Canonical serve-plane scenario: 2 producers index and background-serve
+/// a row-decomposed grid; 2 consumers issue overlapping boxed reads and
+/// validate every element. Runs twice and asserts the schedule replayed.
+void replay_scenario(std::uint64_t seed, SchedConfig::Policy policy, int depth) {
+    auto run_once = [&] {
+        workflow::Options opts;
+        opts.mode                = workflow::Mode::in_situ();
+        opts.background_serve    = true;
+        SchedConfig sc;
+        sc.seed   = seed;
+        sc.policy = policy;
+        sc.depth  = depth;
+        opts.runtime.sched = sc;
+
+        const h5::Extent dims{12, 12};
+        workflow::run(
+            {
+                {"producer", 2,
+                 [&](workflow::Context& ctx) {
+                     h5::File f = h5::File::create("sched_reg.h5", ctx.vol);
+                     auto d = f.create_dataset("g", h5::dt::uint64(), h5::Dataspace(dims));
+                     diy::Bounds domain(2);
+                     domain.max = {12, 12};
+                     diy::RegularDecomposer dec(domain, ctx.size());
+                     auto          mine = dec.block_bounds(ctx.rank());
+                     h5::Dataspace sel(dims);
+                     sel.select_box(mine);
+                     std::vector<std::uint64_t> vals(sel.npoints());
+                     std::size_t                k = 0;
+                     for (auto x = mine.min[0]; x < mine.max[0]; ++x)
+                         for (auto y = mine.min[1]; y < mine.max[1]; ++y)
+                             vals[k++] = static_cast<std::uint64_t>(x * 12 + y);
+                     d.write(vals.data(), sel);
+                     f.close();
+                 }},
+                {"consumer", 2,
+                 [&](workflow::Context& ctx) {
+                     h5::File f = h5::File::open("sched_reg.h5", ctx.vol);
+                     auto     d = f.open_dataset("g");
+                     // overlapping boxes so both consumers hit both producers
+                     diy::Bounds box(2);
+                     box.min = {ctx.rank() * 2, 0};
+                     box.max = {ctx.rank() * 2 + 8, 12};
+                     h5::Dataspace sel(dims);
+                     sel.select_box(box);
+                     auto        vals = d.read_vector<std::uint64_t>(sel);
+                     std::size_t k    = 0;
+                     for (auto x = box.min[0]; x < box.max[0]; ++x)
+                         for (auto y = box.min[1]; y < box.max[1]; ++y, ++k)
+                             ASSERT_EQ(vals[k], static_cast<std::uint64_t>(x * 12 + y))
+                                 << "seed " << seed;
+                     f.close();
+                 }},
+            },
+            {workflow::Link{0, 1, "*"}}, opts);
+        return last_schedule_hash();
+    };
+
+    auto a = run_once();
+    auto b = run_once();
+    EXPECT_NE(a, 0u) << "seed " << seed << ": scheduler did not run";
+    EXPECT_EQ(a, b) << "seed " << seed << ": schedule failed to replay";
+}
+
+} // namespace
+
+#define SCHED_REGRESSION(name, seed, policy, depth)                                               \
+    TEST(SchedRegression, name) { replay_scenario(seed, SchedConfig::Policy::policy, depth); }
+
+// seed=1/random: the interleaving that hung the serve plane before the
+// scheduler reached it — the producer parked in a raw dones_cv_.wait
+// while still counted Running, starving the Ready consumer forever; the
+// fix routes that wait (and the serve mutex) through the scheduler
+// (CoopLock / coop_wait / spawn_participant in dist_vol).
+SCHED_REGRESSION(Seed1Random, 1, random, 3)
+
+// seed=1/pct: same neighborhood under priority chaos — exercises the
+// forced-change-point path (spinning serve loop holds top priority until
+// the anti-starvation horizon drops it).
+SCHED_REGRESSION(Seed1Pct, 1, pct, 3)
+
+// seeds that resolve the consumer→producer intersect/data races in
+// opposite orders (distinct schedule hashes observed in the mh5sched
+// development sweeps); pinned to keep both orders exercised forever
+SCHED_REGRESSION(Seed7Random, 7, random, 3)
+SCHED_REGRESSION(Seed13Random, 13, random, 3)
+SCHED_REGRESSION(Seed23Pct, 23, pct, 3)
+
+// deep-preemption PCT variant: more change points than tasks, so
+// priorities churn mid-protocol (index vs first metadata query)
+SCHED_REGRESSION(Seed42PctDeep, 42, pct, 8)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -47,7 +49,11 @@ class ToolsTest : public ::testing::Test {
 protected:
     void SetUp() override {
         h5::PfsModel::instance().configure(0, 0, 0);
-        path_ = (std::filesystem::temp_directory_path() / "tools_test.mh5").string();
+        // pid-unique name: ctest -j runs each test as its own process,
+        // and concurrent ToolsTest cases must not share the file
+        path_ = (std::filesystem::temp_directory_path()
+                 / ("tools_test." + std::to_string(getpid()) + ".mh5"))
+                    .string();
         std::filesystem::remove(path_);
 
         auto     vol = std::make_shared<h5::NativeVol>();

@@ -1,0 +1,208 @@
+/// mh5sched: schedule explorer for the deterministic simmpi scheduler.
+///
+/// Runs a test binary once per seed with L5_SCHED set, so every run
+/// explores a different (but exactly reproducible) thread interleaving.
+/// Failing seeds are reported with a copy-pasteable repro line; the exit
+/// status is nonzero when any seed failed, so the tool drops straight
+/// into CI jobs and check.sh sweeps.
+///
+///   mh5sched --seeds 1:200 -- ./tests/test_dist_vol --gtest_brief=1
+///   mh5sched --seeds 1:50 --policy pct --depth 3 -- ./tests/test_fault_injection
+///
+/// Options:
+///   --seeds A:B   inclusive seed range to sweep (default 1:20)
+///   --policy P    random | pct (default random)
+///   --depth K     pct priority-change points (default 3)
+///   --horizon H   forced-change horizon in scheduler steps (default: unset)
+///   --timeout S   per-run timeout in seconds, enforced with timeout(1)
+///                 (default 120; a timed-out run reports as HANG)
+///   --jobs N      seeds to run concurrently (default 1); every seed runs
+///                 in its own scratch directory, so parallel runs cannot
+///                 collide on the files a test binary writes
+///   --keep-going  sweep all seeds even after a failure (default: stop
+///                 after the first failing seed per worker)
+
+#include <limits.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Options {
+    std::uint64_t seed_lo    = 1;
+    std::uint64_t seed_hi    = 20;
+    std::string   policy     = "random";
+    int           depth      = 3;
+    long          horizon    = 0; // 0: leave the scheduler default
+    long          timeout_s  = 120;
+    int           jobs       = 1;
+    bool          keep_going = false;
+    std::vector<std::string> cmd;
+};
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: mh5sched [--seeds A:B] [--policy random|pct] [--depth K] "
+                 "[--horizon H] [--timeout S] [--jobs N] [--keep-going] -- cmd args...\n");
+    return 2;
+}
+
+/// Single-quote a word for POSIX sh so the child command survives
+/// std::system intact ( ' -> '\'' ).
+std::string shell_quote(const std::string& s) {
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+std::string sched_value(const Options& opt, std::uint64_t seed) {
+    std::string v = "seed=" + std::to_string(seed) + ",policy=" + opt.policy;
+    if (opt.policy == "pct") v += ",depth=" + std::to_string(opt.depth);
+    if (opt.horizon > 0) v += ",horizon=" + std::to_string(opt.horizon);
+    return v;
+}
+
+struct Failure {
+    std::uint64_t seed;
+    int           exit_code; ///< 124 from timeout(1) means a hang
+    std::string   repro;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+
+    int i = 1;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (arg == "--") {
+            ++i;
+            break;
+        } else if (arg == "--seeds") {
+            const char* v = next();
+            if (!v) return usage();
+            char* colon = nullptr;
+            opt.seed_lo = std::strtoull(v, &colon, 10);
+            if (!colon || *colon != ':') return usage();
+            opt.seed_hi = std::strtoull(colon + 1, nullptr, 10);
+            if (opt.seed_hi < opt.seed_lo) return usage();
+        } else if (arg == "--policy") {
+            const char* v = next();
+            if (!v || (std::string(v) != "random" && std::string(v) != "pct")) return usage();
+            opt.policy = v;
+        } else if (arg == "--depth") {
+            const char* v = next();
+            if (!v) return usage();
+            opt.depth = std::atoi(v);
+        } else if (arg == "--horizon") {
+            const char* v = next();
+            if (!v) return usage();
+            opt.horizon = std::atol(v);
+        } else if (arg == "--timeout") {
+            const char* v = next();
+            if (!v) return usage();
+            opt.timeout_s = std::atol(v);
+        } else if (arg == "--jobs") {
+            const char* v = next();
+            if (!v) return usage();
+            opt.jobs = std::atoi(v);
+            if (opt.jobs < 1) opt.jobs = 1;
+        } else if (arg == "--keep-going") {
+            opt.keep_going = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            return usage();
+        }
+    }
+    for (; i < argc; ++i) opt.cmd.emplace_back(argv[i]);
+    if (opt.cmd.empty()) return usage();
+
+    // each seed runs in a scratch directory, so a relative binary path
+    // must be absolutized before the child's cd
+    if (opt.cmd[0].find('/') != std::string::npos && opt.cmd[0][0] != '/') {
+        char resolved[PATH_MAX];
+        if (realpath(opt.cmd[0].c_str(), resolved)) opt.cmd[0] = resolved;
+    }
+
+    std::string quoted_cmd;
+    for (const auto& word : opt.cmd) {
+        if (!quoted_cmd.empty()) quoted_cmd += ' ';
+        quoted_cmd += shell_quote(word);
+    }
+
+    const std::uint64_t n_seeds = opt.seed_hi - opt.seed_lo + 1;
+    std::printf("mh5sched: sweeping %llu seeds (%llu:%llu, policy=%s) over: %s\n",
+                static_cast<unsigned long long>(n_seeds),
+                static_cast<unsigned long long>(opt.seed_lo),
+                static_cast<unsigned long long>(opt.seed_hi), opt.policy.c_str(),
+                quoted_cmd.c_str());
+    std::fflush(stdout);
+
+    std::atomic<std::uint64_t> next_seed{opt.seed_lo};
+    std::atomic<bool>          stop{false};
+    std::mutex                 report_mutex;
+    std::vector<Failure>       failures;
+    std::atomic<std::uint64_t> n_run{0};
+
+    auto worker = [&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t seed = next_seed.fetch_add(1, std::memory_order_relaxed);
+            if (seed > opt.seed_hi) return;
+            const std::string sched = sched_value(opt, seed);
+            // per-seed scratch directory: tests write files relative to
+            // their cwd, and parallel sweeps must not share those
+            const std::string dir = "/tmp/mh5sched." + std::to_string(getpid()) + "."
+                                    + std::to_string(seed);
+            const std::string full = "mkdir -p " + shell_quote(dir) + " && cd " + shell_quote(dir)
+                                     + " && env L5_SCHED=" + shell_quote(sched) + " timeout "
+                                     + std::to_string(opt.timeout_s) + " " + quoted_cmd
+                                     + " >/dev/null 2>&1; rc=$?; cd / && rm -rf "
+                                     + shell_quote(dir) + "; exit $rc";
+            const int rc   = std::system(full.c_str());
+            const int code = (rc == -1) ? -1 : WEXITSTATUS(rc);
+            n_run.fetch_add(1, std::memory_order_relaxed);
+            if (code != 0) {
+                std::lock_guard<std::mutex> lock(report_mutex);
+                std::string repro = "L5_SCHED=" + shell_quote(sched) + " " + quoted_cmd;
+                std::printf("mh5sched: seed %llu %s (exit %d)\n  repro: %s\n",
+                            static_cast<unsigned long long>(seed),
+                            code == 124 ? "HANG (timeout)" : "FAILED", code, repro.c_str());
+                std::fflush(stdout);
+                failures.push_back({seed, code, std::move(repro)});
+                if (!opt.keep_going) stop.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    const int n_workers = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(opt.jobs), n_seeds));
+    threads.reserve(static_cast<std::size_t>(n_workers));
+    for (int w = 0; w < n_workers; ++w) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+
+    std::printf("mh5sched: %llu/%llu seeds run, %zu failing\n",
+                static_cast<unsigned long long>(n_run.load()),
+                static_cast<unsigned long long>(n_seeds), failures.size());
+    return failures.empty() ? 0 : 1;
+}
