@@ -100,11 +100,15 @@ int main() {
         workflow::Options opts;
         const char*       fname;
     };
-    workflow::Options memory{.mode = workflow::Mode::in_situ(), .zerocopy = {}, .serve_on_close = true};
-    workflow::Options file{.mode = workflow::Mode::file(), .zerocopy = {}, .serve_on_close = true};
-    workflow::Options both{.mode = workflow::Mode::both(), .zerocopy = {}, .serve_on_close = true};
-    workflow::Options zerocopy{
-        .mode = workflow::Mode::in_situ(), .zerocopy = {{"*", "*"}}, .serve_on_close = true};
+    workflow::Options memory;
+    memory.mode = workflow::Mode::in_situ();
+    workflow::Options file;
+    file.mode = workflow::Mode::file();
+    workflow::Options both;
+    both.mode = workflow::Mode::both();
+    workflow::Options zerocopy;
+    zerocopy.mode     = workflow::Mode::in_situ();
+    zerocopy.zerocopy = {{"*", "*"}};
 
     const Cfg configs[] = {
         {"memory mode        ", memory, "demo.h5"},

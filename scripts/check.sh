@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
 #
-#   scripts/check.sh            build + ctest in ./build
+#   scripts/check.sh            build + lint + ctest in ./build, then the
+#                               suite once more with the MPI-semantics
+#                               checker armed (L5_CHECK=1)
 #   scripts/check.sh --tsan     additionally configure a ThreadSanitizer
 #                               tree in ./build-tsan and run the
 #                               concurrency-sensitive tests under it
+#   scripts/check.sh --ubsan    additionally configure an
+#                               UndefinedBehaviorSanitizer tree in
+#                               ./build-ubsan and run the full suite under it
 #
 # Extra arguments after the flags are passed through to ctest
 # (e.g. scripts/check.sh -R QueryPipeline).
@@ -13,12 +18,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tsan=0
-if [[ "${1:-}" == "--tsan" ]]; then
-    tsan=1
+ubsan=0
+while [[ "${1:-}" == --* ]]; do
+    case "$1" in
+        --tsan) tsan=1 ;;
+        --ubsan) ubsan=1 ;;
+        *) echo "check.sh: unknown flag $1" >&2; exit 2 ;;
+    esac
     shift
-fi
+done
 
 jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== Repo lint (scripts/lint.py) =="
+python3 scripts/lint.py
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
@@ -26,13 +39,20 @@ cmake --build build -j "$jobs"
 # fault-injection suite guards against) into a loud test failure
 ctest --test-dir build --output-on-failure --no-tests=error --timeout 180 -j "$jobs" "$@"
 
+# the whole suite must stay diagnostic-free under the MPI-semantics
+# checker: wildcard races, collective mismatches, and resource leaks
+# escalate to test failures here
+echo "== Checked suite (L5_CHECK=1) =="
+L5_CHECK=1 ctest --test-dir build --output-on-failure --no-tests=error --timeout 180 -j "$jobs" "$@"
+
 # deterministic-scheduler sweep: replay the hang-regression suite under a
 # handful of seeded schedules (both policies) — interleavings wall-clock
-# timing would rarely hit; any failure prints an L5_SCHED repro line
+# timing would rarely hit; any failure prints an L5_SCHED repro line.
+# --check arms the semantics checker in every explored schedule.
 echo "== Deterministic-scheduler sweep (mh5sched) =="
-./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" \
+./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check \
     -- ./build/tests/test_fault_injection --gtest_brief=1
-./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" \
+./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check \
     -- ./build/tests/test_fault_injection --gtest_brief=1
 
 if [[ $tsan -eq 1 ]]; then
@@ -46,6 +66,14 @@ if [[ $tsan -eq 1 ]]; then
     # deterministic scheduler (cooperative handoffs + replay corpus)
     ctest --test-dir build-tsan --output-on-failure --no-tests=error --timeout 300 -j "$jobs" \
           -R 'Simmpi|AsyncServe|QueryPipeline|DistVol|Telemetry|FaultInjection|Sched'
+fi
+
+if [[ $ubsan -eq 1 ]]; then
+    echo "== UndefinedBehaviorSanitizer tree (build-ubsan) =="
+    cmake -B build-ubsan -S . -DLOWFIVE_SANITIZE=undefined >/dev/null
+    cmake --build build-ubsan -j "$jobs"
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ctest --test-dir build-ubsan --output-on-failure --no-tests=error --timeout 300 -j "$jobs"
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Repo-local lint rules that clang-tidy cannot express.
+
+Rules
+-----
+tmp-path    tests must not hardcode /tmp paths: every test runs in its own
+            scratch cwd (mh5sched sweeps run seeds concurrently), so fixed
+            paths collide across runs. Write relative to the cwd instead.
+raw-sleep   src/ must not sleep: wall-clock delays are nondeterministic
+            under the cooperative scheduler and slow every test. Modelled
+            latencies and injected delays are the sanctioned exceptions.
+bare-wait   scheduler-aware src/ files (anything touching CoopLock /
+            coop_wait / detail::Scheduler) must not block on a raw
+            condition variable: a wait the scheduler cannot see deadlocks
+            deterministic runs. Use coop_wait / Scheduler::block, or keep
+            the raw wait on the explicitly free-running path.
+
+A finding is suppressed by `// lint: allow-<rule>(<reason>)` on the same
+line or the line directly above; the reason is mandatory and should say
+why this occurrence is sound, not what the code does.
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+SOURCE_GLOBS = ("*.cpp", "*.hpp")
+
+TMP_PATH = re.compile(r'"/tmp')
+RAW_SLEEP = re.compile(r"\b(?:sleep_for|sleep_until|usleep|::sleep)\s*\(")
+BARE_WAIT = re.compile(r"\b\w*cv\w*\.wait(?:_for|_until)?\s*\(")
+SCHED_AWARE = re.compile(r"\bCoopLock\b|\bcoop_wait\b|\bScheduler\b")
+ALLOW = re.compile(r"//\s*lint:\s*allow-([a-z-]+)\(([^)]+)\)")
+
+
+def iter_sources(root):
+    for pattern in SOURCE_GLOBS:
+        yield from sorted(root.rglob(pattern))
+
+
+def allowed(rule, line, prev_line):
+    for text in (line, prev_line):
+        m = ALLOW.search(text)
+        if m and m.group(1) == rule and m.group(2).strip():
+            return True
+    return False
+
+
+def scan_file(path, rules):
+    findings = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        prev = lines[i - 1] if i else ""
+        code = line.split("//", 1)[0]  # patterns never fire on comment text
+        for rule, pattern in rules:
+            if pattern.search(code) and not allowed(rule, line, prev):
+                findings.append((path, i + 1, rule, line.strip()))
+    return findings
+
+
+def main():
+    findings = []
+
+    for path in iter_sources(REPO / "tests"):
+        findings += scan_file(path, [("tmp-path", TMP_PATH)])
+
+    for path in iter_sources(REPO / "src"):
+        rules = [("raw-sleep", RAW_SLEEP)]
+        if SCHED_AWARE.search(path.read_text(encoding="utf-8", errors="replace")):
+            rules.append(("bare-wait", BARE_WAIT))
+        findings += scan_file(path, rules)
+
+    for path, lineno, rule, line in findings:
+        rel = path.relative_to(REPO)
+        print(f"{rel}:{lineno}: [{rule}] {line}")
+
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s); suppress a false positive with "
+              "'// lint: allow-<rule>(reason)'", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

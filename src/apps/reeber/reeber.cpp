@@ -142,6 +142,10 @@ std::vector<Halo> HaloFinder::find_halos(std::int64_t n, const diy::Bounds& bloc
 
         for (auto& [r, buf] : outgoing) local_.send(r, tag_faces, std::move(buf).take());
 
+        // label exchange converges to the componentwise minimum: applying
+        // neighbor updates in any order reaches the same fixed point
+        local_.check_commutative(tag_faces, "min-label accumulation");
+
         bool changed = false;
         for (std::size_t i = 0; i < neighbors.size(); ++i) {
             std::vector<std::byte> raw;

@@ -86,6 +86,11 @@ void insert_box(const diy::Bounds& have, std::byte* have_buf, const diy::Bounds&
 // --- Server ---------------------------------------------------------------
 
 void Server::run(const simmpi::Comm& producers_ic, const simmpi::Comm& consumers_ic) {
+    // the index server is an order-insensitive drain by design: puts
+    // accumulate and queries are answered once the part count is reached,
+    // whatever order requests arrive in
+    producers_ic.check_commutative(tag_index, "index-server drain");
+    consumers_ic.check_commutative(tag_index, "index-server drain");
     struct Key {
         std::string name;
         int         version;
@@ -191,6 +196,9 @@ void ProducerClient::put_local(const std::string& name, int version, const diy::
 }
 
 void ProducerClient::serve_pulls() {
+    // pulls address disjoint regions and dones only count: service order
+    // cannot change any result
+    consumers_.check_commutative(simmpi::any_tag, "pull/done drain");
     int dones = 0;
     while (dones < consumers_.peer_size()) {
         // block until either a pull or a done arrives (the only two tags

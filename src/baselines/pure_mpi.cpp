@@ -56,6 +56,9 @@ void producer_send(const simmpi::Comm& intercomm, const diy::Bounds& mine, const
 
 void consumer_recv(const simmpi::Comm& intercomm, const diy::Bounds& mine, void* out,
                    std::size_t elem, const BoundsFn& producer_bounds, int nproducers, int tag) {
+    // every message carries its own bounds and producers cover disjoint
+    // regions, so scatter order is immaterial
+    intercomm.check_commutative(tag, "self-describing disjoint regions");
     auto* dst = static_cast<std::byte*>(out);
 
     int expected = 0;

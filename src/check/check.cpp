@@ -1,0 +1,337 @@
+#include "check.hpp"
+
+#include <obs/metrics.hpp>
+#include <obs/trace.hpp>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace l5check {
+
+namespace {
+
+// negative values below mirror simmpi::any_source / any_tag without
+// linking against libsimmpi (check sits below it in the link order)
+constexpr int wild = -1;
+
+std::string rank_str(int r) { return r < 0 ? std::string("any") : std::to_string(r); }
+
+/// Count + trace one finding; `kind` must outlive the call (it is interned
+/// for the trace event and copied for the metric name).
+void export_finding(const std::string& kind) {
+    obs::Registry::global().counter("check_" + kind).inc();
+    obs::Registry::global().counter("check_diagnostics").inc();
+    obs::instant(obs::intern_if_enabled("check." + kind), "check");
+}
+
+} // namespace
+
+std::string Diagnostic::text() const {
+    std::string s = "[" + kind + "] " + message;
+    if (!repro.empty()) s += " (repro: " + repro + ")";
+    return s;
+}
+
+std::optional<CheckConfig> CheckConfig::from_env() {
+    const char* s = std::getenv("L5_CHECK");
+    if (!s || !*s) return std::nullopt;
+    const std::string v(s);
+    if (v == "0" || v == "off") return std::nullopt;
+    CheckConfig cfg;
+    if (v == "1" || v == "throw" || v == "raise") {
+        cfg.action = Action::raise;
+    } else if (v == "report") {
+        cfg.action = Action::report;
+    } else {
+        throw simmpi::Error("l5check: bad L5_CHECK '" + v
+                            + "' (expected 0, 1, raise, or report)");
+    }
+    return cfg;
+}
+
+Checker::Checker(const CheckConfig& cfg, int world_size)
+    : cfg_(cfg), nranks_(world_size),
+      clock_(static_cast<std::size_t>(world_size),
+             Clock(static_cast<std::size_t>(world_size), 0)) {}
+
+void Checker::set_repro_hook(std::function<std::string()> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    repro_fn_ = std::move(fn);
+}
+
+std::string Checker::current_repro() const {
+    return repro_fn_ ? repro_fn_() : std::string();
+}
+
+void Checker::record(std::string kind, std::string message, bool with_repro) {
+    export_finding(kind);
+    Diagnostic d{std::move(kind), std::move(message),
+                 with_repro ? current_repro() : std::string()};
+    // identical findings (e.g. the same race seen by a probe and then the
+    // following receive) are reported once
+    for (const auto& prev : diags_)
+        if (prev.kind == d.kind && prev.message == d.message) return;
+    diags_.push_back(d);
+    if (cfg_.action == CheckConfig::Action::raise) {
+        std::string what = d.message;
+        if (!d.repro.empty()) what += " (repro: " + d.repro + ")";
+        throw CheckError(d.kind, what);
+    }
+}
+
+bool Checker::leq(const Clock& a, const Clock& b) {
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] > b[i]) return false;
+    return true;
+}
+
+bool Checker::commutative(std::uint64_t context, int tag) const {
+    auto it = commutative_.find(context);
+    if (it == commutative_.end()) return false;
+    for (int t : it->second)
+        if (t == wild || t == tag) return true;
+    return false;
+}
+
+std::uint64_t Checker::on_send(int src, int dest, std::uint64_t context, int tag,
+                               std::size_t bytes, bool collective) {
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // tag-collision lint: a reserved control tag used on a communicator
+    // its owner never claimed is user traffic that can steal (or be
+    // stolen by) the owner's protocol messages
+    if (!collective) {
+        for (const auto& res : reservations_) {
+            if (tag < res.lo || tag > res.hi) continue;
+            if (std::find(res.contexts.begin(), res.contexts.end(), context)
+                != res.contexts.end())
+                continue;
+            record("tag-collision",
+                   "rank " + std::to_string(src) + " sent tag " + std::to_string(tag)
+                       + " to rank " + std::to_string(dest) + " on comm "
+                       + std::to_string(context)
+                       + ", which collides with the reserved control-tag range ["
+                       + std::to_string(res.lo) + ", " + std::to_string(res.hi) + "] of "
+                       + res.owner,
+                   false);
+        }
+    }
+
+    auto& vc = clock_[static_cast<std::size_t>(src)];
+    ++vc[static_cast<std::size_t>(src)];
+
+    const std::uint64_t seq = next_seq_++;
+    pending_.emplace(seq, PendingSend{context, src, dest, tag, bytes, vc, false});
+    return seq;
+}
+
+void Checker::wildcard_check(int rank, std::uint64_t context, int recv_tag, int env_src,
+                             int env_tag, const PendingSend& matched, const char* site) {
+    if (commutative(context, env_tag)) return;
+    for (const auto& [oseq, other] : pending_) {
+        if (other.context != context || other.dest != rank) continue;
+        if (other.src == env_src) continue; // same-source: FIFO, deterministic
+        if (recv_tag != wild && other.tag != recv_tag) continue;
+        if (leq(matched.vc, other.vc) || leq(other.vc, matched.vc))
+            continue; // ordered by happens-before: arrival order is fixed
+        record("wildcard-race",
+               std::string(site) + " on rank " + std::to_string(rank)
+                   + " (src=any, tag=" + rank_str(recv_tag) + ", comm "
+                   + std::to_string(context) + ") matched the send from rank "
+                   + std::to_string(env_src) + " (tag " + std::to_string(env_tag)
+                   + ") while a concurrent matching send from rank "
+                   + std::to_string(other.src) + " (tag " + std::to_string(other.tag)
+                   + ") was also pending; the match is schedule-dependent",
+               true);
+        return; // one report per match; further candidates add nothing
+    }
+}
+
+void Checker::on_recv(int rank, std::uint64_t context, int recv_src, int recv_tag, int env_src,
+                      int env_tag, std::uint64_t seq) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto&                       vc = clock_[static_cast<std::size_t>(rank)];
+
+    auto it = pending_.find(seq);
+    if (it != pending_.end()) {
+        if (recv_src == wild)
+            wildcard_check(rank, context, recv_tag, env_src, env_tag, it->second, "recv");
+        // happens-before edge: everything the sender knew at the send is
+        // now ordered before this receive
+        const Clock& svc = it->second.vc;
+        for (std::size_t i = 0; i < vc.size(); ++i) vc[i] = std::max(vc[i], svc[i]);
+        pending_.erase(it);
+    }
+    ++vc[static_cast<std::size_t>(rank)];
+}
+
+void Checker::on_probe(int rank, std::uint64_t context, int probe_src, int probe_tag,
+                       int env_src, int env_tag, std::uint64_t seq) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto                        it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    if (probe_src == wild)
+        wildcard_check(rank, context, probe_tag, env_src, env_tag, it->second, "probe");
+    it->second.probed = true;
+}
+
+void Checker::on_collective(int rank, std::uint64_t context, const char* kind, int root,
+                            std::size_t elem_size) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto&       history = coll_seq_[context];
+    std::size_t pos     = coll_pos_[{context, rank}]++;
+
+    if (pos >= history.size()) {
+        history.push_back(CollRecord{kind, root, elem_size, rank});
+        return;
+    }
+    CollRecord& rec = history[pos];
+    auto        describe = [&](const std::string& k, int r, std::size_t e, int who) {
+        std::string s = "rank " + std::to_string(who) + " called " + k;
+        if (r >= 0) s += " (root " + std::to_string(r) + ")";
+        if (e > 0) s += " (element size " + std::to_string(e) + ")";
+        return s;
+    };
+    const std::string mine = describe(kind, root, elem_size, rank);
+    const std::string first = describe(rec.kind, rec.root, rec.elem, rec.first_rank);
+    const std::string where =
+        " as collective #" + std::to_string(pos) + " on comm " + std::to_string(context);
+    if (rec.kind != kind) {
+        record("collective-mismatch", mine + where + ", but " + first, false);
+    } else if (rec.root != root) {
+        record("collective-mismatch",
+               mine + where + " with a different root: " + first, false);
+    } else if (rec.elem != 0 && elem_size != 0 && rec.elem != elem_size) {
+        record("collective-mismatch",
+               mine + where + " with a different element size: " + first, false);
+    }
+    if (rec.elem == 0) rec.elem = elem_size; // adopt the first known size
+}
+
+std::uint64_t Checker::on_irecv(int rank, int src, int tag) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t         id = next_irecv_++;
+    irecvs_.emplace(id, PendingIrecv{rank, src, tag});
+    return id;
+}
+
+void Checker::on_request_done(std::uint64_t request_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    irecvs_.erase(request_id);
+}
+
+void Checker::on_count_mismatch(int rank, int src, int tag, const char* what,
+                                std::size_t expected, std::size_t got) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    record("count-mismatch",
+           std::string(what) + " on rank " + std::to_string(rank) + " (src="
+               + rank_str(src) + ", tag=" + rank_str(tag) + ") expected "
+               + std::to_string(expected) + " bytes but the arriving envelope carries "
+               + std::to_string(got),
+           false);
+}
+
+void Checker::reserve_tags(std::uint64_t context, int lo, int hi, const char* owner) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& res : reservations_) {
+        if (res.lo != lo || res.hi != hi) continue;
+        if (res.owner != owner) {
+            record("tag-collision",
+                   std::string(owner) + " reserved tag range [" + std::to_string(lo) + ", "
+                       + std::to_string(hi) + "] already claimed by " + res.owner,
+                   false);
+            return;
+        }
+        if (std::find(res.contexts.begin(), res.contexts.end(), context) == res.contexts.end())
+            res.contexts.push_back(context);
+        auto& tags = commutative_[context];
+        for (int t = lo; t <= hi; ++t)
+            if (std::find(tags.begin(), tags.end(), t) == tags.end()) tags.push_back(t);
+        return;
+    }
+    reservations_.push_back(Reservation{lo, hi, owner, {context}});
+    auto& tags = commutative_[context];
+    for (int t = lo; t <= hi; ++t)
+        if (std::find(tags.begin(), tags.end(), t) == tags.end()) tags.push_back(t);
+}
+
+void Checker::allow_wildcard(std::uint64_t context, int tag, const char* /*why*/) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& tags = commutative_[context];
+    if (std::find(tags.begin(), tags.end(), tag) == tags.end()) tags.push_back(tag);
+}
+
+void Checker::finalize(bool world_failed) {
+    std::vector<Diagnostic> snapshot;
+    std::optional<CheckError> lint_error;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!world_failed) {
+            // resource lints: raise mode must not throw out of the loop
+            // before every lint is recorded, so collect and rethrow after
+            const auto prev_action = cfg_.action;
+            cfg_.action            = CheckConfig::Action::report;
+            for (const auto& [seq, s] : pending_) {
+                if (s.probed)
+                    record("unmatched-send",
+                           "rank " + std::to_string(s.src) + " sent " + std::to_string(s.bytes)
+                               + " bytes to rank " + std::to_string(s.dest) + " (tag "
+                               + std::to_string(s.tag) + ", comm " + std::to_string(s.context)
+                               + ") that was probed but never received",
+                           false);
+                else
+                    record("never-probed",
+                           "rank " + std::to_string(s.src) + " sent " + std::to_string(s.bytes)
+                               + " bytes to rank " + std::to_string(s.dest) + " (tag "
+                               + std::to_string(s.tag) + ", comm " + std::to_string(s.context)
+                               + ") that no receiver ever probed or received",
+                           false);
+            }
+            for (const auto& [id, r] : irecvs_)
+                record("leaked-request",
+                       "rank " + std::to_string(r.rank)
+                           + " leaked a nonblocking receive (src=" + rank_str(r.src)
+                           + ", tag=" + rank_str(r.tag)
+                           + "): created by irecv but never completed by wait() or test()",
+                       false);
+            cfg_.action = prev_action;
+            if (cfg_.action == CheckConfig::Action::raise && !diags_.empty())
+                lint_error.emplace(diags_.front().kind,
+                                   diags_.front().message + " [" + std::to_string(diags_.size())
+                                       + " diagnostic(s) total]");
+        }
+        snapshot = diags_;
+    }
+    if (cfg_.action == CheckConfig::Action::report)
+        for (const auto& d : snapshot) std::fprintf(stderr, "l5check: %s\n", d.text().c_str());
+    detail::set_last_check_diagnostics(std::move(snapshot));
+    if (lint_error) throw *lint_error;
+}
+
+std::vector<Diagnostic> Checker::diagnostics() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diags_;
+}
+
+// --- process-wide last-run diagnostics ---------------------------------------
+
+namespace {
+std::mutex              g_last_mutex;
+std::vector<Diagnostic> g_last;
+} // namespace
+
+std::vector<Diagnostic> last_check_diagnostics() {
+    std::lock_guard<std::mutex> lock(g_last_mutex);
+    return g_last;
+}
+
+namespace detail {
+void set_last_check_diagnostics(std::vector<Diagnostic> d) {
+    std::lock_guard<std::mutex> lock(g_last_mutex);
+    g_last = std::move(d);
+}
+} // namespace detail
+
+} // namespace l5check

@@ -1,0 +1,244 @@
+#pragma once
+
+/// mh5check: an MPI-semantics correctness checker for the simmpi runtime.
+///
+/// The Checker is an always-compiled, off-by-default analysis layer hooked
+/// into simmpi's communication entry points (one pointer check per op when
+/// disabled — the same pattern as fault injection and the deterministic
+/// scheduler). When armed (`L5_CHECK=1` or Runtime::RunOptions::check) it
+/// maintains one vector clock per world rank, with happens-before edges
+/// contributed by every matched send→recv pair (collectives synchronize
+/// through their underlying point-to-point traffic, so their edges follow
+/// the actual implementation: a barrier orders everyone through rank 0, a
+/// bcast orders root before every receiver, a gather orders every sender
+/// before the root), and diagnoses:
+///
+///  - **wildcard-race**: an any-source receive (or probe) matched a send
+///    while a *concurrent* matching send from a different rank was also
+///    pending — the match is schedule-dependent. The diagnostic names both
+///    candidate (rank, tag) pairs and carries a copy-pasteable `L5_SCHED`
+///    repro line when a deterministic schedule is active.
+///  - **collective-mismatch**: the k-th collective on a communicator was
+///    entered with a different operation, root, or element size on
+///    different ranks — caught at entry, before the mismatch corrupts data
+///    or deadlocks.
+///  - **tag-collision**: traffic on an unclaimed communicator used a tag
+///    inside a range a component reserved for its control protocol (e.g.
+///    dist_vol's 901–904).
+///  - **count-mismatch**: a typed receive's buffer contract (element size
+///    or capacity) disagreed with the arriving envelope.
+///  - finalize-time resource lints: **leaked-request** (a nonblocking
+///    receive never completed by wait()/test()), **unmatched-send** (a
+///    message probed but never received), **never-probed** (a message no
+///    receiver ever looked at).
+///
+/// Diagnostics are recorded, exported through obs ("check" trace category,
+/// `check_*` metric counters in the global registry), and — in the default
+/// `raise` mode — escalated to a CheckError at the offending call (or from
+/// Runtime::run at finalize, for the resource lints).
+///
+/// This header depends only on header-only parts of simmpi (error.hpp) so
+/// the `check` library can sit *below* libsimmpi in the link order.
+
+#include <simmpi/error.hpp>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace l5check {
+
+/// A correctness diagnosis escalated as an exception (`raise` mode). Flows
+/// through the ordinary simmpi failure containment: thrown inside a rank
+/// thread it aborts the world and surfaces as RankFailure's cause.
+class CheckError : public simmpi::Error {
+public:
+    CheckError(std::string kind, const std::string& message)
+        : simmpi::Error("l5check: [" + kind + "] " + message), kind_(std::move(kind)) {}
+
+    /// Stable diagnostic kind ("wildcard-race", "collective-mismatch", ...).
+    const std::string& kind() const { return kind_; }
+
+private:
+    std::string kind_;
+};
+
+/// One recorded finding.
+struct Diagnostic {
+    std::string kind;    ///< "wildcard-race", "collective-mismatch", ...
+    std::string message; ///< human-readable, names ranks/tags/sizes
+    std::string repro;   ///< "L5_SCHED='...'" line when a schedule is active
+
+    /// "[kind] message (repro: ...)" — the text CheckError carries.
+    std::string text() const;
+};
+
+/// Checker configuration, parsed from `L5_CHECK` (or passed via
+/// Runtime::RunOptions::check). `L5_CHECK=1` (or `throw`/`raise`) arms the
+/// checker in raise mode; `L5_CHECK=report` collects diagnostics without
+/// throwing; unset/`0` leaves it off.
+struct CheckConfig {
+    enum class Action {
+        report, ///< record + trace + count, never throw
+        raise,  ///< additionally throw CheckError at the offending call
+    };
+    Action action = Action::raise;
+
+    /// Config from `L5_CHECK`, or nullopt when unset/`0`/empty. Throws
+    /// simmpi::Error on an unrecognized value.
+    static std::optional<CheckConfig> from_env();
+};
+
+/// Per-world checker instance, installed by Runtime::run before any rank
+/// thread starts. All hooks are thread-safe (one mutex; the checker is an
+/// analysis tool, not a hot-path component). Rank arguments are world
+/// ranks; `context` is the communicator context id the envelope travels
+/// under (point-to-point or collective).
+class Checker {
+public:
+    Checker(const CheckConfig& cfg, int world_size);
+
+    const CheckConfig& config() const { return cfg_; }
+
+    /// Install the schedule-repro hook (wired by Runtime when a
+    /// deterministic scheduler is active): returns the copy-pasteable
+    /// `L5_SCHED='...'` line attached to schedule-dependent diagnostics.
+    void set_repro_hook(std::function<std::string()> fn);
+
+    // --- communication hooks ----------------------------------------------
+
+    /// A message is about to be enqueued; returns its tracking id (stored
+    /// in the envelope). Also runs the tag-collision check — except for
+    /// `collective` traffic, whose tags are internal sequence numbers on a
+    /// context user code cannot address.
+    std::uint64_t on_send(int src, int dest, std::uint64_t context, int tag, std::size_t bytes,
+                          bool collective = false);
+
+    /// A receive matched envelope `seq`. `recv_src`/`recv_tag` are the
+    /// receive's arguments (may be wildcards); `env_src`/`env_tag` the
+    /// matched envelope's. Runs the wildcard-race check, joins the
+    /// sender's clock into the receiver's, and retires the send record.
+    void on_recv(int rank, std::uint64_t context, int recv_src, int recv_tag, int env_src,
+                 int env_tag, std::uint64_t seq);
+
+    /// A probe matched envelope `seq` without consuming it: marks the
+    /// message probed and runs the wildcard-race check.
+    void on_probe(int rank, std::uint64_t context, int probe_src, int probe_tag, int env_src,
+                  int env_tag, std::uint64_t seq);
+
+    /// A collective entered on `context`; `kind` is a literal ("barrier",
+    /// "bcast", ...), `root` is -1 for rootless collectives, `elem_size`
+    /// is the caller's element size when statically known (typed
+    /// convenience wrappers) and 0 otherwise. Runs the per-communicator
+    /// sequence check.
+    void on_collective(int rank, std::uint64_t context, const char* kind, int root,
+                       std::size_t elem_size);
+
+    /// A nonblocking receive was created / completed.
+    std::uint64_t on_irecv(int rank, int src, int tag);
+    void          on_request_done(std::uint64_t request_id);
+
+    /// A typed receive's buffer contract failed against the arriving
+    /// envelope (recv_value / recv_vector / recv_into). Raises in raise
+    /// mode; otherwise records and returns (the caller then throws its
+    /// usual simmpi::Error).
+    void on_count_mismatch(int rank, int src, int tag, const char* what, std::size_t expected,
+                           std::size_t got);
+
+    // --- protocol annotations ---------------------------------------------
+
+    /// Reserve [lo, hi] as `owner`'s control-tag range: traffic using
+    /// these tags on communicators `owner` did not claim is flagged as a
+    /// tag collision, and any-source receives of these tags on claimed
+    /// communicators are treated as an intentionally order-insensitive
+    /// service drain (exempt from the wildcard-race check).
+    void reserve_tags(std::uint64_t context, int lo, int hi, const char* owner);
+
+    /// Declare any-source receives of `tag` (simmpi::any_tag = every tag)
+    /// on communicator `context` intentionally order-insensitive; `why`
+    /// documents the audit decision.
+    void allow_wildcard(std::uint64_t context, int tag, const char* why);
+
+    // --- end of run --------------------------------------------------------
+
+    /// Run the resource lints (skipped when the world already failed —
+    /// in-flight messages are expected after an abort) and publish the
+    /// diagnostics via last_check_diagnostics(). In raise mode, throws a
+    /// CheckError describing the first lint when any fired.
+    void finalize(bool world_failed);
+
+    /// Copy of everything recorded so far.
+    std::vector<Diagnostic> diagnostics() const;
+
+private:
+    using Clock = std::vector<std::uint64_t>;
+
+    struct PendingSend {
+        std::uint64_t context = 0;
+        int           src     = -1;
+        int           dest    = -1;
+        int           tag     = 0;
+        std::size_t   bytes   = 0;
+        Clock         vc;
+        bool          probed = false;
+    };
+
+    struct Reservation {
+        int                      lo = 0, hi = 0;
+        std::string              owner;
+        std::vector<std::uint64_t> contexts; ///< claimed communicators
+    };
+
+    struct CollRecord {
+        std::string kind;
+        int         root       = -1;
+        std::size_t elem       = 0;
+        int         first_rank = -1;
+    };
+
+    // all require mutex_ held
+    void        record(std::string kind, std::string message, bool with_repro);
+    bool        commutative(std::uint64_t context, int tag) const;
+    void        wildcard_check(int rank, std::uint64_t context, int recv_tag, int env_src,
+                               int env_tag, const PendingSend& matched, const char* site);
+    std::string current_repro() const;
+    static bool leq(const Clock& a, const Clock& b);
+
+    CheckConfig cfg_;
+    int         nranks_;
+
+    mutable std::mutex           mutex_;
+    std::vector<Clock>           clock_;    ///< one vector clock per world rank
+    std::map<std::uint64_t, PendingSend> pending_; ///< in-flight sends by seq
+    std::uint64_t                next_seq_ = 1;
+
+    std::vector<Reservation>     reservations_;
+    std::map<std::uint64_t, std::vector<int>> commutative_; ///< context → tags (any_tag = all)
+
+    std::map<std::uint64_t, std::vector<CollRecord>> coll_seq_;  ///< per-communicator history
+    std::map<std::pair<std::uint64_t, int>, std::size_t> coll_pos_; ///< (context, rank) → next index
+
+    struct PendingIrecv {
+        int rank = -1, src = -1, tag = -1;
+    };
+    std::map<std::uint64_t, PendingIrecv> irecvs_;
+    std::uint64_t                         next_irecv_ = 1;
+
+    std::vector<Diagnostic>      diags_;
+    std::function<std::string()> repro_fn_;
+};
+
+/// Diagnostics of the most recently finalized checked run (process-wide,
+/// like simmpi::last_schedule_hash) — empty when the last run was clean or
+/// unchecked. Lets tests assert on findings in `report` mode.
+std::vector<Diagnostic> last_check_diagnostics();
+
+namespace detail {
+void set_last_check_diagnostics(std::vector<Diagnostic> d);
+} // namespace detail
+
+} // namespace l5check

@@ -40,6 +40,7 @@ void PfsModel::charge_open() {
         lat = latency_ms_;
     }
     if (lat > 0)
+        // lint: allow-raw-sleep(modelled PFS open latency; configured, off by default)
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(lat));
 }
 
@@ -58,6 +59,7 @@ void PfsModel::charge_io(std::uint64_t bytes, int shared_writers) {
         finish     = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(dur);
         available_at_ = finish;
     }
+    // lint: allow-raw-sleep(modelled PFS bandwidth; charges simulated transfer time)
     std::this_thread::sleep_until(finish);
 }
 

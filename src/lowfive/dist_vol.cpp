@@ -57,7 +57,12 @@ void collect_datasets(Object* obj, std::vector<std::pair<std::string, Object*>>&
 } // namespace
 
 DistMetadataVol::DistMetadataVol(simmpi::Comm local, h5::VolPtr passthru_vol)
-    : MetadataVol(std::move(passthru_vol)), local_(std::move(local)) {}
+    : MetadataVol(std::move(passthru_vol)), local_(std::move(local)) {
+    // claim the RPC control-tag range for the checker: user traffic on
+    // these tags elsewhere is a collision, and the serve loop's any-source
+    // request/reply drains are an order-insensitive protocol by design
+    local_.check_reserve_tags(rpc_request, rpc_data_reply, "dist_vol");
+}
 
 DistMetadataVol::Stats DistMetadataVol::stats() const {
     Stats s;
@@ -189,10 +194,12 @@ void DistMetadataVol::invalidate_producer_cache(const std::string& file) {
 }
 
 void DistMetadataVol::serve_to(simmpi::Comm intercomm, std::string pattern) {
+    intercomm.check_reserve_tags(rpc_request, rpc_data_reply, "dist_vol");
     serve_conns_.push_back({std::move(intercomm), std::move(pattern)});
 }
 
 void DistMetadataVol::consume_from(simmpi::Comm intercomm, std::string pattern) {
+    intercomm.check_reserve_tags(rpc_request, rpc_data_reply, "dist_vol");
     consume_conns_.push_back({std::move(intercomm), std::move(pattern)});
 }
 

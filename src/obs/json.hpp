@@ -22,7 +22,12 @@ using Object = std::vector<Member>;
 
 class Value {
 public:
+    // -Wshadow false positive: scoped enumerators cannot be confused with
+    // the namespace-level Array/Object aliases they nominally shadow
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wshadow"
     enum class Kind { Null, Bool, Number, String, Array, Object };
+#pragma GCC diagnostic pop
 
     Value() = default;
     Value(std::nullptr_t) {}

@@ -67,6 +67,9 @@ void Comm::send_shared(int dest, int tag, SharedPayload payload) const {
     env.src     = rank_;
     env.tag     = tag;
     env.payload = std::move(payload);
+    if (auto* ck = checker())
+        env.check_seq = ck->on_send(world_rank(), peer_world_rank(dest), context_, tag,
+                                    env.size());
     peer_mailbox(dest).push(std::move(env));
 }
 
@@ -79,7 +82,10 @@ Status Comm::recv(int src, int tag, std::vector<std::byte>& out) const {
                     {"tag", static_cast<std::uint64_t>(tag), nullptr}});
     fault_op(tag, false);
     detail::Envelope env = my_mailbox().pop(context_, src, tag, deadline());
-    Status           st{env.src, env.tag, env.size()};
+    Status           st{env.src, env.tag, env.size(), env.check_seq};
+    if (auto* ck = checker())
+        ck->on_recv(world_rank(), context_, peer_world_rank(src), tag,
+                    peer_world_rank(env.src), env.tag, env.check_seq);
     span.end_arg("bytes", st.count);
     out = detail::take_payload(std::move(env.payload));
     return st;
@@ -88,9 +94,11 @@ Status Comm::recv(int src, int tag, std::vector<std::byte>& out) const {
 Status Comm::recv_into(int src, int tag, void* buf, std::size_t capacity) const {
     std::vector<std::byte> raw;
     Status                 st = recv(src, tag, raw);
-    if (st.count > capacity)
+    if (st.count > capacity) {
+        check_count(src, tag, "recv_into", capacity, st.count);
         throw Error("simmpi: recv_into buffer too small (" + std::to_string(capacity)
                     + " < " + std::to_string(st.count) + ")");
+    }
     if (st.count) std::memcpy(buf, raw.data(), st.count);
     return st;
 }
@@ -102,13 +110,22 @@ Status Comm::probe(int src, int tag) const {
                    {{"comm", context_, nullptr},
                     {"tag", static_cast<std::uint64_t>(tag), nullptr}});
     fault_op(tag, false);
-    return my_mailbox().probe_wait(context_, src, tag, deadline());
+    Status st = my_mailbox().probe_wait(context_, src, tag, deadline());
+    if (auto* ck = checker())
+        ck->on_probe(world_rank(), context_, peer_world_rank(src), tag,
+                     peer_world_rank(st.source), st.tag, st.check_seq);
+    return st;
 }
 
 std::optional<Status> Comm::iprobe(int src, int tag) const {
     if (!world_) throw Error("simmpi: operation on an invalid communicator");
     sched_point("iprobe");
-    return my_mailbox().probe(context_, src, tag);
+    std::optional<Status> st = my_mailbox().probe(context_, src, tag);
+    if (st)
+        if (auto* ck = checker())
+            ck->on_probe(world_rank(), context_, peer_world_rank(src), tag,
+                         peer_world_rank(st->source), st->tag, st->check_seq);
+    return st;
 }
 
 Status Comm::probe_any(std::span<const Comm* const> comms, int src, int tag, std::size_t* which) {
@@ -130,7 +147,14 @@ Status Comm::probe_any(std::span<const Comm* const> comms, int src, int tag, std
                     {"tag", static_cast<std::uint64_t>(tag), nullptr}});
     first.sched_point("probe_any");
     first.fault_op(tag, false);
-    return first.my_mailbox().probe_wait_any(contexts, src, tag, which, first.deadline());
+    std::size_t k  = 0;
+    Status      st = first.my_mailbox().probe_wait_any(contexts, src, tag, &k, first.deadline());
+    const Comm& hit = *comms[k];
+    if (auto* ck = hit.checker())
+        ck->on_probe(hit.world_rank(), hit.context_, hit.peer_world_rank(src), tag,
+                     hit.peer_world_rank(st.source), st.tag, st.check_seq);
+    if (which) *which = k;
+    return st;
 }
 
 Request Comm::isend(int dest, int tag, const void* data, std::size_t bytes) const {
@@ -139,7 +163,19 @@ Request Comm::isend(int dest, int tag, const void* data, std::size_t bytes) cons
 }
 
 Request Comm::irecv(int src, int tag, std::vector<std::byte>& out) const {
-    return Request::pending_recv(*this, src, tag, &out);
+    Request r = Request::pending_recv(*this, src, tag, &out);
+    if (auto* ck = checker()) r.check_id_ = ck->on_irecv(world_rank(), peer_world_rank(src), tag);
+    return r;
+}
+
+void Comm::check_count(int src, int tag, const char* what, std::size_t expected,
+                       std::size_t got) const {
+    if (auto* ck = checker())
+        ck->on_count_mismatch(world_rank(), peer_world_rank(src), tag, what, expected, got);
+}
+
+void Comm::coll_check(const char* kind, int root, std::size_t elem) const {
+    if (auto* ck = checker()) ck->on_collective(world_rank(), context_, kind, root, elem);
 }
 
 // --- internal collective plumbing -----------------------------------------
@@ -161,6 +197,9 @@ void Comm::coll_send_shared(int dest, int tag, SharedPayload data) const {
     env.src     = rank_;
     env.tag     = tag;
     env.payload = std::move(data);
+    if (auto* ck = checker())
+        env.check_seq = ck->on_send(world_rank(), peer_world_rank(dest), coll_context(), tag,
+                                    env.size(), /*collective=*/true);
     peer_mailbox(dest).push(std::move(env));
 }
 
@@ -168,6 +207,9 @@ std::vector<std::byte> Comm::coll_recv(int src, int tag) const {
     sched_point("coll_recv");
     fault_op(tag, false);
     detail::Envelope env = my_mailbox().pop(coll_context(), src, tag, deadline());
+    if (auto* ck = checker())
+        ck->on_recv(world_rank(), coll_context(), peer_world_rank(src), tag,
+                    peer_world_rank(env.src), env.tag, env.check_seq);
     return detail::take_payload(std::move(env.payload));
 }
 
@@ -175,6 +217,7 @@ std::vector<std::byte> Comm::coll_recv(int src, int tag) const {
 
 void Comm::barrier() const {
     check_intra("barrier");
+    coll_check("barrier", -1, 0);
     obs::Span span("coll.barrier", "simmpi",
                    {{"comm", context_, nullptr},
                     {"size", static_cast<std::uint64_t>(size()), nullptr}});
@@ -188,8 +231,11 @@ void Comm::barrier() const {
     }
 }
 
-void Comm::bcast(std::vector<std::byte>& data, int root) const {
+void Comm::bcast(std::vector<std::byte>& data, int root) const { bcast_n(data, root, 0); }
+
+void Comm::bcast_n(std::vector<std::byte>& data, int root, std::size_t elem) const {
     check_intra("bcast");
+    coll_check("bcast", root, elem);
     obs::Span span("coll.bcast", "simmpi",
                    {{"comm", context_, nullptr},
                     {"root", static_cast<std::uint64_t>(root), nullptr},
@@ -207,7 +253,13 @@ void Comm::bcast(std::vector<std::byte>& data, int root) const {
 }
 
 std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> mine, int root) const {
+    return gather_n(mine, root, 0);
+}
+
+std::vector<std::vector<std::byte>> Comm::gather_n(std::span<const std::byte> mine, int root,
+                                                   std::size_t elem) const {
     check_intra("gather");
+    coll_check("gather", root, elem);
     obs::Span span("coll.gather", "simmpi",
                    {{"comm", context_, nullptr},
                     {"root", static_cast<std::uint64_t>(root), nullptr},
@@ -226,11 +278,17 @@ std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> mine
 }
 
 std::vector<std::vector<std::byte>> Comm::allgather(std::span<const std::byte> mine) const {
+    return allgather_n(mine, 0);
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather_n(std::span<const std::byte> mine,
+                                                      std::size_t elem) const {
     check_intra("allgather");
+    coll_check("allgather", -1, elem);
     obs::Span span("coll.allgather", "simmpi",
                    {{"comm", context_, nullptr}, {"bytes", mine.size(), nullptr}});
     // gather at rank 0, then broadcast the concatenation (2N messages, not N^2)
-    auto gathered = gather(mine, 0);
+    auto gathered = gather_n(mine, 0, elem);
 
     std::vector<std::byte> packed;
     if (rank_ == 0) {
@@ -259,6 +317,7 @@ std::vector<std::vector<std::byte>> Comm::alltoall(std::vector<std::vector<std::
     check_intra("alltoall");
     if (outgoing.size() != static_cast<std::size_t>(size()))
         throw Error("simmpi: alltoall requires one payload per rank");
+    coll_check("alltoall", -1, 0);
     std::size_t out_bytes = 0;
     for (const auto& p : outgoing) out_bytes += p.size();
     obs::Span span("coll.alltoall", "simmpi",
@@ -273,7 +332,13 @@ std::vector<std::vector<std::byte>> Comm::alltoall(std::vector<std::vector<std::
 }
 
 std::vector<std::byte> Comm::scatter(std::vector<std::vector<std::byte>>&& parts, int root) const {
+    return scatter_n(std::move(parts), root, 0);
+}
+
+std::vector<std::byte> Comm::scatter_n(std::vector<std::vector<std::byte>>&& parts, int root,
+                                       std::size_t elem) const {
     check_intra("scatter");
+    coll_check("scatter", root, elem);
     obs::Span span("coll.scatter", "simmpi",
                    {{"comm", context_, nullptr},
                     {"root", static_cast<std::uint64_t>(root), nullptr}});
@@ -379,6 +444,8 @@ Status Request::wait() {
     if (!done_) {
         status_ = comm_.recv(src_, tag_, *out_);
         done_   = true;
+        if (check_id_)
+            if (auto* ck = comm_.checker()) ck->on_request_done(check_id_);
     }
     return status_;
 }
@@ -388,6 +455,8 @@ bool Request::test(Status* status) {
         if (!comm_.iprobe(src_, tag_)) return false;
         status_ = comm_.recv(src_, tag_, *out_);
         done_   = true;
+        if (check_id_)
+            if (auto* ck = comm_.checker()) ck->on_request_done(check_id_);
     }
     if (status) *status = status_;
     return true;

@@ -54,6 +54,28 @@ public:
     /// shares locks across rank-threads uses this to participate in the
     /// schedule (spawn_participant / CoopLock / coop_wait).
     detail::Scheduler* scheduler() const { return world_ ? world_->sched() : nullptr; }
+
+    // --- correctness-checker annotations ---------------------------------
+
+    /// Declare [lo, hi] a control-tag range owned by `owner` and claim
+    /// this communicator for it: traffic using these tags on *unclaimed*
+    /// communicators is diagnosed as a tag collision, and any-source
+    /// receives of these tags here are treated as an order-insensitive
+    /// service drain (exempt from the wildcard-race check). No-op when
+    /// the checker is off.
+    void check_reserve_tags(int lo, int hi, const char* owner) const {
+        if (!world_) throw Error("simmpi: operation on an invalid communicator");
+        if (auto* ck = world_->checker()) ck->reserve_tags(context_, lo, hi, owner);
+    }
+
+    /// Declare any-source receives of `tag` (any_tag = every tag) on this
+    /// communicator intentionally order-insensitive — the program's result
+    /// does not depend on the match order. `why` documents the audit
+    /// decision. No-op when the checker is off.
+    void check_commutative(int tag, const char* why) const {
+        if (!world_) throw Error("simmpi: operation on an invalid communicator");
+        if (auto* ck = world_->checker()) ck->allow_wildcard(context_, tag, why);
+    }
     /// Number of ranks messages can be addressed to (remote group size for
     /// intercommunicators, local size otherwise).
     int  peer_size() const { return static_cast<int>(peer_group_.size()); }
@@ -107,8 +129,10 @@ public:
         static_assert(std::is_trivially_copyable_v<T>);
         T value{};
         Status st = recv_into(src, tag, &value, sizeof(T));
-        if (st.count != sizeof(T))
+        if (st.count != sizeof(T)) {
+            check_count(src, tag, "recv_value", sizeof(T), st.count);
             throw Error("simmpi: recv_value size mismatch");
+        }
         if (status) *status = st;
         return value;
     }
@@ -124,8 +148,10 @@ public:
         static_assert(std::is_trivially_copyable_v<T>);
         std::vector<std::byte> raw;
         Status st = recv(src, tag, raw);
-        if (st.count % sizeof(T) != 0)
+        if (st.count % sizeof(T) != 0) {
+            check_count(src, tag, "recv_vector", sizeof(T), st.count);
             throw Error("simmpi: recv_vector size not a multiple of element size");
+        }
         std::vector<T> out(st.count / sizeof(T));
         std::memcpy(out.data(), raw.data(), st.count);
         if (status) *status = st;
@@ -145,7 +171,7 @@ public:
         static_assert(std::is_trivially_copyable_v<T>);
         std::vector<std::byte> buf(sizeof(T));
         if (rank_ == root) std::memcpy(buf.data(), &value, sizeof(T));
-        bcast(buf, root);
+        bcast_n(buf, root, sizeof(T));
         std::memcpy(&value, buf.data(), sizeof(T));
         return value;
     }
@@ -160,8 +186,9 @@ public:
     template <typename T>
     std::vector<T> allgather_value(const T& value) const {
         static_assert(std::is_trivially_copyable_v<T>);
-        auto raw = allgather(std::span<const std::byte>(
-            reinterpret_cast<const std::byte*>(&value), sizeof(T)));
+        auto raw = allgather_n(std::span<const std::byte>(
+                                   reinterpret_cast<const std::byte*>(&value), sizeof(T)),
+                               sizeof(T));
         std::vector<T> out(raw.size());
         for (std::size_t i = 0; i < raw.size(); ++i)
             std::memcpy(&out[i], raw[i].data(), sizeof(T));
@@ -199,7 +226,7 @@ public:
                 std::memcpy(parts[r].data(), &values[r], sizeof(T));
             }
         }
-        auto mine = scatter(std::move(parts), root);
+        auto mine = scatter_n(std::move(parts), root, sizeof(T));
         T    out{};
         std::memcpy(&out, mine.data(), sizeof(T));
         return out;
@@ -208,9 +235,9 @@ public:
     /// Rooted reduction: result valid on `root` only.
     template <typename T, typename Op = std::plus<T>>
     T reduce(T value, int root, Op op = Op{}) const {
-        auto parts = gather(std::span<const std::byte>(
-                                reinterpret_cast<const std::byte*>(&value), sizeof(T)),
-                            root);
+        auto parts = gather_n(std::span<const std::byte>(
+                                  reinterpret_cast<const std::byte*>(&value), sizeof(T)),
+                              root, sizeof(T));
         if (rank() != root) return T{};
         T acc{};
         bool first = true;
@@ -227,9 +254,9 @@ public:
     template <typename T>
     std::vector<T> gather_values(const T& value, int root) const {
         static_assert(std::is_trivially_copyable_v<T>);
-        auto parts = gather(std::span<const std::byte>(
-                                reinterpret_cast<const std::byte*>(&value), sizeof(T)),
-                            root);
+        auto parts = gather_n(std::span<const std::byte>(
+                                  reinterpret_cast<const std::byte*>(&value), sizeof(T)),
+                              root, sizeof(T));
         std::vector<T> out;
         if (rank() == root) {
             out.resize(parts.size());
@@ -307,6 +334,31 @@ private:
         if (inter_) throw Error(std::string("simmpi: ") + what + " requires an intracommunicator");
     }
 
+    /// Correctness-checker hooks: one pointer check when no checker is
+    /// installed. `check_count` feeds a typed receive's failed buffer
+    /// contract to the checker (which throws first in raise mode).
+    l5check::Checker* checker() const { return world_->checker(); }
+    void check_count(int src, int tag, const char* what, std::size_t expected,
+                     std::size_t got) const;
+    void coll_check(const char* kind, int root, std::size_t elem) const;
+
+    /// World rank of peer `dest`, or the wildcard unchanged.
+    int peer_world_rank(int dest) const {
+        return dest < 0 ? dest : peer_group_[static_cast<std::size_t>(dest)];
+    }
+
+    // Collective bodies with the caller's element size threaded through
+    // (sizeof(T) from the typed wrappers, 0 = unknown from the raw byte
+    // entry points) so the checker can flag ranks entering the same
+    // collective with different element types.
+    void bcast_n(std::vector<std::byte>& data, int root, std::size_t elem) const;
+    std::vector<std::vector<std::byte>> gather_n(std::span<const std::byte> mine, int root,
+                                                 std::size_t elem) const;
+    std::vector<std::vector<std::byte>> allgather_n(std::span<const std::byte> mine,
+                                                    std::size_t elem) const;
+    std::vector<std::byte> scatter_n(std::vector<std::vector<std::byte>>&& parts, int root,
+                                     std::size_t elem) const;
+
     // Internal collective helpers using the collective context. The move
     // and shared overloads avoid per-destination copies when the caller
     // already owns the bytes (alltoall/scatter) or fans one buffer out to
@@ -364,6 +416,7 @@ private:
     std::vector<std::byte>* out_ = nullptr;
     bool                    done_ = false;
     Status                  status_;
+    std::uint64_t           check_id_ = 0; ///< checker request id (0 = untracked)
 };
 
 /// Wait on a batch of requests.

@@ -148,6 +148,7 @@ void FaultState::on_op(int world_rank, int tag, bool is_send) {
         if (d.tag >= 0 && d.tag != tag) continue;
         if (d.rank >= 0 && d.rank != world_rank) continue;
         if (d.prob < 1.0 && u01(plan_.seed, world_rank, n) >= d.prob) continue;
+        // lint: allow-raw-sleep(the injected delay IS the fault being modelled)
         if (d.ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(d.ms));
     }
 }

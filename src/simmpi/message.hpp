@@ -17,6 +17,7 @@ struct Status {
     int         source = -1;   ///< sender's rank in the receiving communicator's peer group
     int         tag    = -1;
     std::size_t count  = 0;    ///< payload size in bytes
+    std::uint64_t check_seq = 0; ///< checker tracking id of the matched envelope (0 = unchecked)
 };
 
 /// Immutable, refcounted message payload. Fan-out operations (bcast,
@@ -41,6 +42,7 @@ struct Envelope {
     int           src     = -1;
     int           tag     = 0;
     SharedPayload payload;
+    std::uint64_t check_seq = 0; ///< checker tracking id (0 when the checker is off)
 
     std::size_t size() const { return payload ? payload->size() : 0; }
 };

@@ -63,6 +63,28 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
     if (sched_cfg) world->set_scheduler(*sched_cfg);
     detail::Scheduler* sched = world->sched();
 
+    std::optional<l5check::CheckConfig> check_cfg = opts.check;
+    if (!check_cfg) check_cfg = l5check::CheckConfig::from_env();
+    if (check_cfg) {
+        world->set_checker(*check_cfg);
+        if (sched_cfg) {
+            // schedule-dependent diagnostics carry a copy-pasteable repro:
+            // the exact L5_SCHED config plus the schedule position reached
+            std::string cfg_line = sched_cfg->describe();
+            world->checker()->set_repro_hook([cfg_line, sched] {
+                return "L5_SCHED='" + cfg_line + "' reproduces this schedule (hash "
+                       + std::to_string(sched->schedule_hash()) + " at step "
+                       + std::to_string(sched->steps()) + ")";
+            });
+        } else {
+            world->checker()->set_repro_hook([] {
+                return std::string("no deterministic schedule active; rerun under "
+                                   "mh5sched --check (or set L5_SCHED=seed=N,policy=random) "
+                                   "for a replayable interleaving");
+            });
+        }
+    }
+
     std::vector<int> identity(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) identity[static_cast<std::size_t>(r)] = r;
 
@@ -109,6 +131,10 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
     }
     for (auto& t : threads) t.join();
     if (sched) detail::set_last_schedule_hash(sched->schedule_hash());
+    if (auto* ck = world->checker())
+        // finalize lints (leaked requests, unmatched sends) run on the
+        // driver thread; in raise mode this throws CheckError directly
+        ck->finalize(/*world_failed=*/!failures.empty());
     if (failures.empty()) return;
 
     // rethrow-first: the primary cause is the first failure that is not a

@@ -4,6 +4,8 @@
 #include "fault.hpp"
 #include "sched.hpp"
 
+#include <check/check.hpp>
+
 #include <functional>
 #include <optional>
 
@@ -34,6 +36,9 @@ public:
         /// Deterministic cooperative scheduler; when unset, `L5_SCHED`
         /// is consulted (unset there leaves scheduling to the OS).
         std::optional<SchedConfig> sched;
+        /// MPI-semantics correctness checker; when unset, `L5_CHECK` is
+        /// consulted (unset there leaves the checker off).
+        std::optional<l5check::CheckConfig> check;
     };
 
     /// Run `fn` on `world_size` ranks and block until all complete.

@@ -203,7 +203,7 @@ bool Scheduler::block_registered(
             throw DeadlockError(deadlock_msg_, deadlock_sites_);
         }
         if (me.state == Task::State::Running) break;
-        me.cv.wait(lk);
+        me.cv.wait(lk); // lint: allow-bare-wait(scheduler internals: the controller IS the waker)
     }
     me.chan = nullptr;
     me.deadline.reset();
@@ -247,6 +247,7 @@ std::uint64_t Scheduler::pre_spawn() {
 
 void Scheduler::wait_spawn(std::uint64_t token) {
     std::unique_lock<std::mutex> lk(m_);
+    // lint: allow-bare-wait(scheduler internals: attach() notifies spawn_cv_ directly)
     spawn_cv_.wait(lk, [&] { return spawn_attached_ >= token; });
 }
 
@@ -299,7 +300,7 @@ std::uint64_t Scheduler::schedule_hash() const {
 void Scheduler::wait_until_running(std::unique_lock<std::mutex>& lk, Task& me) {
     while (!dead_.load(std::memory_order_relaxed) && me.state != Task::State::Running
            && !me.deadlocked)
-        me.cv.wait(lk);
+        me.cv.wait(lk); // lint: allow-bare-wait(scheduler internals: the controller IS the waker)
 }
 
 void Scheduler::schedule_locked() {

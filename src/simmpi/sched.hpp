@@ -334,7 +334,7 @@ void coop_wait(Scheduler* s, std::condition_variable_any& cv, CoopLock<Mutex>& l
                const char* site, Pred pred) {
     while (s && s->attached_here() && s->usable() && !pred())
         s->block(lk, &cv, site, -1, -1);
-    cv.wait(lk, pred);
+    cv.wait(lk, pred); // lint: allow-bare-wait(free-running fallback of coop_wait itself)
 }
 
 /// Join `t` without monopolizing the schedule: the calling task steps

@@ -5,6 +5,8 @@
 #include "message.hpp"
 #include "sched.hpp"
 
+#include <check/check.hpp>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -86,7 +88,7 @@ public:
         std::lock_guard<std::mutex> lock(mutex_);
         check_poison();
         if (auto it = find(context, src, tag); it != queue_.end())
-            return Status{it->src, it->tag, it->size()};
+            return Status{it->src, it->tag, it->size(), it->check_seq};
         return std::nullopt;
     }
 
@@ -96,7 +98,7 @@ public:
         for (;;) {
             check_poison();
             if (auto it = find(context, src, tag); it != queue_.end())
-                return Status{it->src, it->tag, it->size()};
+                return Status{it->src, it->tag, it->size(), it->check_seq};
             wait(lock, dl, "probe", src, tag);
         }
     }
@@ -113,7 +115,7 @@ public:
             for (std::size_t k = 0; k < contexts.size(); ++k) {
                 if (auto it = find(contexts[k], src, tag); it != queue_.end()) {
                     if (which) *which = k;
-                    return Status{it->src, it->tag, it->size()};
+                    return Status{it->src, it->tag, it->size(), it->check_seq};
                 }
             }
             wait(lock, dl, "probe_any", src, tag);
@@ -136,12 +138,12 @@ private:
             return; // spurious returns fall out to the caller's re-check loop
         }
         if (!dl.at) {
-            cv_.wait(lock);
+            cv_.wait(lock); // lint: allow-bare-wait(free-running path; sched_->block above covers deterministic mode)
             return;
         }
         if (std::chrono::steady_clock::now() >= *dl.at)
             throw TimeoutError(dl.ms, where, src, tag);
-        cv_.wait_until(lock, *dl.at);
+        cv_.wait_until(lock, *dl.at); // lint: allow-bare-wait(free-running path; sched_->block above covers deterministic mode)
     }
 
     std::deque<Envelope>::iterator find(std::uint64_t context, int src, int tag) {
@@ -237,6 +239,15 @@ public:
     }
     Scheduler* sched() const { return sched_.get(); }
 
+    // --- correctness checking ---------------------------------------------
+
+    /// Install the MPI-semantics checker before rank-threads start (not
+    /// thread-safe later); every comm op gains a checker hook.
+    void set_checker(const l5check::CheckConfig& cfg) {
+        checker_ = std::make_unique<l5check::Checker>(cfg, size());
+    }
+    l5check::Checker* checker() const { return checker_.get(); }
+
 private:
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
     std::atomic<std::uint64_t>            next_context_{1}; // 0 = world communicator
@@ -246,6 +257,7 @@ private:
     std::atomic<std::int64_t>             default_timeout_ms_{-1};
     std::unique_ptr<FaultState>           faults_;
     std::unique_ptr<Scheduler>            sched_;
+    std::unique_ptr<l5check::Checker>     checker_;
 };
 
 } // namespace simmpi::detail

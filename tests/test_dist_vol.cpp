@@ -71,7 +71,7 @@ void read_grid_colwise(Context& ctx, const std::string& fname, std::uint64_t row
 }
 
 void run_n_to_m(int n, int m, std::uint64_t rows, std::uint64_t cols,
-                Options opts = Options{.mode = workflow::Mode::in_situ(), .zerocopy = {}, .serve_on_close = true}) {
+                Options opts = Options{.mode = workflow::Mode::in_situ(), .zerocopy = {}, .serve_on_close = true, .background_serve = false, .runtime = {}}) {
     workflow::run(
         {
             {"producer", n, [&](Context& ctx) { write_grid(ctx, "grid.h5", rows, cols); }},
@@ -104,8 +104,8 @@ INSTANTIATE_TEST_SUITE_P(NxM, DistVolSweep,
                                            NmParam{2, 3}, NmParam{3, 2}, NmParam{4, 4},
                                            NmParam{6, 2}, NmParam{2, 6}, NmParam{8, 3},
                                            NmParam{7, 5}),
-                         [](const auto& info) {
-                             return std::to_string(info.param.n) + "to" + std::to_string(info.param.m);
+                         [](const auto& p) {
+                             return std::to_string(p.param.n) + "to" + std::to_string(p.param.m);
                          });
 
 TEST(DistVol, ZeroCopyProducer) {

@@ -21,6 +21,9 @@
 ///                 collide on the files a test binary writes
 ///   --keep-going  sweep all seeds even after a failure (default: stop
 ///                 after the first failing seed per worker)
+///   --check       arm the MPI-semantics checker (L5_CHECK=1) in every
+///                 run, so each explored schedule is also audited for
+///                 wildcard races, collective mismatches, and leaks
 
 #include <limits.h>
 #include <sys/wait.h>
@@ -47,13 +50,15 @@ struct Options {
     long          timeout_s  = 120;
     int           jobs       = 1;
     bool          keep_going = false;
+    bool          check      = false;
     std::vector<std::string> cmd;
 };
 
 int usage() {
     std::fprintf(stderr,
                  "usage: mh5sched [--seeds A:B] [--policy random|pct] [--depth K] "
-                 "[--horizon H] [--timeout S] [--jobs N] [--keep-going] -- cmd args...\n");
+                 "[--horizon H] [--timeout S] [--jobs N] [--keep-going] [--check] "
+                 "-- cmd args...\n");
     return 2;
 }
 
@@ -127,6 +132,8 @@ int main(int argc, char** argv) {
             if (opt.jobs < 1) opt.jobs = 1;
         } else if (arg == "--keep-going") {
             opt.keep_going = true;
+        } else if (arg == "--check") {
+            opt.check = true;
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
@@ -151,11 +158,11 @@ int main(int argc, char** argv) {
     }
 
     const std::uint64_t n_seeds = opt.seed_hi - opt.seed_lo + 1;
-    std::printf("mh5sched: sweeping %llu seeds (%llu:%llu, policy=%s) over: %s\n",
+    std::printf("mh5sched: sweeping %llu seeds (%llu:%llu, policy=%s%s) over: %s\n",
                 static_cast<unsigned long long>(n_seeds),
                 static_cast<unsigned long long>(opt.seed_lo),
                 static_cast<unsigned long long>(opt.seed_hi), opt.policy.c_str(),
-                quoted_cmd.c_str());
+                opt.check ? ", check" : "", quoted_cmd.c_str());
     std::fflush(stdout);
 
     std::atomic<std::uint64_t> next_seed{opt.seed_lo};
@@ -173,17 +180,19 @@ int main(int argc, char** argv) {
             // their cwd, and parallel sweeps must not share those
             const std::string dir = "/tmp/mh5sched." + std::to_string(getpid()) + "."
                                     + std::to_string(seed);
+            const std::string check_env = opt.check ? "L5_CHECK=1 " : "";
             const std::string full = "mkdir -p " + shell_quote(dir) + " && cd " + shell_quote(dir)
-                                     + " && env L5_SCHED=" + shell_quote(sched) + " timeout "
-                                     + std::to_string(opt.timeout_s) + " " + quoted_cmd
-                                     + " >/dev/null 2>&1; rc=$?; cd / && rm -rf "
+                                     + " && env " + check_env + "L5_SCHED=" + shell_quote(sched)
+                                     + " timeout " + std::to_string(opt.timeout_s) + " "
+                                     + quoted_cmd + " >/dev/null 2>&1; rc=$?; cd / && rm -rf "
                                      + shell_quote(dir) + "; exit $rc";
             const int rc   = std::system(full.c_str());
             const int code = (rc == -1) ? -1 : WEXITSTATUS(rc);
             n_run.fetch_add(1, std::memory_order_relaxed);
             if (code != 0) {
                 std::lock_guard<std::mutex> lock(report_mutex);
-                std::string repro = "L5_SCHED=" + shell_quote(sched) + " " + quoted_cmd;
+                std::string repro = (opt.check ? std::string("L5_CHECK=1 ") : std::string())
+                                    + "L5_SCHED=" + shell_quote(sched) + " " + quoted_cmd;
                 std::printf("mh5sched: seed %llu %s (exit %d)\n  repro: %s\n",
                             static_cast<unsigned long long>(seed),
                             code == 124 ? "HANG (timeout)" : "FAILED", code, repro.c_str());
