@@ -8,9 +8,13 @@
 ///   serial_uncached_naive    the pre-optimization plane: one request in
 ///                            flight at a time, intersect round on every
 ///                            read, per-row binary-search kernels
-///   pipelined_uncached       pipelining + coalesced kernels, cache off
+///   pipelined_uncached       pipelining + vectorized kernels, cache off
 ///   pipelined_cached         the full plane; repeated reads skip the
 ///                            intersect round
+///   pipelined_cached_compressed  the full plane with wire compression
+///                            negotiated for every dataset (the CPU cost
+///                            of the codec on an unthrottled wire; see
+///                            bench_datapath for the throttled tradeoff)
 ///
 /// Emits BENCH_query_pipeline.json (median of L5_BENCH_TRIALS trials,
 /// default 3) into the working directory.
@@ -70,9 +74,9 @@ diy::Bounds consumer_block(int r) {
 
 /// One trial: returns the barrier-bounded wall time of the consume phase
 /// (open + reads_per_open reads + close, overlapped with producer serving).
-double run_trial(bool pipelined, bool cached, bool naive_kernels,
+double run_trial(bool pipelined, bool cached, KernelMode kernels, bool compress,
                  ScenarioResult* stats_sink) {
-    set_naive_selection_kernels(naive_kernels);
+    set_selection_kernel_mode(kernels);
 
     double  seconds = 0.0;
     Options opts;
@@ -105,6 +109,7 @@ double run_trial(bool pipelined, bool cached, bool naive_kernels,
              [&](Context& ctx) {
                  ctx.vol->set_pipelining(pipelined);
                  ctx.vol->set_query_cache(cached);
+                 if (compress) ctx.vol->set_compress("*", "*");
 
                  const auto mine = consumer_block(ctx.rank());
                  Dataspace  sel({dim_x, dim_y, dim_z});
@@ -130,16 +135,17 @@ double run_trial(bool pipelined, bool cached, bool naive_kernels,
         },
         {Link{0, 1, "*"}}, opts);
 
-    set_naive_selection_kernels(false);
+    set_selection_kernel_mode(KernelMode::vectorized);
     return seconds;
 }
 
 ScenarioResult run_scenario(const std::string& label, int trials, bool pipelined, bool cached,
-                            bool naive_kernels) {
+                            KernelMode kernels = KernelMode::vectorized,
+                            bool compress = false) {
     ScenarioResult res;
     res.label = label;
     for (int t = 0; t < trials; ++t)
-        res.seconds.push_back(run_trial(pipelined, cached, naive_kernels, &res));
+        res.seconds.push_back(run_trial(pipelined, cached, kernels, compress, &res));
     std::printf("  %-24s median %.4f s  (intersects/rank %llu, cache hits %llu)\n", label.c_str(),
                 res.median(),
                 static_cast<unsigned long long>(res.counter("n_intersect_queries")),
@@ -179,13 +185,16 @@ int main() {
 
     std::vector<ScenarioResult> results;
     results.push_back(run_scenario("serial_uncached_naive", trials,
-                                   /*pipelined=*/false, /*cached=*/false, /*naive=*/true));
+                                   /*pipelined=*/false, /*cached=*/false, KernelMode::naive));
     results.push_back(run_scenario("pipelined_uncached", trials,
-                                   /*pipelined=*/true, /*cached=*/false, /*naive=*/false));
+                                   /*pipelined=*/true, /*cached=*/false));
     results.push_back(run_scenario("pipelined_cached", trials,
-                                   /*pipelined=*/true, /*cached=*/true, /*naive=*/false));
+                                   /*pipelined=*/true, /*cached=*/true));
+    results.push_back(run_scenario("pipelined_cached_compressed", trials,
+                                   /*pipelined=*/true, /*cached=*/true, KernelMode::vectorized,
+                                   /*compress=*/true));
 
-    const double speedup = results.front().median() / results.back().median();
+    const double speedup = results.front().median() / results[2].median();
     std::printf("speedup (pipelined_cached vs serial_uncached_naive): %.2fx\n", speedup);
     emit_json(results, speedup, trials);
     return 0;

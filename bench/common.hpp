@@ -130,8 +130,10 @@ void print_recorded(const std::string& title, const Params& p, const std::vector
 ///         "seconds": [...], "seconds_median": ...,
 ///         "phases":   { "index_ns", "serve_ns", "query_ns",
 ///                       "query_intersect_ns", "query_data_ns",
-///                       "query_other_ns" },            // when metrics known
-///         "counters": { "bytes_served", ... },         // when metrics known
+///                       "query_other_ns",
+///                       "query_compress_ns", "query_copy_ns",
+///                       "serve_compress_ns" },         // when metrics known
+///         "counters": { "bytes_served", "bytes_wire", ... }, // when metrics known
 ///         "query_latency_ns": { "count", "mean", "p50", "p99" } }, ... ],
 ///     ...bench-specific extras }
 ///
@@ -139,7 +141,10 @@ void print_recorded(const std::string& title, const Params& p, const std::vector
 /// the time_*_ns counters accumulated by obs::ScopedTimerNs, so the
 /// index / intersect / data / other breakdown is available without
 /// tracing. query_intersect_ns + query_data_ns + query_other_ns ==
-/// query_ns by construction.
+/// query_ns by construction. query_compress_ns (frame decompression) and
+/// query_copy_ns (scatter/unpack into the user buffer) are sub-phases
+/// *inside* query_data_ns and do not enter that identity; likewise
+/// serve_compress_ns (frame encoding) is a sub-phase of serve_ns.
 
 obs::json::Value bench_envelope(const std::string& bench,
                                 std::uint64_t payload_bytes_per_rank, int trials);

@@ -54,6 +54,12 @@ echo "== Deterministic-scheduler sweep (mh5sched) =="
     -- ./build/tests/test_fault_injection --gtest_brief=1
 ./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check \
     -- ./build/tests/test_fault_injection --gtest_brief=1
+# the same sweep with the data-plane worker pool forced on (and a tiny
+# fan-out threshold so even small payloads use it): the pool must not
+# introduce schedule-dependent behavior into the protocol suites
+L5_DATA_THREADS=3 L5_PAR_THRESHOLD=1024 \
+    ./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check \
+    -- ./build/tests/test_dist_vol --gtest_brief=1
 
 if [[ $tsan -eq 1 ]]; then
     echo "== ThreadSanitizer tree (build-tsan) =="

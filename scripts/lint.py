@@ -14,6 +14,14 @@ bare-wait   scheduler-aware src/ files (anything touching CoopLock /
             condition variable: a wait the scheduler cannot see deadlocks
             deterministic runs. Use coop_wait / Scheduler::block, or keep
             the raw wait on the explicitly free-running path.
+non-atomic-toggle
+            src/ must not declare process-wide toggles as bare scalar
+            globals (`bool g_verbose`, `int g_mode`, ...): they are read
+            and flipped across rank threads, which is a data race under
+            TSan and the deterministic scheduler. Use std::atomic with
+            explicit memory order (see h5::g_kernel_mode), or guard the
+            state with a mutex. const/constexpr and thread_local globals
+            are exempt — they are not shared mutable state.
 
 A finding is suppressed by `// lint: allow-<rule>(<reason>)` on the same
 line or the line directly above; the reason is mandatory and should say
@@ -34,6 +42,15 @@ TMP_PATH = re.compile(r'"/tmp')
 RAW_SLEEP = re.compile(r"\b(?:sleep_for|sleep_until|usleep|::sleep)\s*\(")
 BARE_WAIT = re.compile(r"\b\w*cv\w*\.wait(?:_for|_until)?\s*\(")
 SCHED_AWARE = re.compile(r"\bCoopLock\b|\bcoop_wait\b|\bScheduler\b")
+# a file-scope scalar with the g_ naming convention, declared without
+# std::atomic / a const qualifier / thread_local on the same line
+NON_ATOMIC_TOGGLE = re.compile(
+    r"^\s*(?:(?:static|inline)\s+)*"
+    r"(?:bool|char|short|int|long(?:\s+long)?|unsigned(?:\s+(?:char|short|int|long))?"
+    r"|float|double|std::(?:u?int\d+_t|size_t|ptrdiff_t))\s+"
+    r"g_\w+"
+)
+TOGGLE_EXEMPT = re.compile(r"\bconst\b|\bconstexpr\b|\bthread_local\b|\batomic\b")
 ALLOW = re.compile(r"//\s*lint:\s*allow-([a-z-]+)\(([^)]+)\)")
 
 
@@ -50,6 +67,10 @@ def allowed(rule, line, prev_line):
     return False
 
 
+def match_non_atomic_toggle(code):
+    return NON_ATOMIC_TOGGLE.search(code) and not TOGGLE_EXEMPT.search(code)
+
+
 def scan_file(path, rules):
     findings = []
     text = path.read_text(encoding="utf-8", errors="replace")
@@ -57,8 +78,8 @@ def scan_file(path, rules):
     for i, line in enumerate(lines):
         prev = lines[i - 1] if i else ""
         code = line.split("//", 1)[0]  # patterns never fire on comment text
-        for rule, pattern in rules:
-            if pattern.search(code) and not allowed(rule, line, prev):
+        for rule, matcher in rules:
+            if matcher(code) and not allowed(rule, line, prev):
                 findings.append((path, i + 1, rule, line.strip()))
     return findings
 
@@ -67,12 +88,13 @@ def main():
     findings = []
 
     for path in iter_sources(REPO / "tests"):
-        findings += scan_file(path, [("tmp-path", TMP_PATH)])
+        findings += scan_file(path, [("tmp-path", TMP_PATH.search)])
 
     for path in iter_sources(REPO / "src"):
-        rules = [("raw-sleep", RAW_SLEEP)]
+        rules = [("raw-sleep", RAW_SLEEP.search),
+                 ("non-atomic-toggle", match_non_atomic_toggle)]
         if SCHED_AWARE.search(path.read_text(encoding="utf-8", errors="replace")):
-            rules.append(("bare-wait", BARE_WAIT))
+            rules.append(("bare-wait", BARE_WAIT.search))
         findings += scan_file(path, rules)
 
     for path, lineno, rule, line in findings:

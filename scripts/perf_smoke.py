@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: compare a fresh BENCH_*.json against the pinned one.
+
+Usage
+-----
+    perf_smoke.py <pinned.json> <fresh.json> [--threshold 0.25]
+
+Both files use the unified bench envelope (bench/common.hpp): scenarios
+are matched by (label, procs) and their `seconds_median` compared. The
+gate fails when any matched scenario's fresh median exceeds the pinned
+median by more than the threshold (default +25%, overridable with
+--threshold or L5_PERF_SMOKE_THRESHOLD).
+
+This is a *smoke* gate, not a benchmark: the pinned numbers were taken
+on one machine and CI runs on another, so the threshold is generous and
+guards against order-of-magnitude regressions (an accidental O(n^2)
+path, a lost fast path), not single-digit percent drift. Scenarios that
+exist on only one side are reported but never fail the gate, so adding
+or retiring scenarios does not require touching this script. Scenarios
+whose pinned median sits under --min-seconds (default 10 ms) are shown
+but not gated either: at that scale scheduling jitter swamps any real
+signal.
+
+Exit status: 0 within budget, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_smoke.py: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != 1:
+        print(f"perf_smoke.py: {path}: unknown schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for s in doc.get("scenarios", []):
+        key = (s.get("label"), s.get("procs"))
+        out[key] = float(s["seconds_median"])
+    return doc.get("bench", "?"), out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("pinned")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float,
+                    default=float(os.environ.get("L5_PERF_SMOKE_THRESHOLD", "0.25")),
+                    help="allowed fractional slowdown per scenario (default 0.25)")
+    ap.add_argument("--min-seconds", type=float, default=0.010,
+                    help="pinned medians below this are noise, not gated (default 0.010)")
+    args = ap.parse_args()
+
+    bench_a, pinned = load(args.pinned)
+    bench_b, fresh = load(args.fresh)
+    if bench_a != bench_b:
+        print(f"perf_smoke.py: bench mismatch: pinned={bench_a!r} fresh={bench_b!r}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    matched = sorted(set(pinned) & set(fresh))
+    if not matched:
+        print("perf_smoke.py: no scenarios in common — nothing to compare",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = 0
+    for key in matched:
+        label, procs = key
+        base, cur = pinned[key], fresh[key]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok"
+        if base < args.min_seconds:
+            verdict = "below noise floor, not gated"
+        elif ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failures += 1
+        print(f"  {label:<40} procs={procs:<3} "
+              f"pinned={base * 1e3:9.3f}ms fresh={cur * 1e3:9.3f}ms "
+              f"ratio={ratio:5.2f}  {verdict}")
+
+    for key in sorted(set(pinned) - set(fresh)):
+        print(f"  {key[0]:<40} procs={key[1]:<3} only in pinned (skipped)")
+    for key in sorted(set(fresh) - set(pinned)):
+        print(f"  {key[0]:<40} procs={key[1]:<3} only in fresh (skipped)")
+
+    if failures:
+        print(f"perf_smoke.py: {failures} scenario(s) regressed past "
+              f"+{args.threshold:.0%} of the pinned median", file=sys.stderr)
+        return 1
+    print(f"perf_smoke.py: {len(matched)} scenario(s) within "
+          f"+{args.threshold:.0%} of pinned ({bench_a})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,9 @@
 #include "dataspace.hpp"
 
+#include "copy.hpp"
+#include "par.hpp"
+
+#include <obs/metrics.hpp>
 #include <obs/trace.hpp>
 
 #include <algorithm>
@@ -24,16 +28,34 @@ std::vector<Run> collect_runs_uncoalesced(const Dataspace& space) {
     return runs;
 }
 
-std::atomic<bool> g_naive_kernels{false};
+// process-wide toggle: one atomic, never a bare global (see scripts/lint.py)
+std::atomic<int> g_kernel_mode{static_cast<int>(KernelMode::vectorized)};
 
 } // namespace
 
+void set_selection_kernel_mode(KernelMode mode) {
+    g_kernel_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+KernelMode selection_kernel_mode() {
+    return static_cast<KernelMode>(g_kernel_mode.load(std::memory_order_relaxed));
+}
+
+const char* kernel_mode_name(KernelMode mode) {
+    switch (mode) {
+        case KernelMode::naive: return "naive";
+        case KernelMode::coalesced: return "coalesced";
+        case KernelMode::vectorized: return "vectorized";
+    }
+    return "?";
+}
+
 void set_naive_selection_kernels(bool enable) {
-    g_naive_kernels.store(enable, std::memory_order_relaxed);
+    set_selection_kernel_mode(enable ? KernelMode::naive : KernelMode::vectorized);
 }
 
 bool naive_selection_kernels() {
-    return g_naive_kernels.load(std::memory_order_relaxed);
+    return selection_kernel_mode() == KernelMode::naive;
 }
 
 std::vector<SelRun> selection_runs(const Dataspace& space) {
@@ -381,18 +403,39 @@ std::vector<diy::Bounds> intersect_selections(const Dataspace& a, const Dataspac
     return out;
 }
 
+namespace {
+// defined with the vectorized kernels below
+void run_segments(std::byte* dst, const std::byte* src, const std::vector<kern::Seg>& segs,
+                  std::uint64_t bytes);
+} // namespace
+
+// pack/unpack have no lookup side (one selection, both layouts known), so
+// there is nothing to merge: emit one segment per coalesced run and let
+// the segment runner pick the copy width and fan-out. Byte-identical to
+// the old per-run memcpy loop in every kernel mode.
+
 void pack_selection(const Dataspace& space, const void* full, std::size_t elem, void* packed) {
     const auto* src = static_cast<const std::byte*>(full);
     auto*       dst = static_cast<std::byte*>(packed);
-    for (const auto& r : space.runs())
-        std::memcpy(dst + r.packed_off * elem, src + r.file_off * elem, r.len * elem);
+
+    std::vector<kern::Seg> segs;
+    const auto&            runs = space.runs();
+    segs.reserve(runs.size());
+    for (const auto& r : runs)
+        segs.push_back({r.packed_off * elem, r.file_off * elem, r.len * elem});
+    run_segments(dst, src, segs, space.npoints() * elem);
 }
 
 void unpack_selection(const Dataspace& space, const void* packed, std::size_t elem, void* full) {
     const auto* src = static_cast<const std::byte*>(packed);
     auto*       dst = static_cast<std::byte*>(full);
-    for (const auto& r : space.runs())
-        std::memcpy(dst + r.file_off * elem, src + r.packed_off * elem, r.len * elem);
+
+    std::vector<kern::Seg> segs;
+    const auto&            runs = space.runs();
+    segs.reserve(runs.size());
+    for (const auto& r : runs)
+        segs.push_back({r.file_off * elem, r.packed_off * elem, r.len * elem});
+    run_segments(dst, src, segs, space.npoints() * elem);
 }
 
 void copy_selected(const Dataspace& src_space, const void* src, const Dataspace& dst_space,
@@ -421,6 +464,187 @@ void copy_selected(const Dataspace& src_space, const void* src, const Dataspace&
     }
 }
 
+// --- vectorized segment runner -----------------------------------------------
+//
+// The vectorized kernels run the same O(S + D) two-pointer merge as the
+// coalesced ones, but instead of a memcpy per matched segment they
+// materialize the flat segment list {dst, src, len} and hand it to the
+// width-specialized kern:: copy kernels. Above the h5::par threshold the
+// list is split into ~equal-byte chunks (cutting large segments, so a
+// single slab-on-slab run still fans out) and executed across the pool —
+// destinations are disjoint by construction, so chunks are independent.
+
+namespace {
+
+struct KernelMetrics {
+    obs::Counter& bytes;    ///< kernel.bytes moved through run_segments
+    obs::Counter& segments; ///< kernel.segments materialized
+    obs::Counter& par_jobs; ///< kernel.parallel_jobs fanned out
+
+    static KernelMetrics& get() {
+        static KernelMetrics m{
+            obs::Registry::global().counter("kernel.bytes"),
+            obs::Registry::global().counter("kernel.segments"),
+            obs::Registry::global().counter("kernel.parallel_jobs"),
+        };
+        return m;
+    }
+};
+
+/// Split `segs` (totalling `bytes`) into up to `nchunks` lists of
+/// ~equal byte weight, cutting segments that straddle a boundary.
+std::vector<std::vector<kern::Seg>> split_segments(const std::vector<kern::Seg>& segs,
+                                                   std::uint64_t bytes, std::size_t nchunks) {
+    const std::uint64_t target = (bytes + nchunks - 1) / nchunks;
+    std::vector<std::vector<kern::Seg>> out;
+    out.emplace_back();
+    std::uint64_t acc = 0;
+    for (const auto& seg : segs) {
+        std::uint64_t done = 0;
+        while (done < seg.len) {
+            if (acc >= target && out.size() < nchunks) {
+                out.emplace_back();
+                acc = 0;
+            }
+            std::uint64_t take = seg.len - done;
+            if (out.size() < nchunks && acc + take > target) take = target - acc;
+            out.back().push_back({seg.dst + done, seg.src + done, take});
+            acc += take;
+            done += take;
+        }
+    }
+    return out;
+}
+
+void run_segments(std::byte* dst, const std::byte* src, const std::vector<kern::Seg>& segs,
+                  std::uint64_t bytes) {
+    KernelMetrics& m = KernelMetrics::get();
+    m.bytes.add(bytes);
+    m.segments.add(segs.size());
+    if (!par::should_parallelize(bytes)) {
+        kern::copy_segments(dst, src, segs.data(), segs.size());
+        return;
+    }
+    m.par_jobs.inc();
+    const auto chunks = split_segments(segs, bytes, par::chunk_count(bytes));
+    par::parallel_for(chunks.size(), [&](std::size_t i) {
+        kern::copy_segments(dst, src, chunks[i].data(), chunks[i].size());
+    });
+}
+
+void extract_from_packed_vec(const Dataspace& piece_space, const void* piece_packed,
+                             const Dataspace& want, std::size_t elem,
+                             std::vector<std::byte>& out) {
+    const auto& pruns = piece_space.runs_by_file();
+    const auto& wruns = want.runs_by_file();
+
+    const auto*         src   = static_cast<const std::byte*>(piece_packed);
+    const auto          base  = out.size();
+    const std::uint64_t bytes = want.npoints() * elem;
+    out.resize(base + bytes);
+    auto* dst = out.data() + base;
+
+    std::vector<kern::Seg> segs;
+    segs.reserve(wruns.size());
+    std::size_t pi = 0;
+    for (const auto& w : wruns) {
+        std::uint64_t copied = 0;
+        while (copied < w.len) {
+            const std::uint64_t target = w.file_off + copied;
+            while (pi < pruns.size() && pruns[pi].file_off + pruns[pi].len <= target) ++pi;
+            if (pi == pruns.size() || pruns[pi].file_off > target)
+                throw Error("h5: extract_from_packed: requested element not covered by piece");
+            const std::uint64_t within = target - pruns[pi].file_off;
+            const std::uint64_t take   = std::min(pruns[pi].len - within, w.len - copied);
+            segs.push_back({(w.packed_off + copied) * elem,
+                            (pruns[pi].packed_off + within) * elem, take * elem});
+            copied += take;
+        }
+    }
+    run_segments(dst, src, segs, bytes);
+}
+
+void scatter_into_packed_vec(const Dataspace& dest_space, void* dest_packed, const Dataspace& sub,
+                             const void* sub_packed, std::size_t elem) {
+    const auto& druns = dest_space.runs_by_file();
+    const auto& sruns = sub.runs_by_file();
+
+    auto*       dst = static_cast<std::byte*>(dest_packed);
+    const auto* src = static_cast<const std::byte*>(sub_packed);
+
+    std::vector<kern::Seg> segs;
+    segs.reserve(sruns.size());
+    std::size_t di = 0;
+    for (const auto& s : sruns) {
+        std::uint64_t copied = 0;
+        while (copied < s.len) {
+            const std::uint64_t target = s.file_off + copied;
+            while (di < druns.size() && druns[di].file_off + druns[di].len <= target) ++di;
+            if (di == druns.size() || druns[di].file_off > target)
+                throw Error("h5: scatter_into_packed: element not covered by destination");
+            const std::uint64_t within = target - druns[di].file_off;
+            const std::uint64_t take   = std::min(druns[di].len - within, s.len - copied);
+            segs.push_back({(druns[di].packed_off + within) * elem,
+                            (s.packed_off + copied) * elem, take * elem});
+            copied += take;
+        }
+    }
+    run_segments(dst, src, segs, sub.npoints() * elem);
+}
+
+void extract_via_mapping_vec(const Dataspace& filespace, const Dataspace& memspace,
+                             const void* membuf, const Dataspace& want, std::size_t elem,
+                             std::vector<std::byte>& out) {
+    if (filespace.npoints() != memspace.npoints())
+        throw Error("h5: extract_via_mapping: filespace/memspace sizes differ");
+
+    const auto& fruns = filespace.runs_by_file();
+    const auto& mruns = memspace.runs(); // increasing packed_off by construction
+
+    const auto*         src   = static_cast<const std::byte*>(membuf);
+    const auto          base  = out.size();
+    const std::uint64_t bytes = want.npoints() * elem;
+    out.resize(base + bytes);
+    auto* dst = out.data() + base;
+
+    auto mem_locate = [&](std::uint64_t pos, std::uint64_t& buf_off, std::uint64_t& avail) {
+        auto it = std::upper_bound(mruns.begin(), mruns.end(), pos,
+                                   [](std::uint64_t v, const Run& r) { return v < r.packed_off; });
+        if (it == mruns.begin()) throw Error("h5: extract_via_mapping: bad enumeration position");
+        --it;
+        std::uint64_t within = pos - it->packed_off;
+        if (within >= it->len) throw Error("h5: extract_via_mapping: bad enumeration position");
+        buf_off = it->file_off + within;
+        avail   = it->len - within;
+    };
+
+    std::vector<kern::Seg> segs;
+    segs.reserve(fruns.size());
+    std::size_t fi = 0;
+    for (const auto& w : want.runs_by_file()) {
+        std::uint64_t copied = 0;
+        while (copied < w.len) {
+            const std::uint64_t target = w.file_off + copied;
+            while (fi < fruns.size() && fruns[fi].file_off + fruns[fi].len <= target) ++fi;
+            if (fi == fruns.size() || fruns[fi].file_off > target)
+                throw Error("h5: extract_via_mapping: requested element not covered");
+            const std::uint64_t within  = target - fruns[fi].file_off;
+            const std::uint64_t avail_f = fruns[fi].len - within;
+            const std::uint64_t pos     = fruns[fi].packed_off + within;
+
+            std::uint64_t buf_off = 0, avail_m = 0;
+            mem_locate(pos, buf_off, avail_m);
+
+            const std::uint64_t take = std::min({avail_f, avail_m, w.len - copied});
+            segs.push_back({(w.packed_off + copied) * elem, buf_off * elem, take * elem});
+            copied += take;
+        }
+    }
+    run_segments(dst, src, segs, bytes);
+}
+
+} // namespace
+
 // --- coalesced two-pointer kernels -------------------------------------------
 //
 // Both the "moving" side (the selection being walked) and the "lookup"
@@ -432,10 +656,14 @@ void copy_selected(const Dataspace& src_space, const void* src, const Dataspace&
 
 void extract_from_packed(const Dataspace& piece_space, const void* piece_packed,
                          const Dataspace& want, std::size_t elem, std::vector<std::byte>& out) {
+    const KernelMode mode = selection_kernel_mode();
     obs::Span span("extract_from_packed", "h5.kernel",
-                   {{"bytes", want.npoints() * elem, nullptr}});
-    if (naive_selection_kernels())
+                   {{"bytes", want.npoints() * elem, nullptr},
+                    {"mode", 0, kernel_mode_name(mode)}});
+    if (mode == KernelMode::naive)
         return extract_from_packed_naive(piece_space, piece_packed, want, elem, out);
+    if (mode == KernelMode::vectorized)
+        return extract_from_packed_vec(piece_space, piece_packed, want, elem, out);
 
     const auto& pruns = piece_space.runs_by_file();
     const auto& wruns = want.runs_by_file();
@@ -464,10 +692,14 @@ void extract_from_packed(const Dataspace& piece_space, const void* piece_packed,
 
 void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const Dataspace& sub,
                          const void* sub_packed, std::size_t elem) {
+    const KernelMode mode = selection_kernel_mode();
     obs::Span span("scatter_into_packed", "h5.kernel",
-                   {{"bytes", sub.npoints() * elem, nullptr}});
-    if (naive_selection_kernels())
+                   {{"bytes", sub.npoints() * elem, nullptr},
+                    {"mode", 0, kernel_mode_name(mode)}});
+    if (mode == KernelMode::naive)
         return scatter_into_packed_naive(dest_space, dest_packed, sub, sub_packed, elem);
+    if (mode == KernelMode::vectorized)
+        return scatter_into_packed_vec(dest_space, dest_packed, sub, sub_packed, elem);
 
     const auto& druns = dest_space.runs_by_file();
     const auto& sruns = sub.runs_by_file();
@@ -495,10 +727,14 @@ void scatter_into_packed(const Dataspace& dest_space, void* dest_packed, const D
 void extract_via_mapping(const Dataspace& filespace, const Dataspace& memspace,
                          const void* membuf, const Dataspace& want, std::size_t elem,
                          std::vector<std::byte>& out) {
+    const KernelMode mode = selection_kernel_mode();
     obs::Span span("extract_via_mapping", "h5.kernel",
-                   {{"bytes", want.npoints() * elem, nullptr}});
-    if (naive_selection_kernels())
+                   {{"bytes", want.npoints() * elem, nullptr},
+                    {"mode", 0, kernel_mode_name(mode)}});
+    if (mode == KernelMode::naive)
         return extract_via_mapping_naive(filespace, memspace, membuf, want, elem, out);
+    if (mode == KernelMode::vectorized)
+        return extract_via_mapping_vec(filespace, memspace, membuf, want, elem, out);
 
     if (filespace.npoints() != memspace.npoints())
         throw Error("h5: extract_via_mapping: filespace/memspace sizes differ");

@@ -211,9 +211,25 @@ void extract_via_mapping_naive(const Dataspace& filespace, const Dataspace& mems
                                const void* membuf, const Dataspace& want, std::size_t elem,
                                std::vector<std::byte>& out);
 
-/// Route extract_from_packed / scatter_into_packed / extract_via_mapping
-/// through the naive reference kernels (process-wide; used by benchmarks
-/// to measure the coalesced kernels' end-to-end effect).
+/// Which implementation backs extract_from_packed / scatter_into_packed /
+/// extract_via_mapping (process-wide, stored in one atomic so bench/test
+/// threads may flip it without a data race):
+///  - naive: per-row binary search, rebuilt run lists — the original
+///    implementation, kept as the correctness oracle;
+///  - coalesced: the O(S + D) two-pointer merge with one memcpy per
+///    matched segment — the previous production path, now the second
+///    oracle;
+///  - vectorized: the same merge, but segments are materialized and
+///    copied through the width-specialized kern:: kernels, fanning out
+///    across the h5::par pool above its size threshold. The default.
+enum class KernelMode { naive = 0, coalesced = 1, vectorized = 2 };
+
+void        set_selection_kernel_mode(KernelMode mode);
+KernelMode  selection_kernel_mode();
+const char* kernel_mode_name(KernelMode mode);
+
+/// Back-compat toggle: true routes through the naive reference kernels,
+/// false restores the default (vectorized) path.
 void set_naive_selection_kernels(bool enable);
 bool naive_selection_kernels();
 

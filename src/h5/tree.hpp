@@ -31,6 +31,15 @@ struct DataPiece {
     std::vector<std::byte> owned; ///< packed in filespace iteration order (Deep)
     const void*            ref = nullptr; ///< user buffer (Shallow)
 
+    /// The piece's full payload as a stable packed buffer (filespace
+    /// iteration order), when one exists: Deep pieces own such a copy,
+    /// valid as long as the piece itself. Shallow pieces reference user
+    /// memory with no vector to share — returns nullptr. The zero-copy
+    /// serve path aliases this buffer on the wire instead of extracting.
+    const std::vector<std::byte>* packed_bytes() const {
+        return ownership == Ownership::Deep ? &owned : nullptr;
+    }
+
     /// Extract `want` (file coordinates, subset of filespace) into `out`,
     /// in want's iteration order, regardless of ownership mode.
     void extract(const Dataspace& want, std::size_t elem, std::vector<std::byte>& out) const {

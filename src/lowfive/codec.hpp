@@ -1,0 +1,124 @@
+#pragma once
+
+/// Per-message wire compression for the serve data plane.
+///
+/// Payloads of a DataQuery reply trade CPU for wire bandwidth: the serve
+/// side compresses each piece before it enters a simmpi envelope, the
+/// query side decompresses into the scatter staging. The codec is
+/// self-contained (no external libraries):
+///
+///  - byte shuffle: transpose an array of fixed-width elements so the
+///    k-th bytes of all elements are adjacent. Numeric HPC data varies
+///    mostly in the low bytes, so the shuffled stream has long
+///    near-constant stretches the match finder can fold;
+///  - an LZ4-style block format: sequences of [token | literal-run |
+///    2-byte little-endian match offset | match-run], with 4-bit
+///    literal/match length nibbles extended by 255-saturated bytes and a
+///    4-byte minimum match. A 8K-entry hash table of 4-byte prefixes
+///    finds matches greedily; the search step grows on incompressible
+///    input (acceleration), so worst-case cost stays near memcpy.
+///
+/// A frame wraps the payload with a magic, the method actually used
+/// (raw / lz4 / shuffle+lz4), the element width, and both sizes, so the
+/// decoder is self-describing and falls back to a verbatim copy when
+/// compression would not have paid.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lowfive {
+namespace codec {
+
+/// Malformed or truncated frame/compressed block.
+class CodecError : public std::runtime_error {
+public:
+    explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class Method : std::uint8_t {
+    raw         = 0, ///< payload stored verbatim
+    lz4         = 1, ///< LZ4-style block
+    shuffle_lz4 = 2, ///< byte-shuffled, then LZ4-style block
+};
+
+/// Frame header, little-endian, 24 bytes:
+///   u32 magic "L5CZ" | u8 version | u8 method | u16 elem_size |
+///   u64 raw_size | u64 payload_size
+inline constexpr std::uint32_t frame_magic         = 0x5A43354Cu;
+inline constexpr std::uint8_t  frame_version       = 1;
+inline constexpr std::size_t   frame_header_bytes  = 24;
+
+/// Upper bound on the LZ4-style output for `n` input bytes (worst case:
+/// all literals plus run-length extension bytes).
+std::size_t compress_bound(std::size_t n);
+
+/// Compress `n` bytes (elements of `elem` bytes; pass 1 for untyped) and
+/// append a complete frame to `out`. Picks shuffle+lz4 for element
+/// widths in [2, 16] that divide `n`, plain lz4 otherwise, and stores
+/// raw whenever the compressed payload would not be smaller. Returns the
+/// frame size in bytes; `chosen` (optional) reports the method used.
+std::size_t compress_frame(const std::byte* src, std::size_t n, std::size_t elem,
+                           std::vector<std::byte>& out, Method* chosen = nullptr);
+
+/// Validate a frame header and return the raw payload size it decodes to.
+std::size_t frame_raw_size(const std::byte* frame, std::size_t frame_size);
+
+/// Decode a frame into `dst`, which must hold frame_raw_size() bytes.
+/// Throws CodecError on any malformed input.
+void decompress_frame(const std::byte* frame, std::size_t frame_size, std::byte* dst);
+
+// --- building blocks (exposed for tests and benches) ------------------------
+
+/// LZ4-style block compression of `n` bytes into `dst` (capacity `cap`).
+/// Returns the compressed size, or 0 when the output would exceed `cap`
+/// (caller stores raw instead).
+std::size_t lz4_compress(const std::byte* src, std::size_t n, std::byte* dst, std::size_t cap);
+
+/// Decompress an LZ4-style block of `n` bytes into exactly `raw_n` output
+/// bytes. Throws CodecError on malformed input.
+void lz4_decompress(const std::byte* src, std::size_t n, std::byte* dst, std::size_t raw_n);
+
+/// Byte-shuffle `n` bytes of `elem`-wide elements (n % elem == 0):
+/// dst[k * (n/elem) + i] = src[i * elem + k].
+void shuffle(const std::byte* src, std::size_t n, std::size_t elem, std::byte* dst);
+
+/// Inverse of shuffle.
+void unshuffle(const std::byte* src, std::size_t n, std::size_t elem, std::byte* dst);
+
+/// Modelled wire bandwidth budget: data-plane replies charge their bytes
+/// against a token bucket (same scheme as h5::PfsModel) so benches can
+/// emulate a constrained interconnect and demonstrate the CPU-for-
+/// bandwidth tradeoff. Configured from `L5_WIRE_MBPS` (0 = off, the
+/// default: charges are free and no sleeping happens).
+class WireModel {
+public:
+    static WireModel& instance();
+
+    void configure(double bw_MBps);
+    void configure_from_env();
+
+    double bandwidth_MBps() const;
+
+    /// Account `bytes` on the wire; sleeps the calling thread until the
+    /// modelled transfer completes when a budget is configured.
+    void charge(std::uint64_t bytes);
+
+    std::uint64_t bytes_charged() const;
+    void          reset_stats();
+
+private:
+    WireModel() = default;
+
+    mutable std::mutex mutex_;
+    double             bw_MBps_       = 0;
+    std::uint64_t      bytes_charged_ = 0;
+    std::chrono::steady_clock::time_point available_at_{};
+};
+
+} // namespace codec
+} // namespace lowfive

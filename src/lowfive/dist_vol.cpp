@@ -1,10 +1,16 @@
 #include "dist_vol.hpp"
 
+#include "codec.hpp"
+
 #include <diy/serialization.hpp>
 #include <obs/trace.hpp>
 #include <simmpi/sched.hpp>
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -62,16 +68,29 @@ DistMetadataVol::DistMetadataVol(simmpi::Comm local, h5::VolPtr passthru_vol)
     // these tags elsewhere is a collision, and the serve loop's any-source
     // request/reply drains are an order-insensitive protocol by design
     local_.check_reserve_tags(rpc_request, rpc_data_reply, "dist_vol");
+    if (const char* e = std::getenv("L5_COMPRESS"); e && *e && std::atoi(e) != 0)
+        compress_.push_back({"*", "*"});
+    codec::WireModel::instance().configure_from_env();
 }
+
+void DistMetadataVol::set_compress(const std::string& file_pattern,
+                                   const std::string& dset_pattern) {
+    compress_.push_back({file_pattern, dset_pattern});
+}
+
+void DistMetadataVol::clear_compress() { compress_.clear(); }
 
 DistMetadataVol::Stats DistMetadataVol::stats() const {
     Stats s;
     s.bytes_served             = c_bytes_served_.value();
     s.bytes_fetched            = c_bytes_fetched_.value();
+    s.bytes_wire               = c_bytes_wire_.value();
     s.n_data_queries           = c_data_queries_.value();
     s.n_intersect_queries      = c_intersect_queries_.value();
     s.n_intersect_cache_hits   = c_cache_hits_.value();
     s.n_intersect_cache_misses = c_cache_misses_.value();
+    s.n_compressed_pieces      = c_compressed_pieces_.value();
+    s.n_zero_copy_pieces       = c_zero_copy_pieces_.value();
     return s;
 }
 
@@ -357,7 +376,8 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         std::string name, dset;
         bb.load(name);
         bb.load(dset);
-        Dataspace fs = Dataspace::load(bb);
+        Dataspace  fs     = Dataspace::load(bb);
+        const auto accept = bb.load<std::uint8_t>(); // consumer accepts codec frames
 
         auto it = files_.find(name);
         if (it == files_.end() || !it->second.root)
@@ -382,18 +402,78 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         diy::BinaryBuffer reply;
         reply.save(req_id);
         reply.save<std::uint64_t>(hits.size());
-        std::uint64_t served = 0;
+        std::uint64_t          served = 0;
+        std::vector<std::byte> scratch; // reused staging for pieces we encode
+        // pieces served without any copy: the reply header records u8 2
+        // and the piece's packed buffer follows as its own aliased
+        // message on the same (src, tag) stream — the mailbox's
+        // non-overtaking guarantee keeps header and payloads paired
+        std::vector<simmpi::SharedPayload> zc;
         for (auto& [piece, sub] : hits) {
             sub.save(reply);
-            // extract straight into the reply buffer: no intermediate copy
             const std::uint64_t nbytes = sub.npoints() * elem;
             reply.save(nbytes);
-            piece->extract(sub, elem, reply.mutable_data());
+            const bool compress_this = accept && nbytes >= compress_min_bytes_;
+            // zero-copy eligibility: the query wants the whole piece (sub
+            // is a subset of the piece's selection, so equal counts mean
+            // equal selections) and the piece owns a packed copy whose
+            // layout is exactly the wanted bytes
+            const std::vector<std::byte>* full = nullptr;
+            if (!compress_this && nbytes >= zero_copy_min_bytes_
+                && sub.npoints() == piece->filespace.npoints())
+                if (const auto* pb = piece->packed_bytes(); pb && pb->size() == nbytes)
+                    full = pb;
+            if (full) {
+                reply.save<std::uint8_t>(2);
+                // non-owning alias (empty control block): a plain recv on
+                // the other side copies instead of moving the piece's
+                // bytes out from under the producer
+                zc.emplace_back(simmpi::SharedPayload{}, full);
+                c_zero_copy_pieces_.inc();
+            } else if (compress_this) {
+                // piece payload goes out as a codec frame: u8 1, u64
+                // frame size (patched once known), then the frame. When
+                // the query wants the whole piece and it owns a packed
+                // copy, compress straight from it — no extract copy.
+                const std::byte* payload = nullptr;
+                if (sub.npoints() == piece->filespace.npoints())
+                    if (const auto* pb = piece->packed_bytes(); pb && pb->size() == nbytes)
+                        payload = pb->data();
+                if (!payload) {
+                    scratch.clear();
+                    piece->extract(sub, elem, scratch);
+                    payload = scratch.data();
+                }
+                reply.save<std::uint8_t>(1);
+                auto&             raw   = reply.mutable_data();
+                const std::size_t szoff = raw.size();
+                reply.save<std::uint64_t>(0);
+                std::uint64_t fsz;
+                {
+                    obs::ScopedTimerNs enc_timer(c_t_encode_ns_);
+                    fsz = codec::compress_frame(payload, nbytes, elem, raw);
+                }
+                std::memcpy(raw.data() + szoff, &fsz, 8);
+                c_compressed_pieces_.inc();
+            } else {
+                // extract straight into the reply buffer: no intermediate copy
+                reply.save<std::uint8_t>(0);
+                piece->extract(sub, elem, reply.mutable_data());
+            }
             served += nbytes;
         }
+        std::uint64_t wire = reply.size();
+        for (const auto& p : zc) wire += p->size();
         c_bytes_served_.add(served);
+        c_bytes_wire_.add(wire);
         span.end_arg("bytes", served);
+        span.end_arg("wire_bytes", wire);
+        // the modelled interconnect charges post-codec bytes: compression
+        // buys wall-clock exactly when the wire is the bottleneck
+        codec::WireModel::instance().charge(wire);
         send_buffer(conn.ic, src, rpc_data_reply, std::move(reply));
+        // zero-copy payloads follow the header in piece order
+        for (auto& p : zc) conn.ic.send_shared(src, rpc_data_reply, std::move(p));
         break;
     }
     }
@@ -560,6 +640,10 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         }
     }
 
+    // negotiate wire compression per (file, dataset): the request
+    // advertises whether this consumer accepts codec frames in the reply
+    const std::uint8_t accept_codec = matches(compress_, f.name, dset) ? 1 : 0;
+
     std::map<std::uint64_t, int> pending_data; // req id -> producer rank
     auto send_data_query = [&](int p) {
         const std::uint64_t id = next_req_id_++;
@@ -569,6 +653,7 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         req.save(f.name);
         req.save(dset);
         filespace.save(req);
+        req.save(accept_codec);
         send_buffer(conn.ic, p, rpc_request, std::move(req));
         pending_data.emplace(id, p);
         c_data_queries_.inc();
@@ -641,19 +726,91 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
     if (query_cache_ && !cached) producer_cache_[key] = producers;
 
     // Step 2: scatter the replies as they arrive
-    obs::ScopedTimerNs     d_timer(c_t_data_ns_);
-    obs::Span              d_span("query.data", "lowfive",
-                                  {{"producers", pending_data.size(), nullptr}});
-    std::uint64_t          fetched = 0;
-    std::vector<std::byte> packed(filespace.npoints() * elem); // zero fill
-    auto scatter_reply = [&](diy::BinaryBuffer& reply) {
+    obs::ScopedTimerNs d_timer(c_t_data_ns_);
+    obs::Span          d_span("query.data", "lowfive",
+                              {{"producers", pending_data.size(), nullptr}});
+    std::uint64_t      fetched = 0;
+
+    // When the memory selection is a single contiguous run, the packed
+    // layout of `filespace` IS a slice of the user's buffer: scatter the
+    // replies straight into it and skip the staging buffer plus the
+    // final unpack copy entirely. Zero fill is lazy: the common case —
+    // the pieces cover the whole selection — never touches a byte twice;
+    // when coverage has holes, the fallback below zeroes the slice and
+    // replays the retained pieces so unserved holes still read as zero.
+    const auto&            mruns  = memspace.runs();
+    std::byte*             direct = nullptr;
+    std::vector<std::byte> packed;
+    if (mruns.size() == 1) {
+        direct = static_cast<std::byte*>(buf) + mruns[0].file_off * elem;
+    } else {
+        packed.resize(filespace.npoints() * elem); // zero fill
+    }
+    std::byte* scatter_dst = direct ? direct : packed.data();
+
+    // retained per-piece state for the direct path's holes fallback: the
+    // sub-selection plus a pointer into storage kept alive below (reply
+    // buffers, per-piece decode buffers, zero-copy payloads)
+    struct PieceRec {
+        Dataspace        sub;
+        const std::byte* data;
+    };
+    std::vector<PieceRec>                    recs;
+    std::deque<diy::BinaryBuffer>            kept_replies;
+    std::deque<std::unique_ptr<std::byte[]>> kept_decoded; // uninitialized: decode fills them
+    std::vector<simmpi::SharedPayload>       shared_payloads; // alive until scatters finish
+
+    // reused staging when nothing is retained; uninitialized for the
+    // same reason as the codec scratch (decompress_frame fills exactly
+    // nbytes, so zero-filling first would only add page traffic)
+    std::unique_ptr<std::byte[]> decoded;
+    std::size_t                  decoded_cap = 0;
+    auto scatter_reply = [&](diy::BinaryBuffer& reply, int from) {
         auto npieces = reply.load<std::uint64_t>();
         for (std::uint64_t k = 0; k < npieces; ++k) {
             Dataspace        sub    = Dataspace::load(reply);
             auto             nbytes = reply.load<std::uint64_t>();
-            const std::byte* data   = reply.skip(nbytes); // scatter in place
+            const auto       enc    = reply.load<std::uint8_t>();
+            const std::byte* data;
+            if (enc == 2) {
+                // zero-copy piece: the payload follows the header as its
+                // own message on the same (src, tag) stream; scatter
+                // straight out of the producer's (aliased) buffer
+                simmpi::SharedPayload payload;
+                auto st = conn.ic.recv_shared(from, rpc_data_reply, payload);
+                if (st.count != nbytes || !payload)
+                    throw Error("lowfive: zero-copy data payload has unexpected size");
+                data = payload->data();
+                shared_payloads.push_back(std::move(payload));
+            } else if (enc == 1) {
+                const auto       fsz   = reply.load<std::uint64_t>();
+                const std::byte* frame = reply.skip(fsz);
+                if (codec::frame_raw_size(frame, fsz) != nbytes)
+                    throw Error("lowfive: data reply frame decodes to unexpected size");
+                std::byte* dst;
+                if (direct) {
+                    dst = kept_decoded
+                              .emplace_back(std::make_unique_for_overwrite<std::byte[]>(nbytes))
+                              .get();
+                } else {
+                    if (decoded_cap < nbytes) {
+                        decoded     = std::make_unique_for_overwrite<std::byte[]>(nbytes);
+                        decoded_cap = nbytes;
+                    }
+                    dst = decoded.get();
+                }
+                obs::ScopedTimerNs dec_timer(c_t_decode_ns_);
+                codec::decompress_frame(frame, fsz, dst);
+                data = dst;
+            } else {
+                data = reply.skip(nbytes); // scatter in place
+            }
             fetched += nbytes;
-            scatter_into_packed(filespace, packed.data(), sub, data, elem);
+            {
+                obs::ScopedTimerNs copy_timer(c_t_copy_ns_);
+                scatter_into_packed(filespace, scatter_dst, sub, data, elem);
+            }
+            if (direct) recs.push_back({std::move(sub), data});
         }
     };
     if (pipelining_) {
@@ -665,20 +822,55 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
             if (pit == pending_data.end() || pit->second != from)
                 throw Error("lowfive: data reply with unexpected id or source");
             pending_data.erase(pit);
-            scatter_reply(reply);
+            if (direct) {
+                // the holes fallback may rescatter from this buffer later
+                scatter_reply(kept_replies.emplace_back(std::move(reply)), from);
+            } else {
+                scatter_reply(reply, from);
+            }
         }
     } else {
         for (auto& [id, p] : pending_data) {
             auto reply = recv_buffer(conn.ic, p, rpc_data_reply);
             if (reply.load<std::uint64_t>() != id)
                 throw Error("lowfive: data reply with unexpected id");
-            scatter_reply(reply);
+            if (direct)
+                scatter_reply(kept_replies.emplace_back(std::move(reply)), p);
+            else
+                scatter_reply(reply, p);
         }
         pending_data.clear();
     }
     c_bytes_fetched_.add(fetched);
     d_span.end_arg("bytes", fetched);
-    unpack_selection(memspace, packed.data(), elem, buf);
+    if (direct) {
+        // holes fallback: count the distinct elements the pieces covered
+        // (overlap-safe interval union over their runs); when short of
+        // the selection, zero the slice and replay every retained piece
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> iv;
+        for (const auto& r : recs)
+            for (const auto& run : r.sub.runs()) iv.emplace_back(run.file_off, run.file_off + run.len);
+        std::sort(iv.begin(), iv.end());
+        std::uint64_t covered = 0, hi = 0;
+        for (const auto& [a, b] : iv) {
+            if (covered == 0 || a > hi) {
+                covered += b - a;
+                hi = b;
+            } else if (b > hi) {
+                covered += b - hi;
+                hi = b;
+            }
+        }
+        if (covered < filespace.npoints()) {
+            obs::ScopedTimerNs copy_timer(c_t_copy_ns_);
+            std::memset(direct, 0, filespace.npoints() * elem);
+            for (const auto& r : recs)
+                scatter_into_packed(filespace, direct, r.sub, r.data, elem);
+        }
+    } else {
+        obs::ScopedTimerNs copy_timer(c_t_copy_ns_);
+        unpack_selection(memspace, packed.data(), elem, buf);
+    }
 }
 
 } // namespace lowfive

@@ -91,6 +91,24 @@ Status Comm::recv(int src, int tag, std::vector<std::byte>& out) const {
     return st;
 }
 
+Status Comm::recv_shared(int src, int tag, SharedPayload& out) const {
+    if (!world_) throw Error("simmpi: operation on an invalid communicator");
+    sched_point("recv");
+    obs::Span span("pt2pt.recv_shared", "simmpi",
+                   {{"comm", context_, nullptr},
+                    {"peer", static_cast<std::uint64_t>(src), nullptr},
+                    {"tag", static_cast<std::uint64_t>(tag), nullptr}});
+    fault_op(tag, false);
+    detail::Envelope env = my_mailbox().pop(context_, src, tag, deadline());
+    Status           st{env.src, env.tag, env.size(), env.check_seq};
+    if (auto* ck = checker())
+        ck->on_recv(world_rank(), context_, peer_world_rank(src), tag,
+                    peer_world_rank(env.src), env.tag, env.check_seq);
+    span.end_arg("bytes", st.count);
+    out = std::move(env.payload);
+    return st;
+}
+
 Status Comm::recv_into(int src, int tag, void* buf, std::size_t capacity) const {
     std::vector<std::byte> raw;
     Status                 st = recv(src, tag, raw);

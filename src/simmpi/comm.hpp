@@ -101,6 +101,13 @@ public:
     /// Receive into caller storage; throws if the message exceeds `capacity`.
     Status recv_into(int src, int tag, void* buf, std::size_t capacity) const;
 
+    /// Receive a message as its refcounted payload, without copying even
+    /// when the sender retains the buffer (unlike recv, which copies
+    /// whenever it is not the sole owner). The bytes stay valid and
+    /// immutable for the payload's lifetime; used by the zero-copy data
+    /// plane to scatter straight out of a producer's dataset buffer.
+    Status recv_shared(int src, int tag, SharedPayload& out) const;
+
     /// Blocking probe: waits for a matching message without consuming it.
     Status probe(int src, int tag) const;
     /// Nonblocking probe.

@@ -90,6 +90,8 @@ void set_last_schedule_hash(std::uint64_t h) {
     g_last_schedule_hash.store(h, std::memory_order_release);
 }
 
+Scheduler* this_thread_scheduler() { return t_sched; }
+
 // --- Scheduler ---------------------------------------------------------------
 
 Scheduler::Scheduler(const SchedConfig& cfg, int nranks)

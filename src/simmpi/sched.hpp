@@ -292,6 +292,12 @@ private:
 /// new task has attached, making the spawn itself deterministic.
 std::thread spawn_participant(Scheduler* s, const char* role, std::function<void()> fn);
 
+/// The scheduler the calling thread is attached to, or nullptr when the
+/// thread is free-running. Lets layers below simmpi (e.g. the h5::par
+/// data-plane pool) route their helper threads through the deterministic
+/// schedule instead of bypassing it.
+Scheduler* this_thread_scheduler();
+
 /// Scheduler-aware guard for a mutex shared between tasks (e.g.
 /// DistMetadataVol's serve-state mutex): under an active scheduler,
 /// contention blocks through the controller so the descheduled holder

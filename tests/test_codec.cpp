@@ -1,0 +1,481 @@
+/// Tests for the wire codec (lowfive::codec): frame round trips over
+/// seeded-random and adversarial buffers, the shuffle transform, the
+/// LZ4-style block format's malformed-input handling, the WireModel
+/// token bucket, and the end-to-end compressed query path.
+
+#include <lowfive/codec.hpp>
+#include <lowfive/lowfive.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+using namespace lowfive::codec;
+
+namespace {
+
+std::vector<std::byte> roundtrip(const std::vector<std::byte>& src, std::size_t elem,
+                                 Method* chosen = nullptr) {
+    std::vector<std::byte> frame;
+    const std::size_t      fsz = compress_frame(src.data(), src.size(), elem, frame, chosen);
+    EXPECT_EQ(fsz, frame.size());
+    EXPECT_EQ(frame_raw_size(frame.data(), frame.size()), src.size());
+    std::vector<std::byte> dst(src.size());
+    decompress_frame(frame.data(), frame.size(), dst.data());
+    return dst;
+}
+
+} // namespace
+
+TEST(Codec, RoundTripCompressibleTypedData) {
+    // an iota of u64s: high bytes near-constant, so the shuffled stream
+    // compresses well — the frame must be much smaller than the input
+    std::vector<std::uint64_t> vals(8192);
+    for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i;
+    std::vector<std::byte> src(vals.size() * 8);
+    std::memcpy(src.data(), vals.data(), src.size());
+
+    Method                 chosen;
+    std::vector<std::byte> frame;
+    const std::size_t      fsz = compress_frame(src.data(), src.size(), 8, frame, &chosen);
+    EXPECT_EQ(chosen, Method::shuffle_lz4);
+    EXPECT_LT(fsz, src.size() / 4) << "iota u64 should compress >4x";
+
+    std::vector<std::byte> dst(src.size());
+    decompress_frame(frame.data(), frame.size(), dst.data());
+    EXPECT_EQ(dst, src);
+}
+
+TEST(Codec, RoundTripAllEqualBuffer) {
+    std::vector<std::byte> src(1 << 16, std::byte{0x5A});
+    Method                 chosen;
+    const auto             back = roundtrip(src, 4, &chosen);
+    EXPECT_EQ(back, src);
+    EXPECT_NE(chosen, Method::raw) << "constant buffer must compress";
+}
+
+TEST(Codec, RoundTripIncompressibleFallsBackToRaw) {
+    std::mt19937           rng(99);
+    std::vector<std::byte> src(1 << 15);
+    for (auto& b : src) b = static_cast<std::byte>(rng());
+    Method     chosen;
+    const auto back = roundtrip(src, 8, &chosen);
+    EXPECT_EQ(back, src);
+    EXPECT_EQ(chosen, Method::raw) << "random bytes must store verbatim";
+}
+
+TEST(Codec, RoundTripEmptyAndTinyBuffers) {
+    for (std::size_t n : {0u, 1u, 2u, 3u, 11u, 12u, 13u, 63u, 64u, 65u}) {
+        std::vector<std::byte> src(n);
+        for (std::size_t i = 0; i < n; ++i) src[i] = static_cast<std::byte>(i * 7);
+        EXPECT_EQ(roundtrip(src, 1), src) << "n=" << n;
+        EXPECT_EQ(roundtrip(src, 8), src) << "n=" << n; // 8 may not divide n: lz4 path
+    }
+}
+
+class CodecFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CodecFuzz, SeededRandomRoundTrips) {
+    std::mt19937 rng(GetParam());
+    for (int iter = 0; iter < 40; ++iter) {
+        const std::size_t n    = rng() % (1u << 16);
+        const std::size_t elem = std::vector<std::size_t>{1, 2, 3, 4, 6, 8, 16}[rng() % 7];
+
+        std::vector<std::byte> src(n);
+        switch (rng() % 4) {
+            case 0: // uniform random (incompressible)
+                for (auto& b : src) b = static_cast<std::byte>(rng());
+                break;
+            case 1: // all equal
+                std::fill(src.begin(), src.end(), static_cast<std::byte>(rng()));
+                break;
+            case 2: // low-entropy ramp (typical numeric data)
+                for (std::size_t i = 0; i < n; ++i)
+                    src[i] = static_cast<std::byte>((i / 16) & 0xff);
+                break;
+            default: // repeated short motif — exercises overlapping matches
+                for (std::size_t i = 0; i < n; ++i)
+                    src[i] = static_cast<std::byte>("abcdb"[i % 5]);
+                break;
+        }
+        ASSERT_EQ(roundtrip(src, elem), src) << "n=" << n << " elem=" << elem;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(1u, 9u));
+
+TEST(Codec, ShuffleRoundTripAndLayout) {
+    const std::size_t      elem = 4, count = 256;
+    std::vector<std::byte> src(elem * count);
+    for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i & 0xff);
+
+    std::vector<std::byte> shuf(src.size()), back(src.size());
+    shuffle(src.data(), src.size(), elem, shuf.data());
+    // k-th bytes of all elements are adjacent
+    for (std::size_t k = 0; k < elem; ++k)
+        for (std::size_t i = 0; i < count; ++i)
+            ASSERT_EQ(shuf[k * count + i], src[i * elem + k]);
+    unshuffle(shuf.data(), shuf.size(), elem, back.data());
+    EXPECT_EQ(back, src);
+}
+
+TEST(Codec, Lz4CapOverflowReturnsZero) {
+    std::mt19937           rng(7);
+    std::vector<std::byte> src(4096);
+    for (auto& b : src) b = static_cast<std::byte>(rng());
+    std::vector<std::byte> dst(64); // far too small for incompressible input
+    EXPECT_EQ(lz4_compress(src.data(), src.size(), dst.data(), dst.size()), 0u);
+}
+
+// --- malformed input ---------------------------------------------------------
+
+TEST(CodecMalformed, FrameHeaderValidation) {
+    std::vector<std::byte> src(256, std::byte{0x11});
+    std::vector<std::byte> frame;
+    compress_frame(src.data(), src.size(), 4, frame);
+    std::vector<std::byte> dst(src.size());
+
+    // shorter than a header
+    EXPECT_THROW(frame_raw_size(frame.data(), frame_header_bytes - 1), CodecError);
+
+    auto corrupt = [&](std::size_t off, std::byte v) {
+        auto bad = frame;
+        bad[off] = v;
+        EXPECT_THROW(decompress_frame(bad.data(), bad.size(), dst.data()), CodecError)
+            << "offset " << off;
+    };
+    corrupt(0, std::byte{0x00});  // magic
+    corrupt(4, std::byte{0xFF});  // version
+    corrupt(5, std::byte{0x7F});  // unknown method
+    corrupt(16, std::byte{0xFF}); // payload_size != frame_size - header
+
+    // truncated frame: header claims more payload than present
+    EXPECT_THROW(decompress_frame(frame.data(), frame.size() - 1, dst.data()), CodecError);
+
+    // shuffled frame with an element width that does not divide raw_size
+    auto bad = frame;
+    ASSERT_EQ(static_cast<std::uint8_t>(bad[5]),
+              static_cast<std::uint8_t>(Method::shuffle_lz4));
+    bad[6] = std::byte{0x03}; // elem = 3, raw_size = 256
+    bad[7] = std::byte{0x00};
+    EXPECT_THROW(decompress_frame(bad.data(), bad.size(), dst.data()), CodecError);
+}
+
+TEST(CodecMalformed, Lz4StreamValidation) {
+    std::vector<std::byte> dst(64);
+
+    // truncated length extension: token says lit=15, no extension byte
+    {
+        const std::byte stream[] = {std::byte{0xF0}};
+        EXPECT_THROW(lz4_decompress(stream, 1, dst.data(), 64), CodecError);
+    }
+    // literal run past input: token says 4 literals, only 2 present
+    {
+        const std::byte stream[] = {std::byte{0x40}, std::byte{'a'}, std::byte{'b'}};
+        EXPECT_THROW(lz4_decompress(stream, 3, dst.data(), 64), CodecError);
+    }
+    // literal run past output
+    {
+        const std::byte stream[] = {std::byte{0x40}, std::byte{'a'}, std::byte{'b'},
+                                    std::byte{'c'}, std::byte{'d'}};
+        EXPECT_THROW(lz4_decompress(stream, 5, dst.data(), 2), CodecError);
+    }
+    // offset zero
+    {
+        const std::byte stream[] = {std::byte{0x10}, std::byte{'a'}, std::byte{0x00},
+                                    std::byte{0x00}};
+        EXPECT_THROW(lz4_decompress(stream, 4, dst.data(), 64), CodecError);
+    }
+    // offset reaching before the start of the output
+    {
+        const std::byte stream[] = {std::byte{0x10}, std::byte{'a'}, std::byte{0x05},
+                                    std::byte{0x00}};
+        EXPECT_THROW(lz4_decompress(stream, 4, dst.data(), 64), CodecError);
+    }
+    // truncated offset (one byte instead of two)
+    {
+        const std::byte stream[] = {std::byte{0x10}, std::byte{'a'}, std::byte{0x01}};
+        EXPECT_THROW(lz4_decompress(stream, 3, dst.data(), 64), CodecError);
+    }
+    // match run past output (raw_n too small for literal + 4-byte match)
+    {
+        const std::byte stream[] = {std::byte{0x10}, std::byte{'a'}, std::byte{0x01},
+                                    std::byte{0x00}};
+        EXPECT_THROW(lz4_decompress(stream, 4, dst.data(), 3), CodecError);
+    }
+    // decoded size mismatch: valid stream, wrong claimed raw size
+    {
+        const std::byte stream[] = {std::byte{0x20}, std::byte{'a'}, std::byte{'b'}};
+        EXPECT_THROW(lz4_decompress(stream, 3, dst.data(), 64), CodecError);
+    }
+    // a well-formed overlapping match decodes correctly: 1 literal then a
+    // 4-byte match at offset 1 replicates it (RLE)
+    {
+        const std::byte stream[] = {std::byte{0x10}, std::byte{'x'}, std::byte{0x01},
+                                    std::byte{0x00}};
+        std::vector<std::byte> out(5);
+        lz4_decompress(stream, 4, out.data(), 5);
+        EXPECT_EQ(out, std::vector<std::byte>(5, std::byte{'x'}));
+    }
+}
+
+// --- WireModel ---------------------------------------------------------------
+
+TEST(WireModel, ChargesBytesAndResets) {
+    auto& wm = WireModel::instance();
+    const double saved = wm.bandwidth_MBps();
+    wm.reset_stats();
+
+    wm.configure(0); // off: free charges, no sleeping
+    wm.charge(1 << 20);
+    wm.charge(123);
+    EXPECT_EQ(wm.bytes_charged(), (1u << 20) + 123u);
+
+    // fast budget: the charge must still be accounted (sleep ~1 ms)
+    wm.configure(1000.0);
+    wm.charge(1 << 20);
+    EXPECT_EQ(wm.bytes_charged(), 2 * (1u << 20) + 123u);
+
+    wm.reset_stats();
+    EXPECT_EQ(wm.bytes_charged(), 0u);
+    wm.configure(saved);
+}
+
+// --- end-to-end compressed query path ----------------------------------------
+
+TEST(CodecEndToEnd, CompressedReadByteIdentical) {
+    // consumer advertises compression for every dataset; the producer's
+    // serve side must frame each piece and the consumer must reassemble
+    // a byte-identical buffer, with the wire carrying fewer bytes than
+    // the payload (iota compresses well)
+    const std::uint64_t total = 1u << 15; // 256 KiB of u64 across 2 producers
+    workflow::Options   opts;
+    opts.mode = workflow::Mode::in_situ();
+    workflow::run(
+        {
+            {"producer", 2,
+             [&](workflow::Context& ctx) {
+                 ctx.vol->set_compress_min_bytes(64);
+                 h5::File f = h5::File::create("codec.h5", ctx.vol);
+                 auto d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({total}));
+                 const auto    per = total / static_cast<std::uint64_t>(ctx.size());
+                 h5::Dataspace sel({total});
+                 diy::Bounds   b(1);
+                 b.min[0] = static_cast<std::int64_t>(per) * ctx.rank();
+                 b.max[0] = static_cast<std::int64_t>(per) * (ctx.rank() + 1);
+                 sel.select_box(b);
+                 std::vector<std::uint64_t> vals(sel.npoints());
+                 for (std::uint64_t i = 0; i < vals.size(); ++i)
+                     vals[i] = static_cast<std::uint64_t>(b.min[0]) + i;
+                 d.write(vals.data(), sel);
+                 f.close(); // serves the consumer's compressed queries
+                 const auto st = ctx.vol->stats();
+                 EXPECT_GT(st.n_compressed_pieces, 0u);
+                 EXPECT_GT(st.bytes_served, 0u);
+                 EXPECT_LT(st.bytes_wire, st.bytes_served)
+                     << "compressed replies should shrink the wire";
+             }},
+            {"consumer", 1,
+             [&](workflow::Context& ctx) {
+                 ctx.vol->set_compress("*", "*");
+                 h5::File f    = h5::File::open("codec.h5", ctx.vol);
+                 auto     vals = f.open_dataset("v").read_vector<std::uint64_t>();
+                 ASSERT_EQ(vals.size(), total);
+                 for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(vals[i], i);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}}, opts);
+}
+
+// --- zero-copy serve path (enc == 2 aliased payloads) -------------------------
+
+TEST(ZeroCopyServe, FullPieceReadAliasesBuffer) {
+    // a whole-piece read above the threshold goes out as an aliased
+    // payload message (no serve-side copy); the consumer must still see
+    // byte-identical data
+    const std::uint64_t total = 1u << 15; // 256 KiB of u64
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f = h5::File::create("zc.h5", ctx.vol);
+                 auto d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({total}));
+                 std::vector<std::uint64_t> vals(total);
+                 for (std::uint64_t i = 0; i < total; ++i) vals[i] = i * 3 + 1;
+                 d.write(vals.data(), h5::Dataspace({total}));
+                 f.close();
+                 const auto st = ctx.vol->stats();
+                 EXPECT_GT(st.n_zero_copy_pieces, 0u);
+                 EXPECT_EQ(st.n_compressed_pieces, 0u);
+             }},
+            {"consumer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f    = h5::File::open("zc.h5", ctx.vol);
+                 auto     vals = f.open_dataset("v").read_vector<std::uint64_t>();
+                 ASSERT_EQ(vals.size(), total);
+                 for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(vals[i], i * 3 + 1);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+}
+
+TEST(ZeroCopyServe, BelowThresholdStaysInline) {
+    // pieces under zero_copy_min_bytes ride inline in the reply header
+    const std::uint64_t total = 512; // 4 KiB < 64 KiB default threshold
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f = h5::File::create("zc_small.h5", ctx.vol);
+                 auto d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({total}));
+                 std::vector<std::uint64_t> vals(total);
+                 for (std::uint64_t i = 0; i < total; ++i) vals[i] = i;
+                 d.write(vals.data(), h5::Dataspace({total}));
+                 f.close();
+                 EXPECT_EQ(ctx.vol->stats().n_zero_copy_pieces, 0u);
+             }},
+            {"consumer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f    = h5::File::open("zc_small.h5", ctx.vol);
+                 auto     vals = f.open_dataset("v").read_vector<std::uint64_t>();
+                 for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(vals[i], i);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+}
+
+TEST(ZeroCopyServe, CompressionTakesPrecedence) {
+    // when the consumer negotiated compression for a dataset, eligible
+    // pieces are framed rather than aliased: the wire budget outranks
+    // the serve-side copy
+    const std::uint64_t total = 1u << 15;
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f = h5::File::create("zc_comp.h5", ctx.vol);
+                 auto d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({total}));
+                 std::vector<std::uint64_t> vals(total);
+                 for (std::uint64_t i = 0; i < total; ++i) vals[i] = i;
+                 d.write(vals.data(), h5::Dataspace({total}));
+                 f.close();
+                 const auto st = ctx.vol->stats();
+                 EXPECT_EQ(st.n_zero_copy_pieces, 0u);
+                 EXPECT_GT(st.n_compressed_pieces, 0u);
+             }},
+            {"consumer", 1,
+             [&](workflow::Context& ctx) {
+                 ctx.vol->set_compress("*", "*");
+                 h5::File f    = h5::File::open("zc_comp.h5", ctx.vol);
+                 auto     vals = f.open_dataset("v").read_vector<std::uint64_t>();
+                 for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(vals[i], i);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+}
+
+TEST(ZeroCopyServe, PartialCoverageHolesReadZero) {
+    // the producer writes only the first half of the dataset; a read of
+    // the whole extent receives the written half as an aliased payload
+    // (sub equals the piece) and must still fill the unwritten half with
+    // zeros — the direct consumer path's lazy-fill fallback
+    const std::uint64_t total = 1u << 15;
+    const std::uint64_t half  = total / 2;
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f = h5::File::create("zc_holes.h5", ctx.vol);
+                 auto d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({total}));
+                 h5::Dataspace sel({total});
+                 diy::Bounds   b(1);
+                 b.min[0] = 0;
+                 b.max[0] = static_cast<std::int64_t>(half);
+                 sel.select_box(b);
+                 std::vector<std::uint64_t> vals(half);
+                 for (std::uint64_t i = 0; i < half; ++i) vals[i] = i + 7;
+                 d.write(vals.data(), sel);
+                 f.close();
+                 EXPECT_GT(ctx.vol->stats().n_zero_copy_pieces, 0u);
+             }},
+            {"consumer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f = h5::File::open("zc_holes.h5", ctx.vol);
+                 // poisoned destination: every byte must be overwritten
+                 // (data or zero fill), nothing may leak through
+                 std::vector<std::uint64_t> vals(total, ~0ull);
+                 auto d = f.open_dataset("v");
+                 d.read(vals.data(), h5::Dataspace({total}), h5::Dataspace({total}));
+                 for (std::uint64_t i = 0; i < half; ++i) ASSERT_EQ(vals[i], i + 7);
+                 for (std::uint64_t i = half; i < total; ++i) ASSERT_EQ(vals[i], 0u);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+}
+
+TEST(ZeroCopyServe, ShallowPiecesServeWithoutAliasing) {
+    // set_zerocopy (user-buffer ownership) is the *write-side* zero-copy:
+    // the piece references user memory with no packed vector to alias on
+    // the wire, so the serve-side zero-copy must decline and extract
+    const std::uint64_t total = 1u << 15;
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](workflow::Context& ctx) {
+                 ctx.vol->set_zerocopy("*", "*");
+                 h5::File f = h5::File::create("zc_shallow.h5", ctx.vol);
+                 auto d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({total}));
+                 std::vector<std::uint64_t> vals(total);
+                 for (std::uint64_t i = 0; i < total; ++i) vals[i] = i ^ 0x5a5a;
+                 d.write(vals.data(), h5::Dataspace({total}));
+                 f.close(); // vals must stay alive through the serve
+                 EXPECT_EQ(ctx.vol->stats().n_zero_copy_pieces, 0u);
+             }},
+            {"consumer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f    = h5::File::open("zc_shallow.h5", ctx.vol);
+                 auto     vals = f.open_dataset("v").read_vector<std::uint64_t>();
+                 for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(vals[i], i ^ 0x5a5a);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+}
+
+TEST(CodecEndToEnd, UncompressedWhenNotAdvertised) {
+    // without set_compress on the consumer, no piece is framed
+    const std::uint64_t total = 4096;
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](workflow::Context& ctx) {
+                 ctx.vol->set_compress_min_bytes(64);
+                 h5::File f = h5::File::create("nocodec.h5", ctx.vol);
+                 auto d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({total}));
+                 std::vector<std::uint64_t> vals(total);
+                 for (std::uint64_t i = 0; i < total; ++i) vals[i] = i;
+                 d.write(vals.data(), h5::Dataspace({total}));
+                 f.close();
+                 EXPECT_EQ(ctx.vol->stats().n_compressed_pieces, 0u);
+             }},
+            {"consumer", 1,
+             [&](workflow::Context& ctx) {
+                 h5::File f    = h5::File::open("nocodec.h5", ctx.vol);
+                 auto     vals = f.open_dataset("v").read_vector<std::uint64_t>();
+                 for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(vals[i], i);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}});
+}

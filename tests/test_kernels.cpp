@@ -1,0 +1,406 @@
+/// Property tests for the data-plane copy kernels: the width-specialized
+/// kern:: copy primitives, byte identity of the three selection kernel
+/// modes (naive / coalesced / vectorized) across odd element widths and
+/// degenerate selections, pool-on/off identity, and schedule-hash replay
+/// with the pool forced on under the deterministic scheduler.
+
+#include <h5/copy.hpp>
+#include <h5/par.hpp>
+#include <lowfive/lowfive.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace h5;
+
+namespace {
+
+/// Restore the process-wide kernel/pool knobs on scope exit so a failing
+/// assertion cannot leak a mode into later tests.
+struct KernelEnvGuard {
+    KernelMode  mode   = selection_kernel_mode();
+    bool        pool   = par::enabled();
+    std::size_t thresh = par::parallel_threshold_bytes();
+    ~KernelEnvGuard() {
+        set_selection_kernel_mode(mode);
+        par::set_enabled(pool);
+        par::set_parallel_threshold_bytes(thresh);
+    }
+};
+
+std::vector<std::byte> pattern_buffer(std::size_t n, unsigned salt) {
+    std::vector<std::byte> buf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = static_cast<std::byte>((i * 131 + salt * 17 + 7) & 0xff);
+    return buf;
+}
+
+/// Recursively split `domain` into random disjoint boxes.
+void random_partition(std::mt19937& rng, const diy::Bounds& domain, int depth,
+                      std::vector<diy::Bounds>& out) {
+    bool can_split = false;
+    for (int i = 0; i < domain.dim; ++i)
+        if (domain.max[static_cast<std::size_t>(i)] - domain.min[static_cast<std::size_t>(i)] >= 2)
+            can_split = true;
+    if (depth == 0 || !can_split) {
+        out.push_back(domain);
+        return;
+    }
+    int axis;
+    do {
+        axis = static_cast<int>(rng() % static_cast<unsigned>(domain.dim));
+    } while (domain.max[static_cast<std::size_t>(axis)] - domain.min[static_cast<std::size_t>(axis)] < 2);
+    auto u   = static_cast<std::size_t>(axis);
+    auto lo  = domain.min[u] + 1;
+    auto cut = lo + static_cast<std::int64_t>(rng() % static_cast<unsigned>(domain.max[u] - lo));
+
+    diy::Bounds left = domain, right = domain;
+    left.max[u]  = cut;
+    right.min[u] = cut;
+    random_partition(rng, left, depth - 1, out);
+    random_partition(rng, right, depth - 1, out);
+}
+
+} // namespace
+
+// --- kern:: copy primitives --------------------------------------------------
+
+TEST(KernCopy, ByteIdentityAcrossSizesWithSentinels) {
+    // every size class the dispatcher distinguishes: inline head/tail
+    // (<= 64), the unrolled word loop, the SIMD main loop and its
+    // overlapping tail, around every power-of-two boundary
+    std::vector<std::size_t> sizes;
+    for (std::size_t n = 0; n <= 70; ++n) sizes.push_back(n);
+    for (std::size_t n : {127u, 128u, 129u, 255u, 256u, 257u, 1000u, 4095u, 4096u, 4097u})
+        sizes.push_back(n);
+    sizes.push_back((1u << 16) + 3);
+
+    constexpr std::size_t guard = 32;
+    for (std::size_t n : sizes) {
+        const auto             src = pattern_buffer(n, static_cast<unsigned>(n));
+        std::vector<std::byte> dst(n + 2 * guard, std::byte{0xEE});
+        kern::copy(dst.data() + guard, src.data(), n);
+        ASSERT_TRUE(std::equal(src.begin(), src.end(), dst.begin() + guard)) << "n=" << n;
+        // the overlapping head/tail stores must stay inside [0, n)
+        for (std::size_t i = 0; i < guard; ++i) {
+            ASSERT_EQ(dst[i], std::byte{0xEE}) << "n=" << n << " leading guard " << i;
+            ASSERT_EQ(dst[guard + n + i], std::byte{0xEE}) << "n=" << n << " trailing guard " << i;
+        }
+    }
+    EXPECT_NE(kern::dispatch_name(), nullptr);
+    EXPECT_GT(std::string(kern::dispatch_name()).size(), 0u);
+}
+
+TEST(KernCopy, StreamingPathAboveThreshold) {
+    // 5 MiB crosses the non-temporal-store threshold (4 MiB)
+    const std::size_t n   = (5u << 20) + 13;
+    const auto        src = pattern_buffer(n, 5);
+    std::vector<std::byte> dst(n);
+    kern::copy(dst.data(), src.data(), n);
+    EXPECT_EQ(src, dst);
+}
+
+TEST(KernCopy, SegmentsIncludingZeroLength) {
+    const auto             src = pattern_buffer(4096, 9);
+    std::vector<std::byte> dst(4096, std::byte{0});
+    std::vector<std::byte> ref(4096, std::byte{0});
+
+    const std::vector<kern::Seg> segs{
+        {0, 100, 7},    // odd length, unaligned source
+        {7, 0, 0},      // zero-length: must be a no-op
+        {10, 2000, 65}, // just over the inline small-copy limit
+        {100, 300, 1},  // single byte
+        {200, 1024, 512},
+    };
+    kern::copy_segments(dst.data(), src.data(), segs.data(), segs.size());
+    for (const auto& s : segs)
+        std::memcpy(ref.data() + s.dst, src.data() + s.src, s.len);
+    EXPECT_EQ(dst, ref);
+}
+
+// --- kernel-mode byte identity ----------------------------------------------
+
+namespace {
+
+/// Run extract_from_packed / scatter_into_packed / extract_via_mapping /
+/// pack / unpack under `mode` and compare byte-for-byte against the
+/// naive oracle outputs computed by the *_naive entry points.
+void check_modes_identical(std::mt19937& rng, std::size_t elem) {
+    KernelEnvGuard guard;
+
+    const Extent dims{8 + rng() % 40, 4 + rng() % 32};
+    diy::Bounds  domain(2);
+    domain.max = {static_cast<std::int64_t>(dims[0]), static_cast<std::int64_t>(dims[1])};
+
+    std::vector<diy::Bounds> pboxes;
+    random_partition(rng, domain, 4, pboxes);
+    std::shuffle(pboxes.begin(), pboxes.end(), rng);
+    Dataspace piece(dims);
+    piece.select_none();
+    for (const auto& b : pboxes) piece.add_box(b);
+
+    std::vector<diy::Bounds> wboxes;
+    random_partition(rng, domain, 5, wboxes);
+    Dataspace want(dims);
+    want.select_none();
+    for (const auto& b : wboxes)
+        if (rng() % 2) want.add_box(b);
+
+    const auto piece_packed = pattern_buffer(piece.npoints() * elem, 1);
+    const auto full         = pattern_buffer(piece.extent_npoints() * elem, 2);
+
+    // oracle: the naive reference entry points (mode-independent)
+    std::vector<std::byte> ref_extract, ref_map;
+    extract_from_packed_naive(piece, piece_packed.data(), want, elem, ref_extract);
+    std::vector<std::byte> ref_scatter(piece_packed.size(), std::byte{0});
+    scatter_into_packed_naive(piece, ref_scatter.data(), want, ref_extract.data(), elem);
+
+    const std::uint64_t pad = 3;
+    Dataspace           mem(Extent{piece.npoints() + 2 * pad});
+    diy::Bounds         mb(1);
+    mb.min[0] = static_cast<std::int64_t>(pad);
+    mb.max[0] = static_cast<std::int64_t>(pad + piece.npoints());
+    mem.select_box(mb);
+    const auto membuf = pattern_buffer((piece.npoints() + 2 * pad) * elem, 3);
+    extract_via_mapping_naive(piece, mem, membuf.data(), want, elem, ref_map);
+
+    for (KernelMode mode : {KernelMode::naive, KernelMode::coalesced, KernelMode::vectorized}) {
+        set_selection_kernel_mode(mode);
+        ASSERT_EQ(selection_kernel_mode(), mode);
+        const char* name = kernel_mode_name(mode);
+
+        std::vector<std::byte> got;
+        extract_from_packed(piece, piece_packed.data(), want, elem, got);
+        ASSERT_EQ(got, ref_extract) << name << " elem=" << elem;
+
+        std::vector<std::byte> dst(piece_packed.size(), std::byte{0});
+        scatter_into_packed(piece, dst.data(), want, got.data(), elem);
+        ASSERT_EQ(dst, ref_scatter) << name << " elem=" << elem;
+
+        std::vector<std::byte> map_got;
+        extract_via_mapping(piece, mem, membuf.data(), want, elem, map_got);
+        ASSERT_EQ(map_got, ref_map) << name << " elem=" << elem;
+
+        // pack/unpack round trip through the same Seg machinery
+        std::vector<std::byte> packed(piece.npoints() * elem);
+        pack_selection(piece, full.data(), elem, packed.data());
+        std::vector<std::byte> full2(full.size(), std::byte{0});
+        unpack_selection(piece, packed.data(), elem, full2.data());
+        std::vector<std::byte> repacked(packed.size(), std::byte{0xAB});
+        pack_selection(piece, full2.data(), elem, repacked.data());
+        ASSERT_EQ(repacked, packed) << name << " elem=" << elem;
+    }
+}
+
+} // namespace
+
+class KernelModeProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KernelModeProperty, AllModesByteIdenticalOddWidths) {
+    // element widths 1..8 cover every 1–7 byte tail the width-specialized
+    // kernels have to handle (and the word-multiple case)
+    std::mt19937 rng(GetParam());
+    for (std::size_t elem = 1; elem <= 8; ++elem) check_modes_identical(rng, elem);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelModeProperty, ::testing::Range(1u, 13u));
+
+TEST(KernelModeEdge, EmptySelectionAllModes) {
+    KernelEnvGuard guard;
+    const Extent   dims{16, 16};
+    Dataspace      piece(dims); // everything selected
+    Dataspace      want(dims);
+    want.select_none();
+
+    const auto piece_packed = pattern_buffer(piece.npoints() * 4, 11);
+    for (KernelMode mode : {KernelMode::naive, KernelMode::coalesced, KernelMode::vectorized}) {
+        set_selection_kernel_mode(mode);
+        std::vector<std::byte> out;
+        extract_from_packed(piece, piece_packed.data(), want, 4, out);
+        EXPECT_TRUE(out.empty()) << kernel_mode_name(mode);
+
+        auto      dst = piece_packed;
+        std::byte dummy{};
+        scatter_into_packed(piece, dst.data(), want, &dummy, 4);
+        EXPECT_EQ(dst, piece_packed) << kernel_mode_name(mode); // untouched
+    }
+}
+
+TEST(KernelModeEdge, SingleElementRowsOddWidths) {
+    // a checkerboard of 1×1 boxes: every coalesced run is one element, so
+    // for elem 1..7 every copy is a sub-word tail
+    KernelEnvGuard guard;
+    const Extent   dims{8, 8};
+    Dataspace      piece(dims);
+    piece.select_none();
+    std::vector<diy::Bounds> cells;
+    for (std::int64_t x = 0; x < 8; ++x)
+        for (std::int64_t y = 0; y < 8; ++y) {
+            diy::Bounds b(2);
+            b.min = {x, y};
+            b.max = {x + 1, y + 1};
+            if ((x + y) % 2 == 0) piece.add_box(b);
+            if ((x + y) % 4 == 0) cells.push_back(b);
+        }
+    Dataspace want(dims);
+    want.select_none();
+    for (const auto& b : cells) want.add_box(b);
+
+    for (std::size_t elem = 1; elem <= 7; ++elem) {
+        const auto packed = pattern_buffer(piece.npoints() * elem, static_cast<unsigned>(elem));
+        std::vector<std::byte> ref;
+        extract_from_packed_naive(piece, packed.data(), want, elem, ref);
+        ASSERT_EQ(ref.size(), want.npoints() * elem);
+
+        for (KernelMode mode : {KernelMode::coalesced, KernelMode::vectorized}) {
+            set_selection_kernel_mode(mode);
+            std::vector<std::byte> got;
+            extract_from_packed(piece, packed.data(), want, elem, got);
+            ASSERT_EQ(got, ref) << kernel_mode_name(mode) << " elem=" << elem;
+
+            std::vector<std::byte> dst_got(packed.size(), std::byte{0});
+            std::vector<std::byte> dst_ref(packed.size(), std::byte{0});
+            scatter_into_packed(piece, dst_got.data(), want, got.data(), elem);
+            scatter_into_packed_naive(piece, dst_ref.data(), want, ref.data(), elem);
+            ASSERT_EQ(dst_got, dst_ref) << kernel_mode_name(mode) << " elem=" << elem;
+        }
+    }
+}
+
+// --- pool identity -----------------------------------------------------------
+
+TEST(KernelPool, PoolOnOffByteIdentity) {
+    if (par::workers() < 1) GTEST_SKIP() << "pool disabled (L5_DATA_THREADS=0 or 1 hw thread)";
+    KernelEnvGuard guard;
+    set_selection_kernel_mode(KernelMode::vectorized);
+
+    // 2 MiB across many runs: with a 1-byte threshold this fans out into
+    // multiple chunks; the result must match the inline (pool-off) path
+    const Extent dims{512, 1024}; // u32 elements -> 2 MiB full extent
+    Dataspace    piece(dims);
+    piece.select_none();
+    for (std::int64_t x = 0; x < 512; x += 2) {
+        diy::Bounds b(2);
+        b.min = {x, 0};
+        b.max = {x + 1, 1024};
+        piece.add_box(b);
+    }
+    Dataspace want(dims);
+    want.select_none();
+    for (std::int64_t x = 0; x < 512; x += 4) {
+        diy::Bounds b(2);
+        b.min = {x, 128};
+        b.max = {x + 1, 900};
+        want.add_box(b);
+    }
+    const std::size_t elem   = 4;
+    const auto        packed = pattern_buffer(piece.npoints() * elem, 21);
+
+    par::set_enabled(false);
+    std::vector<std::byte> ref;
+    extract_from_packed(piece, packed.data(), want, elem, ref);
+    std::vector<std::byte> dst_ref(packed.size(), std::byte{0});
+    scatter_into_packed(piece, dst_ref.data(), want, ref.data(), elem);
+
+    par::set_enabled(true);
+    par::set_parallel_threshold_bytes(1);
+    std::vector<std::byte> got;
+    extract_from_packed(piece, packed.data(), want, elem, got);
+    ASSERT_EQ(got, ref);
+    std::vector<std::byte> dst_got(packed.size(), std::byte{0});
+    scatter_into_packed(piece, dst_got.data(), want, got.data(), elem);
+    ASSERT_EQ(dst_got, dst_ref);
+}
+
+TEST(KernelPool, ParallelForExceptionPropagates) {
+    if (par::workers() < 1) GTEST_SKIP() << "pool disabled";
+    KernelEnvGuard guard;
+    par::set_enabled(true);
+    EXPECT_THROW(
+        par::parallel_for(8,
+                          [](std::size_t i) {
+                              if (i == 5) throw std::runtime_error("chunk failed");
+                          }),
+        std::runtime_error);
+    // the pool must still be usable after a failed job
+    std::atomic<int> hits{0};
+    par::parallel_for(8, [&](std::size_t) { hits.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(hits.load(), 8);
+}
+
+// --- deterministic replay with the pool enabled ------------------------------
+
+namespace {
+
+/// The canonical serve-plane workflow with every transfer forced through
+/// the pool: the schedule hash must replay exactly (pool participants
+/// spawn/join at deterministic points).
+std::uint64_t pooled_replay_run(std::uint64_t seed) {
+    workflow::Options opts;
+    opts.mode = workflow::Mode::in_situ();
+    simmpi::SchedConfig sc;
+    sc.seed            = seed;
+    sc.policy          = simmpi::SchedConfig::Policy::random;
+    sc.depth           = 3;
+    opts.runtime.sched = sc;
+
+    const h5::Extent dims{24, 24};
+    workflow::run(
+        {
+            {"producer", 2,
+             [&](workflow::Context& ctx) {
+                 h5::File f = h5::File::create("pool_replay.h5", ctx.vol);
+                 auto d = f.create_dataset("g", h5::dt::uint64(), h5::Dataspace(dims));
+                 diy::Bounds domain(2);
+                 domain.max = {24, 24};
+                 diy::RegularDecomposer dec(domain, ctx.size());
+                 auto          mine = dec.block_bounds(ctx.rank());
+                 h5::Dataspace sel(dims);
+                 sel.select_box(mine);
+                 std::vector<std::uint64_t> vals(sel.npoints());
+                 std::size_t                k = 0;
+                 for (auto x = mine.min[0]; x < mine.max[0]; ++x)
+                     for (auto y = mine.min[1]; y < mine.max[1]; ++y)
+                         vals[k++] = static_cast<std::uint64_t>(x * 24 + y);
+                 d.write(vals.data(), sel);
+                 f.close();
+             }},
+            {"consumer", 2,
+             [&](workflow::Context& ctx) {
+                 h5::File f    = h5::File::open("pool_replay.h5", ctx.vol);
+                 auto     vals = f.open_dataset("g").read_vector<std::uint64_t>();
+                 for (std::size_t i = 0; i < vals.size(); ++i)
+                     ASSERT_EQ(vals[i], i) << "seed " << seed;
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}}, opts);
+    return simmpi::last_schedule_hash();
+}
+
+} // namespace
+
+TEST(KernelPool, ScheduleHashReplaysWithPoolEnabled) {
+    if (par::workers() < 1) GTEST_SKIP() << "pool disabled";
+    KernelEnvGuard guard;
+    set_selection_kernel_mode(KernelMode::vectorized);
+    par::set_enabled(true);
+    par::set_parallel_threshold_bytes(1); // every transfer fans out
+
+    for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+        const auto a = pooled_replay_run(seed);
+        const auto b = pooled_replay_run(seed);
+        EXPECT_NE(a, 0u) << "seed " << seed << ": scheduler did not run";
+        EXPECT_EQ(a, b) << "seed " << seed << ": schedule failed to replay with pool on";
+    }
+}
