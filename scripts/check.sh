@@ -60,6 +60,14 @@ echo "== Deterministic-scheduler sweep (mh5sched) =="
 L5_DATA_THREADS=3 L5_PAR_THRESHOLD=1024 \
     ./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check \
     -- ./build/tests/test_dist_vol --gtest_brief=1
+# streaming-transport sweep: the step protocol (publish/acquire/pin/
+# release, backpressure waits, drop GC) must stay hang-free and
+# policy-correct under adversarial interleavings; --check arms the
+# step-order checker in every explored schedule
+./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check \
+    -- ./build/tests/test_stream --gtest_brief=1
+./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check \
+    -- ./build/tests/test_stream --gtest_brief=1
 
 if [[ $tsan -eq 1 ]]; then
     echo "== ThreadSanitizer tree (build-tsan) =="
@@ -71,7 +79,7 @@ if [[ $tsan -eq 1 ]]; then
     # abort/deadline/fault-injection hang-regression suite, and the
     # deterministic scheduler (cooperative handoffs + replay corpus)
     ctest --test-dir build-tsan --output-on-failure --no-tests=error --timeout 300 -j "$jobs" \
-          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol|Telemetry|FaultInjection|Sched'
+          -R 'Simmpi|AsyncServe|QueryPipeline|DistVol|Telemetry|FaultInjection|Sched|Stream'
 fi
 
 if [[ $ubsan -eq 1 ]]; then

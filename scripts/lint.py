@@ -22,6 +22,14 @@ non-atomic-toggle
             explicit memory order (see h5::g_kernel_mode), or guard the
             state with a mutex. const/constexpr and thread_local globals
             are exempt — they are not shared mutable state.
+raw-step-index
+            the stream-facing public headers (src/lowfive/stream/*.hpp)
+            must not declare step indices as raw integers (`int step`,
+            `std::uint64_t next_step`, ...): a bare integer silently
+            mixes step versions with ranks, sizes, and counts. Use the
+            typed stream::StepId, whose ordering and "none" sentinel
+            carry the protocol semantics; raw integers belong only at
+            the wire-serialization boundary inside .cpp files.
 
 A finding is suppressed by `// lint: allow-<rule>(<reason>)` on the same
 line or the line directly above; the reason is mandatory and should say
@@ -51,6 +59,13 @@ NON_ATOMIC_TOGGLE = re.compile(
     r"g_\w+"
 )
 TOGGLE_EXEMPT = re.compile(r"\bconst\b|\bconstexpr\b|\bthread_local\b|\batomic\b")
+# an integer-typed declaration whose identifier names a step — the typed
+# StepId (step.hpp) is the only sanctioned spelling in public headers
+RAW_STEP_INDEX = re.compile(
+    r"\b(?:int|long(?:\s+long)?|unsigned(?:\s+(?:char|short|int|long))?"
+    r"|std::(?:u?int\d+_t|size_t|ptrdiff_t))\s+"
+    r"\w*[Ss]tep\w*\s*[;,)=({\[]"
+)
 ALLOW = re.compile(r"//\s*lint:\s*allow-([a-z-]+)\(([^)]+)\)")
 
 
@@ -96,6 +111,10 @@ def main():
         if SCHED_AWARE.search(path.read_text(encoding="utf-8", errors="replace")):
             rules.append(("bare-wait", BARE_WAIT.search))
         findings += scan_file(path, rules)
+
+    for path in iter_sources(REPO / "src" / "lowfive" / "stream"):
+        if path.suffix == ".hpp":
+            findings += scan_file(path, [("raw-step-index", RAW_STEP_INDEX.search)])
 
     for path, lineno, rule, line in findings:
         rel = path.relative_to(REPO)

@@ -233,6 +233,44 @@ void Checker::on_count_mismatch(int rank, int src, int tag, const char* what,
            false);
 }
 
+void Checker::on_step(int rank, const char* event, const std::string& stream,
+                      std::uint64_t step) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto                  key = std::make_pair(rank, stream);
+    const std::string           ev(event);
+    if (ev == "publish") {
+        auto& last = last_publish_[key];
+        if (last > step)
+            record("step-order",
+                   "rank " + std::to_string(rank) + " published step " + std::to_string(step)
+                       + " of stream '" + stream + "' after step " + std::to_string(last - 1)
+                       + " — step versions must be strictly increasing per rank",
+                   true);
+        else
+            last = step + 1;
+    } else if (ev == "acquire") {
+        auto& last = last_acquire_[key];
+        if (last > step)
+            record("step-order",
+                   "rank " + std::to_string(rank) + " acquired step " + std::to_string(step)
+                       + " of stream '" + stream + "' after step " + std::to_string(last - 1)
+                       + " — a consumer's steps must move strictly forward",
+                   true);
+        else
+            last = step + 1;
+    } else if (ev == "release") {
+        const auto it = last_acquire_.find(key);
+        if (it == last_acquire_.end() || it->second != step + 1)
+            record("step-order",
+                   "rank " + std::to_string(rank) + " released step " + std::to_string(step)
+                       + " of stream '" + stream + "' which it does not hold"
+                       + (it == last_acquire_.end()
+                              ? std::string(" (nothing acquired)")
+                              : " (holds step " + std::to_string(it->second - 1) + ")"),
+                   true);
+    }
+}
+
 void Checker::reserve_tags(std::uint64_t context, int lo, int hi, const char* owner) {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& res : reservations_) {

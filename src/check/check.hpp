@@ -149,6 +149,15 @@ public:
     void on_count_mismatch(int rank, int src, int tag, const char* what, std::size_t expected,
                            std::size_t got);
 
+    /// A stream step lifecycle event ("publish", "acquire", "release")
+    /// on `rank` for step `step` of `stream`. Runs the **step-order**
+    /// lint: publishes must be strictly increasing per (rank, stream)
+    /// (a producer re-publishing or reordering step versions), acquires
+    /// must be strictly increasing per (rank, stream) (a consumer going
+    /// backwards — even under latest_only steps only ever move forward),
+    /// and a release must name the step the rank last acquired.
+    void on_step(int rank, const char* event, const std::string& stream, std::uint64_t step);
+
     // --- protocol annotations ---------------------------------------------
 
     /// Reserve [lo, hi] as `owner`'s control-tag range: traffic using
@@ -227,6 +236,11 @@ private:
     };
     std::map<std::uint64_t, PendingIrecv> irecvs_;
     std::uint64_t                         next_irecv_ = 1;
+
+    // step-order lint state: last step + 1 per (rank, stream) so 0 means
+    // "none seen yet" (step versions themselves start at 0)
+    std::map<std::pair<int, std::string>, std::uint64_t> last_publish_;
+    std::map<std::pair<int, std::string>, std::uint64_t> last_acquire_;
 
     std::vector<Diagnostic>      diags_;
     std::function<std::string()> repro_fn_;

@@ -7,6 +7,7 @@
 #include <simmpi/sched.hpp>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -34,6 +35,14 @@ enum class Op : std::uint8_t {
     IntersectQuery = 2,
     DataQuery      = 3,
     Done           = 4,
+    // streaming protocol (see DESIGN.md § Streaming transport): the
+    // consumer task's rank 0 asks producer rank 0 (the coordinator) for
+    // the next step, pins it on every other producer rank, and releases
+    // all pins once every consumer rank finished reading the step
+    StepNext    = 5, ///< consumer rank 0 → coordinator: grant next step >= min
+    StepPin     = 6, ///< consumer rank 0 → other producer ranks: pin granted step
+    StepRelease = 7, ///< consumer rank 0 → every producer rank: drop one pin
+    StreamDone  = 8, ///< consumer rank 0 → every producer rank: task unsubscribed
 };
 
 constexpr int rpc_request    = 901;
@@ -58,6 +67,13 @@ diy::BinaryBuffer recv_buffer(const simmpi::Comm& ic, int src, int tag, int* fro
 void collect_datasets(Object* obj, std::vector<std::pair<std::string, Object*>>& out) {
     if (obj->kind == ObjectKind::Dataset) out.emplace_back(obj->path(), obj);
     for (auto& c : obj->children) collect_datasets(c.get(), out);
+}
+
+/// Monotonic timestamp for step publish→drain latency accounting.
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
 }
 
 } // namespace
@@ -91,6 +107,11 @@ DistMetadataVol::Stats DistMetadataVol::stats() const {
     s.n_intersect_cache_misses = c_cache_misses_.value();
     s.n_compressed_pieces      = c_compressed_pieces_.value();
     s.n_zero_copy_pieces       = c_zero_copy_pieces_.value();
+    s.n_steps_published        = c_steps_published_.value();
+    s.n_steps_dropped          = c_steps_dropped_.value();
+    s.n_steps_drained          = c_steps_drained_.value();
+    s.n_step_publish_waits     = c_step_publish_waits_.value();
+    s.n_steps_acquired         = c_steps_acquired_.value();
     return s;
 }
 
@@ -152,20 +173,29 @@ void DistMetadataVol::finish_serving() {
     if (!serve_thread_.joinable()) return;
     auto*              sched = local_.scheduler();
     std::exception_ptr err;
-    {
+    try {
         Guard lock(sched, mutex_, "finish_serving");
-        simmpi::detail::coop_wait(sched, dones_cv_, lock, "finish_serving/dones", [&] {
-            return serve_error_ || dones_received_ >= dones_expected_;
-        });
+        simmpi::detail::coop_wait(sched, dones_cv_, lock, "finish_serving/dones",
+                                  [&] { return rounds_done_locked(); });
         err = serve_error_;
+    } catch (...) {
+        // deadline / deadlock / abort surfaced at the wait itself: the
+        // serve thread must still be woken and joined below, or the
+        // std::thread member is destroyed joinable (std::terminate)
+        err = std::current_exception();
     }
-    if (!err) {
+    bool serve_died;
+    {
+        Guard lock(sched, mutex_, "finish_serving/check_error");
+        serve_died = serve_error_ != nullptr;
+    }
+    if (!serve_died) {
         try {
             local_.send(local_.rank(), rpc_request, nullptr, 0); // shutdown signal
         } catch (...) {
             // the send can only fail when the world was aborted under us;
             // the same poison has already woken the serve thread
-            err = std::current_exception();
+            if (!err) err = std::current_exception();
         }
     }
     // under a deterministic scheduler the joiner steps away so the serve
@@ -187,6 +217,12 @@ void* DistMetadataVol::file_create(const std::string& name) {
 
 void DistMetadataVol::file_close(void* file) {
     Guard lock(local_.scheduler(), mutex_, "file_close");
+    // closing a writable step snapshot publishes it: run the window
+    // admission (and any block-policy backpressure wait) up front, while
+    // mutex_ is held exactly once — the wait must release it fully so
+    // the serve thread can process releases that free a slot
+    if (HandleBox* h = box(file); h->file && h->file->writable && !h->file->remote)
+        if (auto split = stream::split_step_name(h->file->name)) stream_admit(lock, split->first);
     MetadataVol::file_close(file);
 }
 
@@ -201,7 +237,8 @@ void DistMetadataVol::drop_file(const std::string& name) {
             return serve_error_ || dones_received_ >= dones_expected_;
         });
     index_.erase(name);
-    invalidate_producer_cache(name);
+    // the consumer-side intersect cache survives: its entries are keyed
+    // by publish version, so a later rewrite can never serve stale sets
     MetadataVol::drop_file(name);
 }
 
@@ -223,8 +260,11 @@ void DistMetadataVol::consume_from(simmpi::Comm intercomm, std::string pattern) 
 }
 
 int DistMetadataVol::route_consume(const std::string& name) const {
+    // step snapshots route like their base name: connection patterns
+    // name streams, not individual step files
+    const std::string base = stream::base_name(name);
     for (std::size_t i = 0; i < consume_conns_.size(); ++i)
-        if (glob_match(consume_conns_[i].pattern, name)) return static_cast<int>(i);
+        if (glob_match(consume_conns_[i].pattern, base)) return static_cast<int>(i);
     return -1;
 }
 
@@ -236,6 +276,9 @@ void DistMetadataVol::index_file(FileEntry& entry) {
                             {{"file", 0, obs::intern_if_enabled(entry.name)}});
 
     index_.erase(entry.name); // a rewrite replaces the index, never appends
+    // every (re)index is a new publish: consumers key their intersect
+    // cache by this version, learned from the metadata reply
+    ++publish_versions_[entry.name];
 
     std::vector<std::pair<std::string, Object*>> dsets;
     collect_datasets(entry.root.get(), dsets);
@@ -273,9 +316,8 @@ void DistMetadataVol::serve_all() {
     Guard lock(sched, mutex_, "serve_all");
     if (serve_thread_.joinable()) {
         // background mode: just wait for the server to drain the rounds
-        simmpi::detail::coop_wait(sched, dones_cv_, lock, "serve_all/dones", [&] {
-            return serve_error_ || dones_received_ >= dones_expected_;
-        });
+        simmpi::detail::coop_wait(sched, dones_cv_, lock, "serve_all/dones",
+                                  [&] { return rounds_done_locked(); });
         if (serve_error_) std::rethrow_exception(serve_error_);
         return;
     }
@@ -339,6 +381,10 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
             break;
         }
         diy::BinaryBuffer reply;
+        std::uint64_t     version = 0;
+        if (auto vit = publish_versions_.find(name); vit != publish_versions_.end())
+            version = vit->second;
+        reply.save(version);
         it->second.root->save_skeleton(reply);
         send_buffer(conn.ic, src, rpc_reply, std::move(reply));
         break;
@@ -435,14 +481,14 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
                 // frame size (patched once known), then the frame. When
                 // the query wants the whole piece and it owns a packed
                 // copy, compress straight from it — no extract copy.
-                const std::byte* payload = nullptr;
+                const std::byte* enc_src = nullptr;
                 if (sub.npoints() == piece->filespace.npoints())
                     if (const auto* pb = piece->packed_bytes(); pb && pb->size() == nbytes)
-                        payload = pb->data();
-                if (!payload) {
+                        enc_src = pb->data();
+                if (!enc_src) {
                     scratch.clear();
                     piece->extract(sub, elem, scratch);
-                    payload = scratch.data();
+                    enc_src = scratch.data();
                 }
                 reply.save<std::uint8_t>(1);
                 auto&             raw   = reply.mutable_data();
@@ -451,7 +497,7 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
                 std::uint64_t fsz;
                 {
                     obs::ScopedTimerNs enc_timer(c_t_encode_ns_);
-                    fsz = codec::compress_frame(payload, nbytes, elem, raw);
+                    fsz = codec::compress_frame(enc_src, nbytes, elem, raw);
                 }
                 std::memcpy(raw.data() + szoff, &fsz, 8);
                 c_compressed_pieces_.inc();
@@ -476,6 +522,85 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         for (auto& p : zc) conn.ic.send_shared(src, rpc_data_reply, std::move(p));
         break;
     }
+    case Op::StepNext: {
+        std::string base;
+        bb.load(base);
+        const auto min_raw = bb.load<std::uint64_t>();
+        const auto latest  = bb.load<std::uint8_t>();
+
+        auto                        sit = streams_.find(base);
+        stream::StepWindow::Acquire r; // default: retry_later
+        if (sit != streams_.end()) r = sit->second.acquire(stream::StepId(min_raw), latest != 0);
+        if (r.status == stream::StepWindow::Acquire::Status::retry_later) {
+            // nothing published past `min` yet and the stream is still
+            // open (or not registered yet): park the request; replayed
+            // after the next publish / stream begin / stream end
+            diy::BinaryBuffer orig;
+            orig.save(static_cast<std::uint8_t>(Op::StepNext));
+            orig.save(base);
+            orig.save(min_raw);
+            orig.save(latest);
+            std::size_t conn_idx = static_cast<std::size_t>(&conn - serve_conns_.data());
+            deferred_.push_back({conn_idx, src, std::move(orig).take()});
+            break;
+        }
+        obs::instant("serve.step_next", "lowfive",
+                     {{"src", static_cast<std::uint64_t>(src), nullptr},
+                      {"step", r.step.valid() ? r.step.value() : 0, nullptr}});
+        diy::BinaryBuffer reply;
+        reply.save<std::uint8_t>(r.status == stream::StepWindow::Acquire::Status::eos ? 1 : 0);
+        reply.save<std::uint64_t>(r.step.valid() ? r.step.value() : 0);
+        send_buffer(conn.ic, src, rpc_reply, std::move(reply));
+        break;
+    }
+    case Op::StepPin: {
+        std::string base;
+        bb.load(base);
+        const auto sv  = bb.load<std::uint64_t>();
+        auto       sit = streams_.find(base);
+        const bool ok  = sit != streams_.end() && sit->second.pin(stream::StepId(sv));
+        diy::BinaryBuffer reply;
+        // 2 = gone: this rank's window raced ahead and already evicted
+        // the step — the consumer rolls its pins back and retries higher
+        reply.save<std::uint8_t>(ok ? 0 : 2);
+        send_buffer(conn.ic, src, rpc_reply, std::move(reply));
+        break;
+    }
+    case Op::StepRelease: {
+        std::string base;
+        bb.load(base);
+        const auto sv       = bb.load<std::uint64_t>();
+        const auto rollback = bb.load<std::uint8_t>(); // pin rollback, not a drain
+        auto       sit      = streams_.find(base);
+        if (sit == streams_.end())
+            throw Error("lowfive: step release for unknown stream '" + base + "'");
+        auto rel = sit->second.release(stream::StepId(sv));
+        if (!rel)
+            throw Error("lowfive: release of an unpinned step " + std::to_string(sv)
+                        + " of stream '" + base + "'");
+        if (rel->first_drain && !rollback) {
+            c_steps_drained_.inc();
+            h_step_latency_ns_.observe(now_ns() - rel->publish_ns);
+            obs::instant("stream.drain", "lowfive",
+                         {{"stream", 0, obs::intern_if_enabled(base)}, {"step", sv, nullptr}});
+        }
+        stream_room_locked(base, sit->second);
+        break;
+    }
+    case Op::StreamDone: {
+        std::string base;
+        bb.load(base);
+        auto sit = streams_.find(base);
+        if (sit == streams_.end()) {
+            // consumer subscribed and quit before the writer registered
+            // the stream; credited at stream_begin
+            ++pending_stream_dones_[base];
+            break;
+        }
+        sit->second.consumer_done();
+        stream_room_locked(base, sit->second);
+        break;
+    }
     }
 }
 
@@ -486,15 +611,279 @@ void DistMetadataVol::retry_deferred() {
         handle_request(serve_conns_[d.conn], d.src, std::move(d.payload));
 }
 
+// --- step-versioned streaming --------------------------------------------------
+
+void DistMetadataVol::set_stream(const std::string& pattern, stream::StreamConfig cfg) {
+    stream_cfgs_.emplace_back(pattern, cfg);
+}
+
+stream::StreamConfig DistMetadataVol::stream_config_for(const std::string& name) const {
+    for (const auto& [pattern, cfg] : stream_cfgs_)
+        if (glob_match(pattern, name)) return cfg.normalized();
+    return stream::StreamConfig::from_env().normalized();
+}
+
+stream::StreamConfig DistMetadataVol::stream_begin(const std::string& name,
+                                                   std::optional<stream::StreamConfig> cfg) {
+    if (name.find('\x1f') != std::string::npos)
+        throw Error("lowfive: stream name '" + name + "' must not contain the step separator");
+    if (!matches_file(memory_, name))
+        throw Error("lowfive: stream '" + name
+                    + "' requires in-memory mode (file-mode steps have no staging window)");
+    const auto conf = (cfg ? *cfg : stream_config_for(name)).normalized();
+
+    Guard lock(local_.scheduler(), mutex_, "stream_begin");
+    if (streams_.count(name))
+        throw Error("lowfive: stream '" + name + "' is already open");
+    auto [it, inserted] = streams_.emplace(name, stream::StepWindow(conf));
+    auto& window        = it->second;
+    window.set_expected_consumers(stream_expected_consumers(name));
+    // credit StreamDones that raced ahead of us
+    if (auto pd = pending_stream_dones_.find(name); pd != pending_stream_dones_.end()) {
+        for (std::uint64_t i = 0; i < pd->second; ++i) window.consumer_done();
+        pending_stream_dones_.erase(pd);
+    }
+    // streams always serve in the background: publishes return while
+    // consumers drain, and the thread must exist even before the first
+    // publish so an empty stream still answers acquires with eos
+    background_ = true;
+    ensure_serve_thread_locked();
+    retry_deferred(); // StepNext requests that raced ahead of the begin
+    return conf;
+}
+
+void DistMetadataVol::stream_end(const std::string& name) {
+    Guard lock(local_.scheduler(), mutex_, "stream_end");
+    auto  it = streams_.find(name);
+    if (it == streams_.end()) return; // already retired
+    it->second.set_eos();
+    retry_deferred(); // parked acquires past the last step now see eos
+    stream_room_locked(name, it->second);
+    notify_dones();
+}
+
+stream::StreamConfig DistMetadataVol::stream_subscribe(const std::string& name,
+                                                       std::optional<stream::StreamConfig> cfg) {
+    if (name.find('\x1f') != std::string::npos)
+        throw Error("lowfive: stream name '" + name + "' must not contain the step separator");
+    if (route_consume(name) < 0)
+        throw Error("lowfive: no producer connection for stream '" + name + "'");
+    if (!matches_file(memory_, name))
+        throw Error("lowfive: stream '" + name + "' requires in-memory mode");
+    return (cfg ? *cfg : stream_config_for(name)).normalized();
+}
+
+std::optional<stream::StepId> DistMetadataVol::stream_acquire(const std::string& name,
+                                                              stream::StepId min, bool latest) {
+    const int ci = route_consume(name);
+    if (ci < 0) throw Error("lowfive: no producer connection for stream '" + name + "'");
+    auto&     conn   = consume_conns_[static_cast<std::size_t>(ci)];
+    const int npeers = conn.ic.peer_size();
+
+    // rank 0 runs the grant/pin protocol on behalf of the whole task;
+    // the result is broadcast so every rank steps through the same
+    // versions (per-rank windows can diverge under drop/latest_only)
+    std::uint64_t raw = 0; // StepId wire encoding: 0 = end of stream
+    if (local_.rank() == 0) {
+        for (;;) {
+            diy::BinaryBuffer req;
+            req.save(static_cast<std::uint8_t>(Op::StepNext));
+            req.save(name);
+            req.save<std::uint64_t>(min.valid() ? min.value() : 0);
+            req.save<std::uint8_t>(latest ? 1 : 0);
+            send_buffer(conn.ic, 0, rpc_request, std::move(req));
+            auto       reply = recv_buffer(conn.ic, 0, rpc_reply);
+            const auto kind  = reply.load<std::uint8_t>(); // 0 granted, 1 eos
+            const auto sv    = reply.load<std::uint64_t>();
+            if (kind == 1) break; // raw stays 0: eos
+
+            // the coordinator's grant pinned rank 0; pin everywhere else
+            const stream::StepId step(sv);
+            auto                 send_release = [&](int p, bool rollback) {
+                diy::BinaryBuffer rel;
+                rel.save(static_cast<std::uint8_t>(Op::StepRelease));
+                rel.save(name);
+                rel.save<std::uint64_t>(step.value());
+                rel.save<std::uint8_t>(rollback ? 1 : 0);
+                send_buffer(conn.ic, p, rpc_request, std::move(rel));
+            };
+            int pinned_until = 1; // producer ranks [0, pinned_until) hold a pin
+            for (int p = 1; p < npeers; ++p) {
+                diy::BinaryBuffer pin;
+                pin.save(static_cast<std::uint8_t>(Op::StepPin));
+                pin.save(name);
+                pin.save<std::uint64_t>(step.value());
+                send_buffer(conn.ic, p, rpc_request, std::move(pin));
+                auto pr = recv_buffer(conn.ic, p, rpc_reply);
+                if (pr.load<std::uint8_t>() != 0) break; // gone on rank p
+                pinned_until = p + 1;
+            }
+            if (pinned_until == npeers) {
+                raw = step.value() + 1;
+                break;
+            }
+            // some rank already evicted the step: roll the pins back and
+            // retry strictly past it (possible only under drop/latest)
+            for (int p = 0; p < pinned_until; ++p) send_release(p, true);
+            min = step.next();
+        }
+        if (raw != 0) {
+            c_steps_acquired_.inc();
+            obs::instant("stream.acquire", "lowfive",
+                         {{"stream", 0, obs::intern_if_enabled(name)},
+                          {"step", raw - 1, nullptr}});
+            local_.check_step("acquire", name, raw - 1);
+        }
+    }
+    if (local_.size() > 1) raw = local_.bcast_value(raw, 0);
+    if (raw == 0) return std::nullopt;
+    return stream::StepId(raw - 1);
+}
+
+void DistMetadataVol::stream_release(const std::string& name, stream::StepId step) {
+    const int ci = route_consume(name);
+    if (ci < 0) throw Error("lowfive: no producer connection for stream '" + name + "'");
+    // every rank of the consumer task finished reading before rank 0
+    // drops the pins that keep the step alive on the producers
+    local_.barrier();
+    if (local_.rank() == 0) {
+        auto&             conn = consume_conns_[static_cast<std::size_t>(ci)];
+        diy::BinaryBuffer bb;
+        bb.save(static_cast<std::uint8_t>(Op::StepRelease));
+        bb.save(name);
+        bb.save<std::uint64_t>(step.value());
+        bb.save<std::uint8_t>(0); // real release, not a pin rollback
+        auto payload = simmpi::make_shared_payload(std::move(bb).take());
+        for (int p = 0; p < conn.ic.peer_size(); ++p)
+            conn.ic.send_shared(p, rpc_request, payload);
+        local_.check_step("release", name, step.value());
+    }
+    // the step snapshot is gone for good: its cached producer sets and
+    // version bookkeeping die with it
+    const std::string versioned = stream::step_name(name, step);
+    invalidate_producer_cache(versioned);
+    seen_versions_.erase(versioned);
+}
+
+void DistMetadataVol::stream_unsubscribe(const std::string& name) {
+    const int ci = route_consume(name);
+    if (ci < 0) throw Error("lowfive: no producer connection for stream '" + name + "'");
+    local_.barrier(); // the whole task is done with the stream
+    if (local_.rank() == 0) {
+        auto&             conn = consume_conns_[static_cast<std::size_t>(ci)];
+        diy::BinaryBuffer bb;
+        bb.save(static_cast<std::uint8_t>(Op::StreamDone));
+        bb.save(name);
+        auto payload = simmpi::make_shared_payload(std::move(bb).take());
+        for (int p = 0; p < conn.ic.peer_size(); ++p)
+            conn.ic.send_shared(p, rpc_request, payload);
+    }
+}
+
+void DistMetadataVol::stream_admit(simmpi::detail::CoopLock<std::recursive_mutex>& lock,
+                                   const std::string& base) {
+    auto it = streams_.find(base);
+    if (it == streams_.end())
+        throw Error("lowfive: step publish for unregistered stream '" + base
+                    + "' (create a stream::Writer first)");
+    auto& window = it->second;
+    if (window.config().policy == stream::StepPolicy::Block && !window.can_admit()) {
+        c_step_publish_waits_.inc();
+        // block policy: wait until a consumer release frees a slot,
+        // honoring the explicit timeout or the ambient deadline
+        const std::int64_t ms = window.config().timeout_ms > 0 ? window.config().timeout_ms
+                                                               : local_.effective_deadline_ms();
+        auto*      sched = local_.scheduler();
+        const bool ok    = simmpi::detail::coop_wait_deadline(
+            sched, dones_cv_, lock, "stream/window", ms,
+            [&] { return serve_error_ != nullptr || window.can_admit(); });
+        if (serve_error_) std::rethrow_exception(serve_error_);
+        if (!ok)
+            throw simmpi::TimeoutError(
+                ms, "stream/window (step publish backpressure on '" + base + "')", -1, -1);
+    }
+    for (auto ev : window.make_room()) gc_step_locked(base, ev);
+    g_window_occupancy_.set(static_cast<std::int64_t>(window.occupancy()));
+}
+
+void DistMetadataVol::publish_step(FileEntry& entry, const std::string& base,
+                                   stream::StepId step) {
+    auto it = streams_.find(base);
+    if (it == streams_.end())
+        throw Error("lowfive: step publish for unregistered stream '" + base + "'");
+    auto& window = it->second;
+    index_file(entry);
+    window.publish(step, now_ns());
+    c_steps_published_.inc();
+    g_window_occupancy_.set(static_cast<std::int64_t>(window.occupancy()));
+    obs::instant("stream.publish", "lowfive",
+                 {{"stream", 0, obs::intern_if_enabled(base)},
+                  {"step", step.value(), nullptr}});
+    local_.check_step("publish", base, step.value());
+    retry_deferred(); // grant any parked StepNext that now has its step
+    notify_dones();
+}
+
+void DistMetadataVol::stream_room_locked(const std::string& base, stream::StepWindow& window) {
+    for (auto ev : window.reap()) gc_step_locked(base, ev);
+    if (window.drained()) {
+        // terminal GC: eos reached, every consumer finished, nothing
+        // pinned — whatever remains was never going to be read
+        for (auto ev : window.clear()) gc_step_locked(base, ev);
+        streams_.erase(base);
+        g_window_occupancy_.set(0);
+        notify_dones(); // finish_serving may be waiting on this retirement
+        return;
+    }
+    g_window_occupancy_.set(static_cast<std::int64_t>(window.occupancy()));
+}
+
+void DistMetadataVol::gc_step_locked(const std::string& base, stream::StepWindow::Evicted ev) {
+    const std::string name = stream::step_name(base, ev.step);
+    index_.erase(name);
+    files_.erase(name);
+    publish_versions_.erase(name);
+    if (ev.dropped) {
+        c_steps_dropped_.inc();
+        obs::instant("stream.drop", "lowfive",
+                     {{"stream", 0, obs::intern_if_enabled(base)},
+                      {"step", ev.step.value(), nullptr}});
+    }
+}
+
+bool DistMetadataVol::streams_drained_locked() const {
+    // drained streams are retired eagerly (stream_room_locked), so any
+    // remaining entry is still live
+    return streams_.empty();
+}
+
+std::uint64_t DistMetadataVol::stream_expected_consumers(const std::string& base) const {
+    std::uint64_t n = 0;
+    for (const auto& c : serve_conns_)
+        if (glob_match(c.pattern, base)) ++n; // one consumer task per connection
+    return n;
+}
+
+void DistMetadataVol::ensure_serve_thread_locked() {
+    if (serve_thread_.joinable() || serve_conns_.empty()) return;
+    serve_thread_ =
+        simmpi::detail::spawn_participant(local_.scheduler(), "serve", [this] { background_loop(); });
+}
+
 // --- file lifecycle hooks ------------------------------------------------------
 
 void DistMetadataVol::after_file_close(FileEntry& entry) {
     if (entry.remote) {
-        // consumer side: the producers may rewrite the file once released,
-        // so cached producer sets for it are no longer trustworthy
-        invalidate_producer_cache(entry.name);
-        // tell every producer rank we are done with this file; one shared
-        // payload fans out to all of them
+        if (stream::split_step_name(entry.name)) {
+            // consumer closing a step snapshot: the pins are dropped by
+            // Reader::next_step/close (collectively, via stream_release);
+            // the per-step cache entries die with the step there too
+            return;
+        }
+        // plain remote file: tell every producer rank we are done with
+        // it; one shared payload fans out to all of them. The intersect
+        // cache survives the close — entries are keyed by publish
+        // version, so a rewrite can never serve stale producer sets.
         auto& conn = consume_conns_[static_cast<std::size_t>(entry.conn)];
         diy::BinaryBuffer bb;
         bb.save(static_cast<std::uint8_t>(Op::Done));
@@ -507,6 +896,13 @@ void DistMetadataVol::after_file_close(FileEntry& entry) {
 
     if (!entry.writable) return; // closing a reopened local file: nothing to do
     entry.writable = false;
+
+    if (auto split = stream::split_step_name(entry.name)) {
+        // producer closing a writable step snapshot: publish it into the
+        // stream's staging window (admission already ran in file_close)
+        publish_step(entry, split->first, split->second);
+        return;
+    }
 
     std::vector<Conn*> matching;
     for (auto& c : serve_conns_)
@@ -522,9 +918,7 @@ void DistMetadataVol::after_file_close(FileEntry& entry) {
             // returns from close immediately and keeps computing. Under a
             // deterministic scheduler the server becomes an auxiliary
             // task attached at this exact point.
-            if (!serve_thread_.joinable())
-                serve_thread_ = simmpi::detail::spawn_participant(
-                    local_.scheduler(), "serve", [this] { background_loop(); });
+            ensure_serve_thread_locked();
         } else if (serve_on_close_) {
             serve_until(dones_expected_);
         }
@@ -556,7 +950,7 @@ void* DistMetadataVol::file_open(const std::string& name) {
     }
     auto& conn = consume_conns_[static_cast<std::size_t>(ci)];
 
-    if (!matches_file(memory_, name)) {
+    if (!matches_file(memory_, stream::base_name(name))) {
         // file mode: wait for the producer's ready notification, then do a
         // physical open
         auto        bb = recv_buffer(conn.ic, 0, rpc_ready);
@@ -580,10 +974,18 @@ void* DistMetadataVol::file_open(const std::string& name) {
     auto reply = recv_buffer(conn.ic, target, rpc_reply);
 
     FileEntry entry;
-    entry.name   = name;
-    entry.remote = true;
-    entry.conn   = ci;
-    entry.root   = Object::load_skeleton(reply);
+    entry.name    = name;
+    entry.remote  = true;
+    entry.conn    = ci;
+    entry.version = reply.load<std::uint64_t>();
+    entry.root    = Object::load_skeleton(reply);
+    // lazy cache GC: a new publish version supersedes every cached set
+    // of the old one (the version-carrying keys already prevent stale
+    // hits — this only reclaims the dead entries)
+    if (auto sv = seen_versions_.find(name);
+        sv != seen_versions_.end() && sv->second != entry.version)
+        invalidate_producer_cache(name);
+    seen_versions_[name] = entry.version;
     Guard lock(local_.scheduler(), mutex_, "file_open");
     auto [it2, _] = files_.insert_or_assign(name, std::move(entry));
     return make_handle(it2->second, it2->second.root.get(), nullptr);
@@ -621,6 +1023,11 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         bb.save(kb);
         key = f.name;
         key.push_back('\0');
+        // publish version in the key: a rewrite changes it, so its sets
+        // can never answer a read of the new data (satellite of the
+        // streaming transport — step snapshots are immutable, versioned)
+        key.append(reinterpret_cast<const char*>(&f.version), sizeof f.version);
+        key.push_back('\0');
         key += dset;
         key.push_back('\0');
         key.append(reinterpret_cast<const char*>(kb.data().data()), kb.size());
@@ -642,7 +1049,7 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
 
     // negotiate wire compression per (file, dataset): the request
     // advertises whether this consumer accepts codec frames in the reply
-    const std::uint8_t accept_codec = matches(compress_, f.name, dset) ? 1 : 0;
+    const std::uint8_t accept_codec = matches(compress_, stream::base_name(f.name), dset) ? 1 : 0;
 
     std::map<std::uint64_t, int> pending_data; // req id -> producer rank
     auto send_data_query = [&](int p) {

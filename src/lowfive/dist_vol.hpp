@@ -1,15 +1,19 @@
 #pragma once
 
 #include "metadata_vol.hpp"
+#include "stream/step.hpp"
+#include "stream/window.hpp"
 
 #include <diy/decomposer.hpp>
 #include <obs/metrics.hpp>
 #include <simmpi/comm.hpp>
+#include <simmpi/sched.hpp>
 
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 namespace lowfive {
@@ -115,6 +119,48 @@ public:
     /// protocol cost). Default 64 KiB; compression takes precedence.
     void set_zero_copy_min_bytes(std::uint64_t n) { zero_copy_min_bytes_ = n; }
 
+    // --- step-versioned streaming (see stream/stream.hpp and DESIGN.md
+    // § Streaming transport): producers publish immutable versioned
+    // snapshots of a base file name into a bounded staging window and
+    // consumers drain them asynchronously; backpressure per StreamConfig.
+
+    /// Register the stream configuration (window size, backpressure
+    /// policy, block-publish timeout) for streams whose base name
+    /// matches `pattern`. First match wins; unmatched streams read
+    /// `L5_STEP_WINDOW` / `L5_STEP_POLICY`. Register the same config on
+    /// both the producer and the consumer vol (workflow `stream:` links
+    /// do) — the consumer's acquire semantics depend on the policy.
+    void set_stream(const std::string& pattern, stream::StreamConfig cfg);
+
+    /// The config a stream named `name` would run under (registry > env).
+    stream::StreamConfig stream_config_for(const std::string& name) const;
+
+    // Wire entry points for stream::Writer / stream::Reader. Writer side:
+    /// Register stream `name` (must be in-memory; forces background
+    /// serving) and return its normalized config.
+    stream::StreamConfig stream_begin(const std::string& name,
+                                      std::optional<stream::StreamConfig> cfg);
+    /// End of stream: consumers past the last published step see eos.
+    void stream_end(const std::string& name);
+    // Reader side:
+    /// Subscribe to stream `name`; returns its normalized config.
+    stream::StreamConfig stream_subscribe(const std::string& name,
+                                          std::optional<stream::StreamConfig> cfg);
+    /// Acquire the next step >= `min` (the newest published one when
+    /// `latest`), pinning it on every producer rank so it cannot be
+    /// evicted while held; blocks until one is published; nullopt at end
+    /// of stream. Collective over the consumer task: rank 0 runs the
+    /// grant/pin protocol and broadcasts the result, so every consumer
+    /// rank steps through the same versions.
+    std::optional<stream::StepId> stream_acquire(const std::string& name, stream::StepId min,
+                                                 bool latest);
+    /// Release the pins of `step` (collective: barriers so every rank
+    /// finished reading before rank 0 releases on all producer ranks).
+    void stream_release(const std::string& name, stream::StepId step);
+    /// Done with the stream (collective): lets producers retire it once
+    /// every subscribed consumer task has unsubscribed.
+    void stream_unsubscribe(const std::string& name);
+
     /// Transfer statistics for reporting: a point-in-time snapshot of the
     /// metrics registry, returned by value so it is safe to read while a
     /// background serve thread is updating the underlying counters.
@@ -128,6 +174,12 @@ public:
         std::uint64_t n_intersect_cache_misses = 0; ///< reads that had to run it
         std::uint64_t n_compressed_pieces = 0; ///< reply pieces that went out codec-framed
         std::uint64_t n_zero_copy_pieces  = 0; ///< reply pieces served as aliased buffers
+        // streaming (producer side unless noted)
+        std::uint64_t n_steps_published    = 0; ///< steps admitted to the staging window
+        std::uint64_t n_steps_dropped      = 0; ///< steps evicted before full consumption
+        std::uint64_t n_steps_drained      = 0; ///< steps fully released after an acquire
+        std::uint64_t n_step_publish_waits = 0; ///< publishes that blocked on a full window
+        std::uint64_t n_steps_acquired     = 0; ///< consumer side: successful next_step()s
     };
     Stats stats() const;
 
@@ -170,6 +222,34 @@ private:
     /// and (when a deterministic scheduler is active) its channel.
     void notify_dones();
 
+    // --- streaming internals (all require mutex_ held) --------------------
+    /// Window admission for the step about to be published: runs the
+    /// block-policy backpressure wait (the lock must hold mutex_ exactly
+    /// once — the wait releases it for the serve thread) and the
+    /// drop/latest_only evictions that make room.
+    void stream_admit(simmpi::detail::CoopLock<std::recursive_mutex>& lock,
+                      const std::string& base);
+    /// Publish one versioned snapshot: index it, answer deferred acquires.
+    void publish_step(FileEntry& entry, const std::string& base, stream::StepId step);
+    /// Evict + GC per policy after a release/done/publish changed the
+    /// window; retires the whole stream once drained.
+    void stream_room_locked(const std::string& base, stream::StepWindow& window);
+    /// GC one evicted step: drop its retained snapshot and index.
+    void gc_step_locked(const std::string& base, stream::StepWindow::Evicted ev);
+    /// Every registered stream ended, fully unsubscribed, and unpinned.
+    bool streams_drained_locked() const;
+    /// finish_serving predicate: file rounds AND streams done (or the
+    /// serve thread died).
+    bool rounds_done_locked() const {
+        return serve_error_
+               || (dones_received_ >= dones_expected_ && streams_drained_locked());
+    }
+    /// Consumer tasks subscribed to `base`: one per matching serve
+    /// connection (each consumer task pins/releases through its rank 0).
+    std::uint64_t stream_expected_consumers(const std::string& base) const;
+    /// Spawn the background serve thread if not already running.
+    void ensure_serve_thread_locked();
+
     /// Drop every cached producer set belonging to `file`.
     void invalidate_producer_cache(const std::string& file);
 
@@ -186,9 +266,13 @@ private:
     std::uint64_t            zero_copy_min_bytes_ = 65536;
 
     // consumer state (touched only by the consumer's own thread)
-    // producer_cache_[file \0 dset \0 bounds] = producer ranks to query
+    // producer_cache_[file \0 version \0 dset \0 bounds] = producer ranks
+    // to query; version-keyed so a rewrite can never serve stale sets
     std::map<std::string, std::vector<std::int32_t>> producer_cache_;
-    std::uint64_t                                    next_req_id_ = 1;
+    // last publish version seen per remote file, to GC superseded cache
+    // entries lazily at reopen (the keys already prevent stale hits)
+    std::map<std::string, std::uint64_t> seen_versions_;
+    std::uint64_t                        next_req_id_ = 1;
 
     // background serving (off by default): the serve thread and the
     // producer thread share files_/index_/deferred_/done counters, all
@@ -210,13 +294,28 @@ private:
     std::uint64_t dones_expected_ = 0;
 
     // metadata queries for files that do not exist yet (a fast consumer
-    // ran ahead); retried after every file close
+    // ran ahead) and step acquires with nothing available yet; retried
+    // after every file close / step publish / stream end
     struct Deferred {
         std::size_t            conn;
         int                    src;
         std::vector<std::byte> payload;
     };
     std::vector<Deferred> deferred_;
+
+    // streaming state (guarded by mutex_): one staging window per active
+    // stream on this producer rank, plus the config registry (first
+    // matching pattern wins) shared by both sides
+    std::map<std::string, stream::StepWindow>                 streams_;
+    std::vector<std::pair<std::string, stream::StreamConfig>> stream_cfgs_;
+    // StreamDone messages that raced ahead of stream_begin (a consumer
+    // subscribed and quit before the writer registered the stream)
+    std::map<std::string, std::uint64_t> pending_stream_dones_;
+
+    // producer-side publish versions: bumped on every (re)index of a
+    // file, echoed in metadata replies so consumers key their intersect
+    // cache by version instead of invalidating it wholesale on close
+    std::map<std::string, std::uint64_t> publish_versions_;
 
     // metrics (always on): atomics shared between the producer thread,
     // the consumer thread, and the background serve thread — updates and
@@ -244,6 +343,16 @@ private:
     obs::Counter&   c_t_decode_ns_        = metrics_.counter("time_query_compress_ns");
     obs::Counter&   c_t_copy_ns_          = metrics_.counter("time_query_copy_ns");
     obs::Histogram& h_query_ns_         = metrics_.histogram("query_latency_ns");
+    // streaming lifecycle: counts mirror Stats; the gauge tracks the
+    // occupancy of the most recently updated stream window and the
+    // histogram the publish→first-full-drain latency per step
+    obs::Counter&   c_steps_published_    = metrics_.counter("n_steps_published");
+    obs::Counter&   c_steps_dropped_      = metrics_.counter("n_steps_dropped");
+    obs::Counter&   c_steps_drained_      = metrics_.counter("n_steps_drained");
+    obs::Counter&   c_step_publish_waits_ = metrics_.counter("n_step_publish_waits");
+    obs::Counter&   c_steps_acquired_     = metrics_.counter("n_steps_acquired");
+    obs::Gauge&     g_window_occupancy_   = metrics_.gauge("stream_window_occupancy");
+    obs::Histogram& h_step_latency_ns_    = metrics_.histogram("step_latency_ns");
 };
 
 } // namespace lowfive

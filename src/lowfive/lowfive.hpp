@@ -7,6 +7,7 @@
 
 #include <h5/h5.hpp>        // IWYU pragma: export
 
-#include "config.hpp"       // IWYU pragma: export
-#include "metadata_vol.hpp" // IWYU pragma: export
-#include "dist_vol.hpp"     // IWYU pragma: export
+#include "config.hpp"        // IWYU pragma: export
+#include "metadata_vol.hpp"  // IWYU pragma: export
+#include "dist_vol.hpp"      // IWYU pragma: export
+#include "stream/stream.hpp" // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "metadata_vol.hpp"
 
+#include "stream/step.hpp"
+
 #include <cstring>
 
 namespace lowfive {
@@ -28,7 +30,8 @@ void MetadataVol::set_zerocopy(const std::string& fp, const std::string& dp) {
 }
 
 bool MetadataVol::zerocopy_for(const FileEntry& f, const std::string& dset_path) const {
-    return matches(zerocopy_, f.name, dset_path);
+    // step snapshots match like their base name: patterns name streams
+    return matches(zerocopy_, stream::base_name(f.name), dset_path);
 }
 
 h5::Object* MetadataVol::find_file(const std::string& name) {
@@ -59,8 +62,9 @@ MetadataVol::HandleBox* MetadataVol::make_handle(FileEntry& f, Object* node, voi
 void* MetadataVol::file_create(const std::string& name) {
     FileEntry entry;
     entry.name     = name;
-    entry.memory   = matches_file(memory_, name);
-    entry.passthru = matches_file(passthru_, name);
+    // a step snapshot inherits its stream's (base-name) placement
+    entry.memory   = matches_file(memory_, stream::base_name(name));
+    entry.passthru = matches_file(passthru_, stream::base_name(name));
     entry.writable = true;
     entry.root     = std::make_unique<Object>(ObjectKind::File, name);
     if (entry.passthru) entry.native = native().file_create(name);

@@ -6,6 +6,7 @@
 #include <h5/tree.hpp>
 #include <h5/vol.hpp>
 
+#include <cstdint>
 #include <map>
 #include <memory>
 
@@ -83,6 +84,7 @@ protected:
         void*                       native   = nullptr; ///< open native file handle
         bool                        remote   = false;   ///< consumer side of DistMetadataVol
         int                         conn     = -1;      ///< connection index when remote
+        std::uint64_t               version  = 0;       ///< producer publish version (remote)
 
         std::vector<std::unique_ptr<HandleBox>> handles; ///< live object handles
     };

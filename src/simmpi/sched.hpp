@@ -343,6 +343,30 @@ void coop_wait(Scheduler* s, std::condition_variable_any& cv, CoopLock<Mutex>& l
     cv.wait(lk, pred); // lint: allow-bare-wait(free-running fallback of coop_wait itself)
 }
 
+/// Deadline-aware coop_wait: waits for `pred` like coop_wait, but gives
+/// up after `timeout_ms` (<= 0 means no deadline — plain coop_wait).
+/// Returns the final pred() value: false means the deadline fired first
+/// (the caller turns that into a TimeoutError). Under a deterministic
+/// scheduler the deadline fires in simulated time (instantly, when the
+/// whole world is otherwise blocked); a deadline-free wait that blocks
+/// the whole world still throws DeadlockError naming `site`.
+template <class Mutex, class Pred>
+bool coop_wait_deadline(Scheduler* s, std::condition_variable_any& cv, CoopLock<Mutex>& lk,
+                        const char* site, std::int64_t timeout_ms, Pred pred) {
+    if (timeout_ms <= 0) {
+        coop_wait(s, cv, lk, site, pred);
+        return true;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (s && s->attached_here() && s->usable()) {
+        if (pred()) return true;
+        if (!s->block(lk, &cv, site, -1, -1, deadline, timeout_ms)) return pred();
+    }
+    // lint: allow-bare-wait(free-running fallback of coop_wait_deadline itself)
+    return cv.wait_until(lk, deadline, pred);
+}
+
 /// Join `t` without monopolizing the schedule: the calling task steps
 /// away so the joined task can be scheduled to completion.
 void coop_join(Scheduler* s, std::thread& t);

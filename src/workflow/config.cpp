@@ -99,7 +99,9 @@ ParsedWorkflow parse_workflow(const std::string& text) {
     ParsedWorkflow::TaskDecl*  task    = nullptr;
     struct LinkDecl {
         std::string from, to, pattern = "*";
-        int         line = 0;
+        std::string stream;     ///< backpressure policy name; empty = not streamed
+        int         window = 0; ///< staging window; 0 = default
+        int         line   = 0;
     };
     std::vector<LinkDecl> link_decls;
     LinkDecl*             link = nullptr;
@@ -172,7 +174,14 @@ ParsedWorkflow parse_workflow(const std::string& text) {
                 link->to = l.value;
             else if (l.key == "pattern")
                 link->pattern = l.value;
-            else if (!l.key.empty())
+            else if (l.key == "stream") {
+                if (!lowfive::stream::parse_policy(l.value))
+                    fail(l.number, "'stream' must be block|drop|latest_only, got '" + l.value + "'");
+                link->stream = l.value;
+            } else if (l.key == "window") {
+                link->window = parse_int(l);
+                if (link->window <= 0) fail(l.number, "'window' needs a positive integer");
+            } else if (!l.key.empty())
                 fail(l.number, "unknown link key '" + l.key + "'");
         } else if (!l.key.empty()) {
             fail(l.number, "indented '" + l.key + "' outside tasks/links");
@@ -195,8 +204,12 @@ ParsedWorkflow parse_workflow(const std::string& text) {
             if (out.tasks[i].name == name) return static_cast<int>(i);
         fail(line, "link references unknown task '" + name + "'");
     };
-    for (const auto& ld : link_decls)
-        out.links.push_back({index_of(ld.from, ld.line), index_of(ld.to, ld.line), ld.pattern});
+    for (const auto& ld : link_decls) {
+        if (ld.window > 0 && ld.stream.empty())
+            fail(ld.line, "'window' is only meaningful on a streamed link (add 'stream:')");
+        out.links.push_back({index_of(ld.from, ld.line), index_of(ld.to, ld.line), ld.pattern,
+                             ld.stream, ld.window});
+    }
 
     return out;
 }

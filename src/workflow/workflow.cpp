@@ -88,10 +88,22 @@ void run(const std::vector<TaskSpec>& tasks, const std::vector<Link>& links,
         ctx.vol->set_serve_in_background(opts.background_serve);
 
         for (std::size_t i = 0; i < links.size(); ++i) {
-            if (links[i].producer == task_index)
-                ctx.vol->serve_to(link_comms[i], links[i].pattern);
-            if (links[i].consumer == task_index)
-                ctx.vol->consume_from(link_comms[i], links[i].pattern);
+            const Link& l = links[i];
+            if (l.producer == task_index) ctx.vol->serve_to(link_comms[i], l.pattern);
+            if (l.consumer == task_index) ctx.vol->consume_from(link_comms[i], l.pattern);
+            // streamed edge: register the same window/policy on both
+            // ends so Writer and Reader resolve matching configs
+            if (!l.stream.empty() && (l.producer == task_index || l.consumer == task_index)) {
+                auto policy = lowfive::stream::parse_policy(l.stream);
+                if (!policy)
+                    throw std::runtime_error("workflow: link stream policy '" + l.stream
+                                             + "' must be block|drop|latest_only");
+                lowfive::stream::StreamConfig cfg;
+                cfg.policy = *policy;
+                if (l.stream_window > 0)
+                    cfg.window = static_cast<std::size_t>(l.stream_window);
+                ctx.vol->set_stream(l.pattern, cfg);
+            }
         }
 
         {

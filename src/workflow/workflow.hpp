@@ -75,6 +75,23 @@ struct Link {
     int         producer = 0; ///< index into the task list
     int         consumer = 1;
     std::string pattern = "*";
+    /// Step-versioned streaming for files matching `pattern`: empty = off;
+    /// otherwise the backpressure policy ("block" | "drop" | "latest_only")
+    /// registered on both ends via DistMetadataVol::set_stream. Config
+    /// files spell this `stream:` (and `window:`) on a link.
+    std::string stream;
+    /// Staging-window size for the streamed files; 0 = the default (4,
+    /// or L5_STEP_WINDOW). latest_only always runs with a window of 1.
+    int stream_window = 0;
+
+    // not an aggregate: the constructor keeps pre-streaming three-field
+    // Link{p, c, pattern} call sites warning-free under
+    // -Wmissing-field-initializers
+    Link() = default;
+    Link(int producer_, int consumer_, std::string pattern_ = "*", std::string stream_ = {},
+         int stream_window_ = 0)
+        : producer(producer_), consumer(consumer_), pattern(std::move(pattern_)),
+          stream(std::move(stream_)), stream_window(stream_window_) {}
 };
 
 struct Options {

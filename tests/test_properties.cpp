@@ -524,6 +524,171 @@ TEST_P(DifferentialTransport, CompoundMatchesFileOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTransport, ::testing::Range(1u, 7u));
 
+// --- multi-step streaming differential oracle ----------------------------------------
+//
+// The streaming transport extends the seamless-transport contract across
+// time: a block-policy (lossless) streamed drain through the memory data
+// plane must deliver, step by step, the same bytes as writing each step
+// to its own physical file and reading the files back sequentially. The
+// producer decomposition, the payload, and the consumers' irregular
+// hyperslab queries are all reseeded per step, so any cross-step state
+// leak (a stale intersect-cache entry, a snapshot mutated after publish,
+// a misrouted step) breaks the byte comparison.
+
+namespace {
+
+constexpr int kStreamSteps   = 3;
+constexpr int kStreamQueries = 2;
+
+std::uint64_t stream_value_at(std::int64_t x, std::int64_t y, int step) {
+    return static_cast<std::uint64_t>(step) * 1000000u
+           + static_cast<std::uint64_t>(x) * 1000u + static_cast<std::uint64_t>(y);
+}
+
+/// Write one step's dataset: seeded random disjoint decomposition, each
+/// leaf owned by a producer rank round-robin.
+void write_stream_step(workflow::Context& ctx, h5::File& f, unsigned seed, int step,
+                       const Extent& dims, const diy::Bounds& domain) {
+    auto         d = f.create_dataset("g", dt::uint64(), Dataspace(dims));
+    std::mt19937 rng(seed * 7919u + static_cast<unsigned>(step));
+    std::vector<diy::Bounds> leaves;
+    random_partition(rng, domain, 3, leaves);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        if (static_cast<int>(i % static_cast<std::size_t>(ctx.size())) != ctx.rank()) continue;
+        const auto& leaf = leaves[i];
+        Dataspace   sel(dims);
+        sel.select_box(leaf);
+        std::vector<std::uint64_t> vals(leaf.size());
+        std::size_t                k = 0;
+        for (auto x = leaf.min[0]; x < leaf.max[0]; ++x)
+            for (auto y = leaf.min[1]; y < leaf.max[1]; ++y)
+                vals[k++] = stream_value_at(x, y, step);
+        d.write(vals.data(), sel);
+    }
+}
+
+/// Read one step back with the consumer's seeded irregular queries and
+/// append the raw reply bytes.
+void query_stream_step(h5::File& f, std::mt19937& rng, const Extent& dims,
+                       const diy::Bounds& domain, std::vector<std::byte>& out) {
+    auto d = f.open_dataset("g");
+    for (int q = 0; q < kStreamQueries; ++q) {
+        std::vector<diy::Bounds> qleaves;
+        random_partition(rng, domain, 2, qleaves);
+        Dataspace sel(dims);
+        sel.select_none();
+        for (std::size_t i = 0; i < qleaves.size(); ++i)
+            if (rng() % 2) sel.add_box(qleaves[i]);
+        if (sel.npoints() == 0) sel.select_box(qleaves[0]);
+        auto        vals = d.read_vector<std::uint64_t>(sel);
+        const auto* p    = reinterpret_cast<const std::byte*>(vals.data());
+        out.insert(out.end(), p, p + vals.size() * sizeof(std::uint64_t));
+    }
+}
+
+/// The streamed pass: one stream, kStreamSteps published snapshots,
+/// block policy (lossless) so the drain sees every step in order.
+std::vector<std::byte> run_stream_pass(unsigned seed, int nprod, int ncons,
+                                       const Extent& dims, const diy::Bounds& domain) {
+    std::vector<std::vector<std::byte>> got(static_cast<std::size_t>(ncons));
+    workflow::run(
+        {
+            {"producer", nprod,
+             [&](workflow::Context& ctx) {
+                 lowfive::stream::Writer w(ctx.vol, "stream_diff.h5");
+                 for (int t = 0; t < kStreamSteps; ++t) {
+                     write_stream_step(ctx, w.begin_step(), seed, t, dims, domain);
+                     w.end_step();
+                 }
+                 w.close();
+             }},
+            {"consumer", ncons,
+             [&](workflow::Context& ctx) {
+                 std::mt19937 rng(seed * 131071u + static_cast<unsigned>(ctx.rank()));
+                 auto&        mine = got[static_cast<std::size_t>(ctx.rank())];
+                 lowfive::stream::Reader r(ctx.vol, "stream_diff.h5");
+                 int t = 0;
+                 while (r.next_step()) {
+                     EXPECT_EQ(r.current_step().value(), static_cast<std::uint64_t>(t));
+                     query_stream_step(r.file(), rng, dims, domain, mine);
+                     ++t;
+                 }
+                 EXPECT_EQ(t, kStreamSteps); // block policy: lossless
+                 r.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*", "block", 2}});
+
+    std::vector<std::byte> all;
+    for (const auto& c : got) all.insert(all.end(), c.begin(), c.end());
+    return all;
+}
+
+/// The oracle pass: the same steps written sequentially, one physical
+/// file per step, read back through the native VOL.
+std::vector<std::byte> run_file_steps_pass(unsigned seed, int nprod, int ncons,
+                                           const Extent& dims, const diy::Bounds& domain) {
+    std::vector<std::vector<std::byte>> got(static_cast<std::size_t>(ncons));
+    workflow::Options opts;
+    opts.mode = workflow::Mode::file();
+    auto fname = [&](int t) {
+        return "stream_diff_" + std::to_string(seed) + "_" + std::to_string(t) + ".h5";
+    };
+    workflow::run(
+        {
+            {"producer", nprod,
+             [&](workflow::Context& ctx) {
+                 for (int t = 0; t < kStreamSteps; ++t) {
+                     File f = File::create(fname(t), ctx.vol);
+                     write_stream_step(ctx, f, seed, t, dims, domain);
+                     f.close();
+                 }
+             }},
+            {"consumer", ncons,
+             [&](workflow::Context& ctx) {
+                 std::mt19937 rng(seed * 131071u + static_cast<unsigned>(ctx.rank()));
+                 auto&        mine = got[static_cast<std::size_t>(ctx.rank())];
+                 for (int t = 0; t < kStreamSteps; ++t) {
+                     File f = File::open(fname(t), ctx.vol);
+                     query_stream_step(f, rng, dims, domain, mine);
+                     f.close();
+                 }
+             }},
+        },
+        {workflow::Link{0, 1, "*", "", 0}}, opts);
+
+    for (int t = 0; t < kStreamSteps; ++t) std::remove(fname(t).c_str());
+
+    std::vector<std::byte> all;
+    for (const auto& c : got) all.insert(all.end(), c.begin(), c.end());
+    return all;
+}
+
+} // namespace
+
+class StreamDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StreamDifferential, DrainMatchesPerStepFileOracle) {
+    const unsigned seed = GetParam();
+    SCOPED_TRACE("stream differential seed " + std::to_string(seed));
+    h5::PfsModel::instance().configure(0, 0, 0); // no simulated PFS latency
+
+    std::mt19937 setup(seed * 2654435761u + 1013);
+    const Extent dims{6 + setup() % 14, 6 + setup() % 14};
+    const int    nprod = 1 + static_cast<int>(setup() % 3);
+    const int    ncons = 1 + static_cast<int>(setup() % 2);
+    diy::Bounds  domain = box2(0, static_cast<std::int64_t>(dims[0]), 0,
+                               static_cast<std::int64_t>(dims[1]));
+
+    auto mem  = run_stream_pass(seed, nprod, ncons, dims, domain);
+    auto file = run_file_steps_pass(seed, nprod, ncons, dims, domain);
+    ASSERT_EQ(mem.size(), file.size()) << "reply sizes diverged at seed " << seed;
+    EXPECT_EQ(std::memcmp(mem.data(), file.data(), mem.size()), 0)
+        << "streamed drain differs from the per-step file oracle at seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamDifferential, ::testing::Range(1u, 6u));
+
 // --- glob properties -----------------------------------------------------------------
 
 TEST(GlobProperty, PrefixStarSuffix) {

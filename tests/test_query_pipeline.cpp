@@ -162,6 +162,51 @@ TEST(QueryPipeline, CacheInvalidatedOnReopenAfterRewrite) {
         {Link{0, 1, "*"}});
 }
 
+TEST(QueryPipeline, SameVersionReopenHitsCache) {
+    // The intersect cache is keyed by the producer's publish version, so
+    // a plain close/reopen of an *unchanged* file keeps it warm: before
+    // version keying the close wiped the cache wholesale and the second
+    // open had to re-run the intersect round.
+    const std::uint64_t total = 512;
+    Options             opts;
+    opts.background_serve = true; // keep serving across both opens
+    workflow::run(
+        {
+            {"producer", 2,
+             [&](Context& ctx) {
+                 write_quarter(ctx, "warm.h5", total);
+                 if (ctx.rank() == 0) ctx.world.recv_value<int>(2, 88);
+                 ctx.local.barrier(); // both ranks outlive the reopen
+             }},
+            {"consumer", 1,
+             [&](Context& ctx) {
+                 {
+                     File f = File::open("warm.h5", ctx.vol);
+                     auto v = f.open_dataset("v").read_vector<std::uint64_t>();
+                     for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(v[i], i);
+                     f.close();
+                 }
+                 const auto mid = ctx.vol->stats();
+                 EXPECT_EQ(mid.n_intersect_cache_misses, 1u);
+                 EXPECT_EQ(mid.n_intersect_cache_hits, 0u);
+                 {
+                     File f = File::open("warm.h5", ctx.vol);
+                     auto v = f.open_dataset("v").read_vector<std::uint64_t>();
+                     for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(v[i], i);
+                     f.close();
+                 }
+                 const auto after = ctx.vol->stats();
+                 // same version ⇒ the cached producer set is still valid:
+                 // no new intersect round, one cache hit
+                 EXPECT_EQ(after.n_intersect_queries, mid.n_intersect_queries);
+                 EXPECT_EQ(after.n_intersect_cache_hits, 1u);
+                 EXPECT_EQ(after.n_intersect_cache_misses, 1u);
+                 ctx.world.send_value(0, 88, 1); // producer may retire
+             }},
+        },
+        {Link{0, 1, "*"}}, opts);
+}
+
 TEST(QueryPipeline, SerialModeMatchesPipelined) {
     // the serial reference path (no pipelining, no cache) must deliver
     // the same bytes and re-run the intersect round on every read

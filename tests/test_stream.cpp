@@ -1,0 +1,687 @@
+/// Step-versioned streaming transport: value-type units (StepId, config,
+/// versioned names), the StepWindow state machine, the Checker's
+/// step-order lint, and end-to-end Writer/Reader workflows under every
+/// backpressure policy — including the deterministic-scheduler proofs
+/// that drop/latest_only producers never block on a slow consumer and
+/// that block-policy publishes honor deadlines (TimeoutError, not hangs).
+
+#include <check/check.hpp>
+#include <lowfive/lowfive.hpp>
+#include <simmpi/simmpi.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace lowfive;
+using simmpi::DeadlockError;
+using simmpi::RankFailure;
+using simmpi::SchedConfig;
+using simmpi::TimeoutError;
+using workflow::Context;
+using workflow::Link;
+using workflow::Options;
+
+namespace {
+
+/// Save/restore one environment variable around a test body.
+class EnvGuard {
+public:
+    explicit EnvGuard(const char* name) : name_(name) {
+        const char* v = std::getenv(name);
+        if (v) saved_ = v;
+    }
+    ~EnvGuard() {
+        if (saved_)
+            ::setenv(name_, saved_->c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+private:
+    const char*                name_;
+    std::optional<std::string> saved_;
+};
+
+constexpr std::uint64_t kPoints = 8;
+
+/// One step's payload: values encode the step so a reader can prove it
+/// got the snapshot it asked for (and only that snapshot).
+void write_step(h5::File& f, std::uint64_t step) {
+    auto      d = f.create_dataset("v", h5::dt::uint64(), h5::Dataspace({kPoints}));
+    h5::Dataspace sel({kPoints});
+    sel.select_all();
+    std::vector<std::uint64_t> vals(kPoints);
+    for (std::uint64_t i = 0; i < kPoints; ++i) vals[i] = step * 1000 + i;
+    d.write(vals.data(), sel);
+}
+
+void expect_step(h5::File& f, std::uint64_t step) {
+    auto d    = f.open_dataset("v");
+    auto vals = d.read_vector<std::uint64_t>();
+    ASSERT_EQ(vals.size(), kPoints);
+    for (std::uint64_t i = 0; i < kPoints; ++i)
+        ASSERT_EQ(vals[i], step * 1000 + i) << "step " << step << " at " << i;
+}
+
+} // namespace
+
+// --- StepId -------------------------------------------------------------------
+
+TEST(StepId, NoneOrdersBeforeEveryValidStep) {
+    stream::StepId none;
+    EXPECT_FALSE(none.valid());
+    EXPECT_TRUE(stream::StepId::first().valid());
+    EXPECT_LT(none, stream::StepId::first());
+    EXPECT_LT(none, stream::StepId(41));
+}
+
+TEST(StepId, NextIsSuccessorAndNoneStartsAtFirst) {
+    EXPECT_EQ(stream::StepId{}.next(), stream::StepId::first());
+    EXPECT_EQ(stream::StepId::first().value(), 0u);
+    EXPECT_EQ(stream::StepId(6).next().value(), 7u);
+    EXPECT_LT(stream::StepId(6), stream::StepId(7));
+}
+
+// --- policy & config ----------------------------------------------------------
+
+TEST(StreamConfig, PolicyParseRoundTrips) {
+    for (auto p : {stream::StepPolicy::Block, stream::StepPolicy::Drop,
+                   stream::StepPolicy::LatestOnly})
+        EXPECT_EQ(stream::parse_policy(stream::to_string(p)), p);
+    EXPECT_FALSE(stream::parse_policy("latest"));
+    EXPECT_FALSE(stream::parse_policy(""));
+    EXPECT_FALSE(stream::parse_policy("BLOCK"));
+}
+
+TEST(StreamConfig, FromEnvReadsWindowAndPolicy) {
+    EnvGuard gw("L5_STEP_WINDOW"), gp("L5_STEP_POLICY");
+    ::unsetenv("L5_STEP_WINDOW");
+    ::unsetenv("L5_STEP_POLICY");
+    auto def = stream::StreamConfig::from_env();
+    EXPECT_EQ(def.window, 4u);
+    EXPECT_EQ(def.policy, stream::StepPolicy::Block);
+
+    ::setenv("L5_STEP_WINDOW", "7", 1);
+    ::setenv("L5_STEP_POLICY", "drop", 1);
+    auto cfg = stream::StreamConfig::from_env();
+    EXPECT_EQ(cfg.window, 7u);
+    EXPECT_EQ(cfg.policy, stream::StepPolicy::Drop);
+
+    ::setenv("L5_STEP_WINDOW", "0", 1);
+    EXPECT_THROW(stream::StreamConfig::from_env(), h5::Error);
+    ::setenv("L5_STEP_WINDOW", "nope", 1);
+    EXPECT_THROW(stream::StreamConfig::from_env(), h5::Error);
+    ::setenv("L5_STEP_WINDOW", "3", 1);
+    ::setenv("L5_STEP_POLICY", "bogus", 1);
+    EXPECT_THROW(stream::StreamConfig::from_env(), h5::Error);
+}
+
+TEST(StreamConfig, NormalizedEnforcesPolicyInvariants) {
+    stream::StreamConfig cfg;
+    cfg.window = 9;
+    cfg.policy = stream::StepPolicy::LatestOnly;
+    EXPECT_EQ(cfg.normalized().window, 1u); // latest_only ⇒ window of 1
+    cfg.policy = stream::StepPolicy::Block;
+    cfg.window = 0;
+    EXPECT_EQ(cfg.normalized().window, 1u); // every window is at least 1
+}
+
+// --- versioned names ----------------------------------------------------------
+
+TEST(StepNames, RoundTripAndBase) {
+    auto name  = stream::step_name("sim.h5", stream::StepId(12));
+    auto split = stream::split_step_name(name);
+    ASSERT_TRUE(split);
+    EXPECT_EQ(split->first, "sim.h5");
+    EXPECT_EQ(split->second, stream::StepId(12));
+    EXPECT_EQ(stream::base_name(name), "sim.h5");
+}
+
+TEST(StepNames, OrdinaryNamesPassThrough) {
+    EXPECT_FALSE(stream::split_step_name("sim.h5"));
+    EXPECT_FALSE(stream::split_step_name("run7"));
+    EXPECT_EQ(stream::base_name("run7"), "run7");
+}
+
+TEST(StepNames, DistinctStepsGetDistinctNames) {
+    EXPECT_NE(stream::step_name("a", stream::StepId(1)),
+              stream::step_name("a", stream::StepId(11)));
+    EXPECT_NE(stream::step_name("a", stream::StepId(0)),
+              stream::step_name("a1", stream::StepId(0)));
+}
+
+// --- StepWindow state machine -------------------------------------------------
+
+namespace {
+stream::StreamConfig wcfg(std::size_t window, stream::StepPolicy policy) {
+    stream::StreamConfig c;
+    c.window = window;
+    c.policy = policy;
+    return c;
+}
+stream::StepId sid(std::uint64_t i) { return stream::StepId(i); }
+} // namespace
+
+TEST(StepWindow, BlockRefusesToEvictUnconsumedSteps) {
+    stream::StepWindow w(wcfg(2, stream::StepPolicy::Block));
+    w.set_expected_consumers(1);
+    EXPECT_TRUE(w.can_admit());
+    w.publish(sid(0), 1);
+    w.publish(sid(1), 2);
+    EXPECT_EQ(w.occupancy(), 2u);
+    EXPECT_FALSE(w.can_admit()); // full of unconsumed steps ⇒ the producer waits
+    EXPECT_TRUE(w.make_room().empty());
+
+    // one full acquire/release cycle consumes step 0 and reopens the window
+    auto a = w.acquire(stream::StepId{}.next(), false);
+    ASSERT_EQ(a.status, stream::StepWindow::Acquire::Status::granted);
+    EXPECT_EQ(a.step, sid(0));
+    EXPECT_FALSE(w.can_admit()); // still pinned
+    auto rel = w.release(sid(0));
+    ASSERT_TRUE(rel);
+    EXPECT_TRUE(rel->first_drain);
+    EXPECT_EQ(rel->publish_ns, 1u);
+    EXPECT_TRUE(w.can_admit());
+    auto ev = w.make_room();
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].step, sid(0));
+    EXPECT_FALSE(ev[0].dropped); // it was read — a drain, not a drop
+}
+
+TEST(StepWindow, DropEvictsOldestUnheldAndCountsDrops) {
+    stream::StepWindow w(wcfg(2, stream::StepPolicy::Drop));
+    w.set_expected_consumers(1);
+    w.publish(sid(0), 0);
+    w.publish(sid(1), 0);
+    // can_admit() is only the *block*-policy wait predicate; under drop
+    // the producer skips the wait and lets make_room() sacrifice a step
+    EXPECT_FALSE(w.can_admit());
+    auto ev = w.make_room();
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].step, sid(0));
+    EXPECT_TRUE(ev[0].dropped); // never read while a consumer was subscribed
+    w.publish(sid(2), 0);
+
+    // a pinned step survives eviction: overcommit instead
+    auto a = w.acquire(stream::StepId{}.next(), false);
+    ASSERT_EQ(a.status, stream::StepWindow::Acquire::Status::granted);
+    EXPECT_EQ(a.step, sid(1));
+    auto ev2 = w.make_room();
+    ASSERT_EQ(ev2.size(), 1u);
+    EXPECT_EQ(ev2[0].step, sid(2)); // the only unheld step
+    w.publish(sid(3), 0);
+    EXPECT_EQ(w.occupancy(), 2u); // pinned 1 + windowed 3
+
+    // release of the pin lets reap() drain the overcommit
+    ASSERT_TRUE(w.release(sid(1)));
+    auto reaped = w.reap();
+    ASSERT_EQ(reaped.size(), 1u);
+    EXPECT_EQ(reaped[0].step, sid(1));
+    EXPECT_FALSE(reaped[0].dropped);
+    EXPECT_EQ(w.occupancy(), 1u);
+}
+
+TEST(StepWindow, AcquireGrantsOldestAtLeastMinOrLatest) {
+    stream::StepWindow w(wcfg(4, stream::StepPolicy::Block));
+    w.set_expected_consumers(2);
+    w.publish(sid(3), 0);
+    w.publish(sid(4), 0);
+    w.publish(sid(6), 0);
+
+    EXPECT_EQ(w.acquire(sid(4), false).step, sid(4)); // exact match
+    EXPECT_EQ(w.acquire(sid(5), false).step, sid(6)); // next available
+    EXPECT_EQ(w.acquire(sid(0), true).step, sid(6));  // latest ignores min
+
+    auto past = w.acquire(sid(7), false);
+    EXPECT_EQ(past.status, stream::StepWindow::Acquire::Status::retry_later);
+    w.set_eos();
+    EXPECT_EQ(w.acquire(sid(7), false).status, stream::StepWindow::Acquire::Status::eos);
+}
+
+TEST(StepWindow, PinFailsOnEvictedStep) {
+    stream::StepWindow w(wcfg(1, stream::StepPolicy::Drop));
+    w.set_expected_consumers(1);
+    w.publish(sid(0), 0);
+    EXPECT_TRUE(w.pin(sid(0)));
+    ASSERT_TRUE(w.release(sid(0)));
+    w.make_room();
+    w.publish(sid(1), 0);
+    EXPECT_FALSE(w.pin(sid(0))); // gone — the consumer retries higher
+    EXPECT_TRUE(w.pin(sid(1)));
+}
+
+TEST(StepWindow, ReleaseReportsFirstDrainExactlyOnce) {
+    stream::StepWindow w(wcfg(4, stream::StepPolicy::Block));
+    w.set_expected_consumers(2);
+    w.publish(sid(0), 42);
+    EXPECT_FALSE(w.release(sid(0))); // unpinned: protocol error
+    EXPECT_FALSE(w.release(sid(9))); // unknown step
+    w.acquire(stream::StepId{}.next(), false);
+    w.pin(sid(0));
+    auto r1 = w.release(sid(0));
+    ASSERT_TRUE(r1);
+    EXPECT_FALSE(r1->first_drain); // one pin still live
+    auto r2 = w.release(sid(0));
+    ASSERT_TRUE(r2);
+    EXPECT_TRUE(r2->first_drain);
+    EXPECT_EQ(r2->publish_ns, 42u);
+}
+
+TEST(StepWindow, DrainedNeedsEosAllDonesAndNoPins) {
+    stream::StepWindow w(wcfg(4, stream::StepPolicy::Block));
+    w.set_expected_consumers(1);
+    w.publish(sid(0), 0);
+    w.acquire(stream::StepId{}.next(), false);
+    w.set_eos();
+    EXPECT_FALSE(w.drained()); // step 0 still pinned
+    w.release(sid(0));
+    EXPECT_FALSE(w.drained()); // consumer not done
+    w.consumer_done();
+    EXPECT_TRUE(w.drained());
+    auto ev = w.clear();
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_FALSE(ev[0].dropped);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(StepWindow, PublishMustBeStrictlyIncreasingAndBeforeEos) {
+    stream::StepWindow w(wcfg(4, stream::StepPolicy::Block));
+    w.publish(sid(1), 0);
+    EXPECT_THROW(w.publish(sid(1), 0), h5::Error);
+    EXPECT_THROW(w.publish(sid(0), 0), h5::Error);
+    EXPECT_THROW(w.publish(stream::StepId{}, 0), h5::Error);
+    w.set_eos();
+    EXPECT_THROW(w.publish(sid(2), 0), h5::Error);
+    EXPECT_EQ(w.last_published(), sid(1));
+}
+
+TEST(StepWindow, NoConsumersMeansStepsAreBornConsumed) {
+    stream::StepWindow w(wcfg(1, stream::StepPolicy::Block));
+    w.set_expected_consumers(0);
+    w.publish(sid(0), 0);
+    EXPECT_TRUE(w.can_admit()); // consumer-less writer never blocks
+    auto ev = w.make_room();
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_FALSE(ev[0].dropped); // nobody was subscribed: not a drop
+}
+
+// --- Checker step-order lint --------------------------------------------------
+
+TEST(StreamCheck, PublishRegressionIsNamed) {
+    l5check::Checker chk(l5check::CheckConfig{l5check::CheckConfig::Action::report}, 2);
+    chk.on_step(0, "publish", "s.h5", 0);
+    chk.on_step(0, "publish", "s.h5", 1);
+    chk.on_step(0, "publish", "s.h5", 0); // regression
+    auto diags = chk.diagnostics();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].kind, "step-order");
+    EXPECT_NE(diags[0].message.find("strictly increasing"), std::string::npos);
+}
+
+TEST(StreamCheck, AcquireRegressionIsNamedPerRankAndStream) {
+    l5check::Checker chk(l5check::CheckConfig{l5check::CheckConfig::Action::report}, 2);
+    chk.on_step(1, "acquire", "s.h5", 3);
+    chk.on_step(1, "acquire", "other.h5", 0); // different stream: independent
+    chk.on_step(0, "acquire", "s.h5", 0);     // different rank: independent
+    chk.on_step(1, "acquire", "s.h5", 2);     // regression
+    auto diags = chk.diagnostics();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].kind, "step-order");
+    EXPECT_NE(diags[0].message.find("move strictly forward"), std::string::npos);
+}
+
+TEST(StreamCheck, ReleaseMustMatchTheHeldStep) {
+    l5check::Checker chk(l5check::CheckConfig{l5check::CheckConfig::Action::report}, 2);
+    chk.on_step(0, "release", "s.h5", 0); // nothing acquired
+    chk.on_step(0, "acquire", "s.h5", 4);
+    chk.on_step(0, "release", "s.h5", 3); // wrong step
+    chk.on_step(0, "release", "s.h5", 4); // correct: silent
+    auto diags = chk.diagnostics();
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_NE(diags[0].message.find("nothing acquired"), std::string::npos);
+    EXPECT_NE(diags[1].message.find("holds step 4"), std::string::npos);
+}
+
+// --- end-to-end workflows -----------------------------------------------------
+
+namespace {
+
+struct StreamStats {
+    std::atomic<std::uint64_t> published{0}, dropped{0}, drained{0}, waits{0}, acquired{0};
+    void add(const DistMetadataVol::Stats& s) {
+        published += s.n_steps_published;
+        dropped += s.n_steps_dropped;
+        drained += s.n_steps_drained;
+        waits += s.n_step_publish_waits;
+        acquired += s.n_steps_acquired;
+    }
+};
+
+/// Producer body: publish `nsteps` snapshots, close, then (optionally)
+/// wave the consumer through and wait for the drain so the captured
+/// stats cover the whole stream lifecycle.
+void produce_steps(Context& ctx, int nsteps, StreamStats& out, bool gate_consumer,
+                   std::optional<stream::StreamConfig> cfg = std::nullopt) {
+    {
+        stream::Writer w(ctx.vol, "s.h5", cfg);
+        for (int t = 0; t < nsteps; ++t) {
+            h5::File& f = w.begin_step();
+            write_step(f, static_cast<std::uint64_t>(t));
+            w.end_step();
+            EXPECT_EQ(w.current_step().value(), static_cast<std::uint64_t>(t));
+        }
+        w.close();
+    }
+    if (gate_consumer && ctx.rank() == 0)
+        ctx.world.send_value(ctx.world.size() - 1, 77, 1); // consumer may start now
+    ctx.vol->finish_serving(); // stats below include every drain/drop
+    out.add(ctx.vol->stats());
+}
+
+/// Consumer body: drain the stream, validating each step's payload, and
+/// report which steps were seen.
+std::vector<std::uint64_t> consume_steps(Context& ctx, StreamStats& out,
+                                         bool gated = false,
+                                         std::optional<stream::StreamConfig> cfg = std::nullopt) {
+    if (gated && ctx.rank() == ctx.size() - 1) ctx.world.recv_value<int>(0, 77);
+    if (gated) ctx.local.barrier(); // nobody subscribes before the gate
+    std::vector<std::uint64_t> seen;
+    stream::Reader r(ctx.vol, "s.h5", cfg);
+    while (r.next_step()) {
+        seen.push_back(r.current_step().value());
+        expect_step(r.file(), r.current_step().value());
+    }
+    r.close();
+    out.add(ctx.vol->stats());
+    return seen;
+}
+
+} // namespace
+
+TEST(Stream, BlockDeliversEveryStepInOrder) {
+    StreamStats ps, cs;
+    std::vector<std::uint64_t> seen;
+    workflow::run(
+        {
+            {"producer", 1, [&](Context& ctx) { produce_steps(ctx, 6, ps, false); }},
+            {"consumer", 1, [&](Context& ctx) { seen = consume_steps(ctx, cs); }},
+        },
+        {Link{0, 1, "*", "block", 4}});
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}));
+    EXPECT_EQ(ps.published.load(), 6u);
+    EXPECT_EQ(ps.drained.load(), 6u);
+    EXPECT_EQ(ps.dropped.load(), 0u);
+    EXPECT_EQ(cs.acquired.load(), 6u);
+}
+
+TEST(Stream, BlockWindowOfOneStaysLossless) {
+    StreamStats ps, cs;
+    std::vector<std::uint64_t> seen;
+    workflow::run(
+        {
+            {"producer", 1, [&](Context& ctx) { produce_steps(ctx, 4, ps, false); }},
+            {"consumer", 1, [&](Context& ctx) { seen = consume_steps(ctx, cs); }},
+        },
+        {Link{0, 1, "*", "block", 1}});
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+    EXPECT_EQ(ps.dropped.load(), 0u);
+    EXPECT_EQ(ps.drained.load(), 4u);
+}
+
+TEST(Stream, MultiRankConsumerReadsTheSameSnapshot) {
+    // 2 producer ranks × 2 consumer ranks: rank 0 runs the acquire/pin
+    // protocol, the step is broadcast, and both consumer ranks read the
+    // same frozen snapshot (each validating the full payload).
+    StreamStats ps, cs;
+    std::atomic<int> steps_seen{0};
+    workflow::run(
+        {
+            {"producer", 2, [&](Context& ctx) { produce_steps(ctx, 5, ps, false); }},
+            {"consumer", 2,
+             [&](Context& ctx) {
+                 auto seen = consume_steps(ctx, cs);
+                 EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+                 steps_seen += static_cast<int>(seen.size());
+             }},
+        },
+        {Link{0, 1, "*", "block", 2}});
+    EXPECT_EQ(steps_seen.load(), 10); // 5 steps × 2 ranks
+    EXPECT_EQ(ps.published.load(), 10u); // 5 steps × 2 producer ranks
+    EXPECT_EQ(ps.dropped.load(), 0u);
+}
+
+TEST(Stream, DropNeverBlocksAFastProducer) {
+    // The producer publishes 8 steps and finishes before the consumer is
+    // even allowed to subscribe (the tag-77 gate) — 4× the consumer's
+    // rate and then some. Under drop it must never wait: zero blocking
+    // waits by construction, asserted via the obs-backed stats, and the
+    // 6 steps that aged out of the window count as drops.
+    StreamStats ps, cs;
+    std::vector<std::uint64_t> seen;
+    workflow::run(
+        {
+            {"producer", 1, [&](Context& ctx) { produce_steps(ctx, 8, ps, true); }},
+            {"consumer", 1, [&](Context& ctx) { seen = consume_steps(ctx, cs, true); }},
+        },
+        {Link{0, 1, "*", "drop", 2}});
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{6, 7})); // the surviving window
+    EXPECT_EQ(ps.waits.load(), 0u);
+    EXPECT_EQ(ps.published.load(), 8u);
+    EXPECT_EQ(ps.dropped.load(), 6u);
+    EXPECT_EQ(ps.drained.load(), 2u);
+}
+
+TEST(Stream, DropNeverBlocksUnderTheDeterministicScheduler) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        StreamStats ps, cs;
+        std::vector<std::uint64_t> seen;
+        Options opts;
+        opts.runtime.sched       = SchedConfig{};
+        opts.runtime.sched->seed = seed;
+        workflow::run(
+            {
+                {"producer", 1, [&](Context& ctx) { produce_steps(ctx, 8, ps, true); }},
+                {"consumer", 1, [&](Context& ctx) { seen = consume_steps(ctx, cs, true); }},
+            },
+            {Link{0, 1, "*", "drop", 2}}, opts);
+        EXPECT_EQ(seen, (std::vector<std::uint64_t>{6, 7})) << "seed " << seed;
+        EXPECT_EQ(ps.waits.load(), 0u) << "seed " << seed;
+        EXPECT_EQ(ps.dropped.load(), 6u) << "seed " << seed;
+    }
+}
+
+TEST(Stream, LatestOnlyJumpsToTheNewestStep) {
+    StreamStats ps, cs;
+    std::vector<std::uint64_t> seen;
+    workflow::run(
+        {
+            {"producer", 1, [&](Context& ctx) { produce_steps(ctx, 8, ps, true); }},
+            {"consumer", 1, [&](Context& ctx) { seen = consume_steps(ctx, cs, true); }},
+        },
+        {Link{0, 1, "*", "latest_only"}});
+    // non-contiguous drain: the consumer's first acquire lands on the
+    // newest step, skipping 0..6 entirely
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{7}));
+    EXPECT_EQ(ps.waits.load(), 0u);
+    EXPECT_EQ(ps.published.load(), 8u);
+    EXPECT_EQ(ps.dropped.load(), 7u);
+}
+
+TEST(Stream, LatestOnlyNeverBlocksUnderTheDeterministicScheduler) {
+    StreamStats ps, cs;
+    std::vector<std::uint64_t> seen;
+    Options opts;
+    opts.runtime.sched       = SchedConfig{};
+    opts.runtime.sched->seed = 7;
+    workflow::run(
+        {
+            {"producer", 1, [&](Context& ctx) { produce_steps(ctx, 8, ps, true); }},
+            {"consumer", 1, [&](Context& ctx) { seen = consume_steps(ctx, cs, true); }},
+        },
+        {Link{0, 1, "*", "latest_only"}}, opts);
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{7}));
+    EXPECT_EQ(ps.waits.load(), 0u);
+}
+
+TEST(Stream, EmptyStreamEndsImmediately) {
+    StreamStats ps, cs;
+    std::vector<std::uint64_t> seen{99}; // sentinel: must come back empty
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](Context& ctx) {
+                 stream::Writer w(ctx.vol, "s.h5");
+                 w.close(); // zero steps
+                 ctx.vol->finish_serving();
+                 ps.add(ctx.vol->stats());
+             }},
+            {"consumer", 1, [&](Context& ctx) { seen = consume_steps(ctx, cs); }},
+        },
+        {Link{0, 1, "*", "block"}});
+    EXPECT_TRUE(seen.empty());
+    EXPECT_EQ(ps.published.load(), 0u);
+    EXPECT_EQ(cs.acquired.load(), 0u);
+}
+
+TEST(Stream, WriterWithoutConsumersNeverBlocksOrDrops) {
+    StreamStats ps;
+    workflow::run({{"solo", 1, [&](Context& ctx) { produce_steps(ctx, 5, ps, false); }}}, {});
+    EXPECT_EQ(ps.published.load(), 5u);
+    EXPECT_EQ(ps.waits.load(), 0u);
+    EXPECT_EQ(ps.dropped.load(), 0u); // nobody subscribed: nothing "dropped"
+}
+
+TEST(Stream, WriterRejectsReservedNamesAndMisuse) {
+    workflow::run(
+        {{"solo", 1,
+          [&](Context& ctx) {
+              EXPECT_THROW(stream::Writer(ctx.vol, std::string("a\x1f") + "b"), h5::Error);
+              stream::Writer w(ctx.vol, "s.h5");
+              EXPECT_THROW(w.end_step(), h5::Error);   // no open step
+              EXPECT_THROW(stream::Writer(ctx.vol, "s.h5"), h5::Error); // already open
+              w.begin_step();
+              EXPECT_THROW(w.begin_step(), h5::Error); // step already open
+              EXPECT_THROW(w.close(), h5::Error);      // step still open
+              w.end_step();
+              w.close();
+          }}},
+        {});
+}
+
+TEST(Stream, LinkConfigReachesBothEnds) {
+    // neither side passes an explicit config: both resolve the link's
+    // `stream:`/`window:` declaration through set_stream
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](Context& ctx) {
+                 stream::Writer w(ctx.vol, "s.h5");
+                 EXPECT_EQ(w.config().policy, stream::StepPolicy::Drop);
+                 EXPECT_EQ(w.config().window, 3u);
+                 w.close();
+                 ctx.vol->finish_serving();
+             }},
+            {"consumer", 1,
+             [&](Context& ctx) {
+                 stream::Reader r(ctx.vol, "s.h5");
+                 EXPECT_EQ(r.config().policy, stream::StepPolicy::Drop);
+                 EXPECT_EQ(r.config().window, 3u);
+                 EXPECT_FALSE(r.next_step());
+                 r.close();
+             }},
+        },
+        {Link{0, 1, "*", "drop", 3}});
+}
+
+TEST(Stream, BlockPublishHonorsDeadlinesWithTimeoutError) {
+    // window 1, block, 50 ms publish budget: the consumer pins step 0 and
+    // then parks on a message that never comes, so the producer's second
+    // publish can never be admitted — it must surface a TimeoutError
+    // naming the backpressure wait, not hang. Deterministic under the
+    // scheduler: simulated time jumps straight to the deadline.
+    stream::StreamConfig cfg;
+    cfg.window     = 1;
+    cfg.policy     = stream::StepPolicy::Block;
+    cfg.timeout_ms = 50;
+    Options opts;
+    opts.runtime.sched       = SchedConfig{};
+    opts.runtime.sched->seed = 2;
+    std::string what;
+    workflow::run(
+        {
+            {"producer", 1,
+             [&](Context& ctx) {
+                 {
+                     stream::Writer w(ctx.vol, "s.h5", cfg);
+                     write_step(w.begin_step(), 0);
+                     w.end_step();
+                     write_step(w.begin_step(), 1);
+                     try {
+                         w.end_step(); // step 0 is pinned: can never be admitted
+                     } catch (const TimeoutError& e) {
+                         what = e.what();
+                     }
+                 } // ~Writer abandons the step (bounded, swallowed) + ends the stream
+                 ctx.world.send_value(1, 77, 1); // consumer may move on now
+                 ctx.vol->finish_serving();
+             }},
+            {"consumer", 1,
+             [&](Context& ctx) {
+                 stream::Reader r(ctx.vol, "s.h5");
+                 ASSERT_TRUE(r.next_step());
+                 expect_step(r.file(), 0);
+                 // pin step 0 through both of the producer's publish attempts
+                 ctx.world.recv_value<int>(0, 77);
+                 EXPECT_FALSE(r.next_step()); // step 1 was never published
+                 r.close();
+             }},
+        },
+        {Link{0, 1, "*", "", 0}}, opts);
+    EXPECT_NE(what.find("timeout"), std::string::npos) << what;
+    EXPECT_NE(what.find("backpressure"), std::string::npos) << what;
+    EXPECT_NE(what.find("50 ms"), std::string::npos) << what;
+}
+
+TEST(Stream, BlockedPublishIsNamedInDeadlockReports) {
+    // same shape but with no deadline anywhere: every task ends up
+    // blocked (producer in the stream/window wait, consumer in a recv)
+    // and the scheduler's deadlock report must name the publish wait site
+    // so a stuck pipeline is diagnosable.
+    stream::StreamConfig cfg;
+    cfg.window = 1;
+    cfg.policy = stream::StepPolicy::Block;
+    Options opts;
+    opts.runtime.sched       = SchedConfig{};
+    opts.runtime.sched->seed = 3;
+    try {
+        workflow::run(
+            {
+                {"producer", 1,
+                 [&](Context& ctx) {
+                     stream::Writer w(ctx.vol, "s.h5", cfg);
+                     write_step(w.begin_step(), 0);
+                     w.end_step();
+                     write_step(w.begin_step(), 1);
+                     w.end_step(); // blocks forever
+                 }},
+                {"consumer", 1,
+                 [&](Context& ctx) {
+                     stream::Reader r(ctx.vol, "s.h5");
+                     ASSERT_TRUE(r.next_step());
+                     ctx.world.recv_value<int>(0, 55); // never sent
+                 }},
+            },
+            {Link{0, 1, "*", "", 0}}, opts);
+        FAIL() << "expected RankFailure";
+    } catch (const RankFailure& rf) {
+        const std::string what = rf.what();
+        EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+        EXPECT_NE(what.find("stream/window"), std::string::npos) << what;
+    }
+}

@@ -2,8 +2,10 @@
 /// exercised against real on-disk files via the installed binaries.
 
 #include <h5/h5.hpp>
+#include <lowfive/lowfive.hpp>
 #include <obs/obs.hpp>
 #include <simmpi/simmpi.hpp>
+#include <workflow/workflow.hpp>
 
 #include <gtest/gtest.h>
 
@@ -277,4 +279,74 @@ TEST_F(ToolsTest, TraceMergeSeparatesInputsByPid) {
     std::filesystem::remove(t1);
     std::filesystem::remove(t2);
     std::filesystem::remove(out);
+}
+
+// --- mh5trace --steps: streaming step lifecycle ----------------------------
+
+namespace {
+
+/// Run a tiny 1x1 streaming workflow with the tracer on and export the
+/// resulting Chrome trace (with genuine stream.publish/drain instants).
+void write_stream_trace(const std::string& path) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.set_enabled(true);
+    workflow::Options opts;
+    opts.mode = workflow::Mode::in_situ();
+    workflow::run(
+        {
+            {"producer", 1,
+             [](workflow::Context& ctx) {
+                 lowfive::stream::Writer w(ctx.vol, "ts.h5");
+                 for (int t = 0; t < 3; ++t) {
+                     h5::File& f = w.begin_step();
+                     auto d = f.create_dataset("v", h5::dt::int32(), h5::Dataspace({4}));
+                     h5::Dataspace sel({4});
+                     sel.select_all();
+                     std::vector<std::int32_t> v{t, t + 1, t + 2, t + 3};
+                     d.write(v.data(), sel);
+                     w.end_step();
+                 }
+                 w.close();
+             }},
+            {"consumer", 1,
+             [](workflow::Context& ctx) {
+                 lowfive::stream::Reader r(ctx.vol, "ts.h5");
+                 while (r.next_step())
+                     (void)r.file().open_dataset("v").read_vector<std::int32_t>();
+                 r.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*", "", 0}}, opts);
+    tracer.set_enabled(false);
+    ASSERT_TRUE(obs::write_chrome_trace_file(path));
+    tracer.clear();
+}
+
+} // namespace
+
+TEST_F(ToolsTest, TraceStepLifecycle) {
+    auto trace = (std::filesystem::temp_directory_path() / "tools_trace_steps.json").string();
+    write_stream_trace(trace);
+
+    int  rc  = -1;
+    auto out = run_tool(tool_path("mh5trace") + " --steps " + trace, &rc);
+    EXPECT_EQ(rc, 0) << out;
+    // one row per (stream, step) with the publish->drain latency column
+    EXPECT_NE(out.find("latency(ms)"), std::string::npos) << out;
+    EXPECT_NE(out.find("ts.h5"), std::string::npos) << out;
+    // the lossless block-policy run delivers every step
+    EXPECT_NE(out.find("published 3, drained 3, dropped 0"), std::string::npos) << out;
+    std::filesystem::remove(trace);
+}
+
+TEST_F(ToolsTest, TraceStepLifecycleEmptyWithoutStreamEvents) {
+    auto trace = (std::filesystem::temp_directory_path() / "tools_trace_nosteps.json").string();
+    write_sample_trace(trace);
+
+    int  rc  = -1;
+    auto out = run_tool(tool_path("mh5trace") + " --steps " + trace, &rc);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("no streaming step events"), std::string::npos) << out;
+    std::filesystem::remove(trace);
 }

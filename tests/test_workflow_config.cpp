@@ -69,6 +69,69 @@ tasks:
     EXPECT_EQ(p.options.zerocopy[1].dset_pattern, "*");
 }
 
+TEST(WorkflowConfig, ParsesStreamedLinks) {
+    auto p = parse_workflow(R"(
+tasks:
+  - name: sim
+    ranks: 2
+    func: producer
+  - name: ana
+    ranks: 1
+    func: consumer
+links:
+  - from: sim
+    to: ana
+    pattern: "*.h5"
+    stream: drop
+    window: 6
+  - from: sim
+    to: ana
+    stream: latest_only
+)");
+    ASSERT_EQ(p.links.size(), 2u);
+    EXPECT_EQ(p.links[0].stream, "drop");
+    EXPECT_EQ(p.links[0].stream_window, 6);
+    EXPECT_EQ(p.links[1].stream, "latest_only");
+    EXPECT_EQ(p.links[1].stream_window, 0); // default window
+    // an unstreamed link stays unstreamed
+    auto q = parse_workflow(basic_config);
+    EXPECT_TRUE(q.links[0].stream.empty());
+}
+
+TEST(WorkflowConfig, RejectsBadStreamDeclarations) {
+    const std::string head = R"(
+tasks:
+  - name: a
+    ranks: 1
+    func: f
+  - name: b
+    ranks: 1
+    func: g
+links:
+  - from: a
+    to: b
+)";
+    // unknown policy name, with the valid spellings in the message
+    try {
+        parse_workflow(head + "    stream: sometimes\n");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("block|drop|latest_only"), std::string::npos)
+            << e.what();
+    }
+    // window must be a positive integer
+    EXPECT_THROW(parse_workflow(head + "    stream: block\n    window: 0\n"), ConfigError);
+    EXPECT_THROW(parse_workflow(head + "    stream: block\n    window: -2\n"), ConfigError);
+    EXPECT_THROW(parse_workflow(head + "    stream: block\n    window: many\n"), ConfigError);
+    // window without stream is meaningless — likely a misconfiguration
+    try {
+        parse_workflow(head + "    window: 4\n");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("streamed link"), std::string::npos) << e.what();
+    }
+}
+
 TEST(WorkflowConfig, ErrorsCarryLineNumbers) {
     try {
         parse_workflow("mode: memory\nbogus_key: 1\n");

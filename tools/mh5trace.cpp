@@ -14,6 +14,10 @@
 ///   -n SUBSTR   keep only events whose name contains SUBSTR (repeatable)
 ///   -r RANK     keep only this rank lane (repeatable)
 ///   -s          also print the summary when -o is given
+///   --steps     print the streaming step lifecycle instead: every
+///               (stream, step) pair's publish->drain latency (first
+///               publish to last drain across ranks), eviction marks,
+///               and a per-stream published/drained/dropped summary
 
 #include <obs/json.hpp>
 
@@ -131,6 +135,88 @@ std::map<std::string, Phase> summarize(const std::vector<Value>& events) {
     return phases;
 }
 
+/// Lifecycle of one (stream, step): the step protocol emits
+/// stream.publish / stream.drain / stream.drop instants per producer
+/// rank; the lifecycle spans first publish to last drain across ranks.
+struct StepLife {
+    double        first_publish_us = -1;
+    double        last_drain_us    = -1;
+    std::uint64_t publishes        = 0;
+    std::uint64_t drains           = 0;
+    std::uint64_t drops            = 0;
+};
+
+std::map<std::pair<std::string, std::uint64_t>, StepLife>
+summarize_steps(const std::vector<Value>& events) {
+    std::map<std::pair<std::string, std::uint64_t>, StepLife> steps;
+    for (const auto& ev : events) {
+        const Value* ph   = ev.find("ph");
+        const Value* name = ev.find("name");
+        const Value* ts   = ev.find("ts");
+        const Value* args = ev.find("args");
+        if (!ph || !ph->is_string() || (ph->str() != "i" && ph->str() != "I")) continue;
+        if (!name || !name->is_string() || name->str().rfind("stream.", 0) != 0) continue;
+        if (!args) continue;
+        const Value* stream = args->find("stream");
+        const Value* step   = args->find("step");
+        if (!stream || !stream->is_string() || !step || !step->is_number()) continue;
+        auto& life = steps[{stream->str(), static_cast<std::uint64_t>(step->number())}];
+        const double t = ts && ts->is_number() ? ts->number() : 0;
+        if (name->str() == "stream.publish") {
+            if (!life.publishes || t < life.first_publish_us) life.first_publish_us = t;
+            life.publishes++;
+        } else if (name->str() == "stream.drain") {
+            if (!life.drains || t > life.last_drain_us) life.last_drain_us = t;
+            life.drains++;
+        } else if (name->str() == "stream.drop") {
+            life.drops++;
+        }
+    }
+    return steps;
+}
+
+void print_steps(const std::map<std::pair<std::string, std::uint64_t>, StepLife>& steps) {
+    if (steps.empty()) {
+        std::printf("no streaming step events (stream.publish/drain/drop instants)\n");
+        return;
+    }
+    std::printf("%-24s %8s %14s %14s %14s\n", "stream", "step", "publish(ms)", "drain(ms)",
+                "latency(ms)");
+    struct Agg {
+        std::uint64_t published = 0, drained = 0, dropped = 0;
+        double        min_ms = 0, max_ms = 0, total_ms = 0;
+    };
+    std::map<std::string, Agg> per_stream;
+    for (const auto& [key, life] : steps) {
+        auto& agg = per_stream[key.first];
+        if (life.publishes) agg.published++;
+        if (life.drops) agg.dropped++;
+        if (life.drains) {
+            const double lat_ms = (life.last_drain_us - life.first_publish_us) / 1000.0;
+            agg.drained++;
+            agg.total_ms += lat_ms;
+            if (agg.drained == 1 || lat_ms < agg.min_ms) agg.min_ms = lat_ms;
+            if (agg.drained == 1 || lat_ms > agg.max_ms) agg.max_ms = lat_ms;
+            std::printf("%-24s %8llu %14.3f %14.3f %14.3f\n", key.first.c_str(),
+                        static_cast<unsigned long long>(key.second),
+                        life.first_publish_us / 1000.0, life.last_drain_us / 1000.0, lat_ms);
+        } else {
+            std::printf("%-24s %8llu %14.3f %14s %14s\n", key.first.c_str(),
+                        static_cast<unsigned long long>(key.second),
+                        life.first_publish_us / 1000.0, "-",
+                        life.drops ? "dropped" : "undrained");
+        }
+    }
+    for (const auto& [name, agg] : per_stream)
+        std::printf("%s: published %llu, drained %llu, dropped %llu, "
+                    "latency min/mean/max %.3f/%.3f/%.3f ms\n",
+                    name.c_str(), static_cast<unsigned long long>(agg.published),
+                    static_cast<unsigned long long>(agg.drained),
+                    static_cast<unsigned long long>(agg.dropped), agg.min_ms,
+                    agg.drained ? agg.total_ms / static_cast<double>(agg.drained) : 0.0,
+                    agg.max_ms);
+}
+
 void print_summary(const std::map<std::string, Phase>& phases) {
     std::printf("%-28s %10s %12s %12s %10s\n", "phase", "count", "total(ms)", "mean(us)", "MiB");
     for (const auto& [name, ph] : phases)
@@ -143,7 +229,7 @@ void print_summary(const std::map<std::string, Phase>& phases) {
 int usage() {
     std::fprintf(stderr,
                  "usage: mh5trace [-o out.json] [-c cat]... [-n substr]... [-r rank]... [-s] "
-                 "trace.json...\n");
+                 "[--steps] trace.json...\n");
     return 2;
 }
 
@@ -152,6 +238,7 @@ int usage() {
 int main(int argc, char** argv) {
     std::string              out_path;
     bool                     want_summary = false;
+    bool                     want_steps   = false;
     Filter                   filter;
     std::vector<std::string> inputs;
 
@@ -176,6 +263,8 @@ int main(int argc, char** argv) {
             filter.ranks.push_back(std::atoi(v));
         } else if (arg == "-s" || arg == "--summary") {
             want_summary = true;
+        } else if (arg == "--steps") {
+            want_steps = true;
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
@@ -186,7 +275,7 @@ int main(int argc, char** argv) {
         }
     }
     if (inputs.empty()) return usage();
-    if (out_path.empty()) want_summary = true;
+    if (out_path.empty() && !want_steps) want_summary = true;
 
     try {
         // merge: each input file becomes its own pid so lanes from
@@ -222,6 +311,7 @@ int main(int argc, char** argv) {
             std::printf("mh5trace: wrote %zu events to %s\n", merged.size(), out_path.c_str());
         }
         if (want_summary) print_summary(summarize(merged));
+        if (want_steps) print_steps(summarize_steps(merged));
     } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
