@@ -15,6 +15,11 @@
 ///                            negotiated for every dataset (the CPU cost
 ///                            of the codec on an unthrottled wire; see
 ///                            bench_datapath for the throttled tradeoff)
+///   concurrent_readers_during_publish  the MVCC serve plane: producers
+///                            rewrite the file while consumers read
+///                            concurrently (background serve); every
+///                            read pins one snapshot version and must
+///                            come back version-consistent
 ///
 /// Emits BENCH_query_pipeline.json (median of L5_BENCH_TRIALS trials,
 /// default 3) into the working directory.
@@ -139,6 +144,90 @@ double run_trial(bool pipelined, bool cached, KernelMode kernels, bool compress,
     return seconds;
 }
 
+/// One MVCC-plane trial: producers rewrite qpc.h5 `rewrites` times while
+/// consumers read concurrently under background serve; every consumer
+/// round pins one snapshot version and the spot-check asserts the read
+/// came back version-consistent (no torn cross-version reads). Returns
+/// the barrier-bounded wall time of the consumer's read loop.
+double run_concurrent_trial(ScenarioResult* stats_sink) {
+    constexpr int rewrites = 4;
+
+    double  seconds = 0.0;
+    Options opts;
+    opts.mode             = workflow::Mode::in_situ();
+    opts.background_serve = true;
+
+    workflow::run(
+        {
+            {"producer", nprod,
+             [&](Context& ctx) {
+                 const auto mine = producer_block(ctx.rank());
+                 Dataspace  sel({dim_x, dim_y, dim_z});
+                 sel.select_box(mine);
+                 std::vector<std::uint64_t> vals(sel.npoints());
+
+                 for (int k = 0; k < rewrites; ++k) {
+                     File f = File::create("qpc.h5", ctx.vol);
+                     auto d = f.create_dataset("grid", dt::uint64(),
+                                               Dataspace({dim_x, dim_y, dim_z}));
+                     std::size_t j = 0;
+                     for (auto x = mine.min[0]; x < mine.max[0]; ++x)
+                         for (auto y = mine.min[1]; y < mine.max[1]; ++y)
+                             for (auto z = mine.min[2]; z < mine.max[2]; ++z)
+                                 vals[j++] = (static_cast<std::uint64_t>(x) * dim_y
+                                              + static_cast<std::uint64_t>(y)) * dim_z
+                                             + static_cast<std::uint64_t>(z)
+                                             + static_cast<std::uint64_t>(k);
+                     d.write(vals.data(), sel);
+                     f.close(); // publishes snapshot version k+1
+                 }
+                 ctx.vol->finish_serving();
+             }},
+            {"consumer", ncons,
+             [&](Context& ctx) {
+                 ctx.vol->set_pipelining(true);
+                 ctx.vol->set_query_cache(true);
+
+                 const auto mine = consumer_block(ctx.rank());
+                 Dataspace  sel({dim_x, dim_y, dim_z});
+                 sel.select_box(mine);
+                 const std::uint64_t front_base =
+                     (static_cast<std::uint64_t>(mine.min[0]) * dim_y
+                      + static_cast<std::uint64_t>(mine.min[1])) * dim_z;
+
+                 // time over the consumer sub-world only: producers are
+                 // still publishing and never enter this collective
+                 double t = benchcommon::timed_section(ctx.local, [&] {
+                     for (int r = 0; r < rewrites; ++r) {
+                         File f    = File::open("qpc.h5", ctx.vol);
+                         auto d    = f.open_dataset("grid");
+                         auto vals = d.read_vector<std::uint64_t>(sel);
+                         // version-consistency check: front and back of the
+                         // slab must carry the same rewrite offset k
+                         const std::uint64_t k = vals.front() - front_base;
+                         const std::uint64_t back_base =
+                             (static_cast<std::uint64_t>(mine.max[0] - 1) * dim_y
+                              + static_cast<std::uint64_t>(mine.max[1] - 1)) * dim_z
+                             + (dim_z - 1);
+                         if (k >= rewrites || vals.back() - back_base != k)
+                             throw std::runtime_error("bench: torn concurrent read");
+                         f.close();
+                     }
+                 });
+                 if (ctx.rank() == 0) {
+                     seconds = t;
+                     if (stats_sink) {
+                         stats_sink->metrics   = ctx.vol->metrics().snapshot();
+                         stats_sink->last_wall = t;
+                     }
+                 }
+             }},
+        },
+        {Link{0, 1, "*"}}, opts);
+
+    return seconds;
+}
+
 ScenarioResult run_scenario(const std::string& label, int trials, bool pipelined, bool cached,
                             KernelMode kernels = KernelMode::vectorized,
                             bool compress = false) {
@@ -148,6 +237,18 @@ ScenarioResult run_scenario(const std::string& label, int trials, bool pipelined
         res.seconds.push_back(run_trial(pipelined, cached, kernels, compress, &res));
     std::printf("  %-24s median %.4f s  (intersects/rank %llu, cache hits %llu)\n", label.c_str(),
                 res.median(),
+                static_cast<unsigned long long>(res.counter("n_intersect_queries")),
+                static_cast<unsigned long long>(res.counter("n_intersect_cache_hits")));
+    return res;
+}
+
+ScenarioResult run_concurrent_scenario(int trials) {
+    ScenarioResult res;
+    res.label = "concurrent_readers_during_publish";
+    for (int t = 0; t < trials; ++t)
+        res.seconds.push_back(run_concurrent_trial(&res));
+    std::printf("  %-24s median %.4f s  (intersects/rank %llu, cache hits %llu)\n",
+                res.label.c_str(), res.median(),
                 static_cast<unsigned long long>(res.counter("n_intersect_queries")),
                 static_cast<unsigned long long>(res.counter("n_intersect_cache_hits")));
     return res;
@@ -193,6 +294,7 @@ int main() {
     results.push_back(run_scenario("pipelined_cached_compressed", trials,
                                    /*pipelined=*/true, /*cached=*/true, KernelMode::vectorized,
                                    /*compress=*/true));
+    results.push_back(run_concurrent_scenario(trials));
 
     const double speedup = results.front().median() / results[2].median();
     std::printf("speedup (pipelined_cached vs serial_uncached_naive): %.2fx\n", speedup);

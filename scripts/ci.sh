@@ -1,14 +1,30 @@
 #!/usr/bin/env bash
 # Local mirror of the CI pipeline (.github/workflows/ci.yml):
 # tier-1 verify (configure + build + full ctest) followed by the
-# ThreadSanitizer tree over the concurrency-sensitive suites.
+# ThreadSanitizer tree over the concurrency-sensitive suites, then the
+# deep MVCC schedule sweep that CI runs on every push.
 #
 #   scripts/ci.sh
 #
-# This is just check.sh with the sanitizer tree always on; kept as a
-# separate entry point so "run what CI runs" stays a one-liner.
+# This is check.sh --tsan plus the CI-depth mh5sched sweep of the MVCC
+# concurrency battery; kept as a separate entry point so "run what CI
+# runs" stays a one-liner.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-exec scripts/check.sh --tsan
+scripts/check.sh --tsan
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+# MVCC snapshot-index deep sweep: 100 random + 100 pct seeded schedules
+# over the whole concurrency battery (versioned pins racing publish/GC,
+# defer-until-published replay, bounded-snapshot streaming). check.sh
+# runs 5 seeds per policy as a smoke; this is the CI-depth soak.
+echo "== MVCC schedule sweep (mh5sched, 200 seeds) =="
+./build/tools/mh5sched --seeds 1:100 --timeout 120 --jobs "$jobs" --check \
+    -- ./build/tests/test_mvcc --gtest_brief=1
+./build/tools/mh5sched --seeds 1:100 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check \
+    -- ./build/tests/test_mvcc --gtest_brief=1
+
+echo "ci.sh: all green"

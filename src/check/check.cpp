@@ -233,6 +233,11 @@ void Checker::on_count_mismatch(int rank, int src, int tag, const char* what,
            false);
 }
 
+void Checker::on_leak(int rank, const char* kind, const std::string& message) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    record(kind, "rank " + std::to_string(rank) + ": " + message, true);
+}
+
 void Checker::on_step(int rank, const char* event, const std::string& stream,
                       std::uint64_t step) {
     std::lock_guard<std::mutex> lock(mutex_);

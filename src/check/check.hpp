@@ -149,6 +149,12 @@ public:
     void on_count_mismatch(int rank, int src, int tag, const char* what, std::size_t expected,
                            std::size_t got);
 
+    /// A component detected a leaked resource it owns at a finalize-like
+    /// point (e.g. dist_vol's `finish_serving` finding outstanding MVCC
+    /// snapshot pins). Records a diagnostic of `kind` (raising in raise
+    /// mode, like every other finding); `message` names the counts.
+    void on_leak(int rank, const char* kind, const std::string& message);
+
     /// A stream step lifecycle event ("publish", "acquire", "release")
     /// on `rank` for step `step` of `stream`. Runs the **step-order**
     /// lint: publishes must be strictly increasing per (rank, stream)

@@ -2,6 +2,7 @@
 
 #include "codec.hpp"
 
+#include <check/check.hpp>
 #include <diy/serialization.hpp>
 #include <obs/trace.hpp>
 #include <simmpi/sched.hpp>
@@ -25,8 +26,15 @@ using h5::ObjectKind;
 /// Serve-state guard: a plain recursive lock normally; under a
 /// deterministic scheduler, contention becomes a scheduling point so a
 /// descheduled holder (the background serve thread at one of its send
-/// yield points) can be run to release it.
-using Guard = simmpi::detail::CoopLock<std::recursive_mutex>;
+/// yield points) can be run to release it. Every acquisition first feeds
+/// the serve-lock-after-pin lint: under L5_CHECK, constructing a Guard
+/// inside a pinned snapshot read section is a CheckError — the query hot
+/// path must never block on publish/teardown control state.
+class Guard : public simmpi::detail::CoopLock<std::recursive_mutex> {
+public:
+    Guard(simmpi::detail::Scheduler* s, std::recursive_mutex& m, const char* site)
+        : CoopLock((mvcc::note_serve_lock(site), s), m, site) {}
+};
 
 namespace {
 
@@ -87,6 +95,9 @@ DistMetadataVol::DistMetadataVol(simmpi::Comm local, h5::VolPtr passthru_vol)
     if (const char* e = std::getenv("L5_COMPRESS"); e && *e && std::atoi(e) != 0)
         compress_.push_back({"*", "*"});
     codec::WireModel::instance().configure_from_env();
+    // arm the serve-lock-after-pin lint alongside the MPI-semantics
+    // checker: checked runs also verify the query path stays lock-free
+    if (l5check::CheckConfig::from_env()) mvcc::set_lock_lint(true);
 }
 
 void DistMetadataVol::set_compress(const std::string& file_pattern,
@@ -112,6 +123,10 @@ DistMetadataVol::Stats DistMetadataVol::stats() const {
     s.n_steps_drained          = c_steps_drained_.value();
     s.n_step_publish_waits     = c_step_publish_waits_.value();
     s.n_steps_acquired         = c_steps_acquired_.value();
+    s.n_step_pin_rollbacks     = c_step_pin_rollbacks_.value();
+    s.n_snapshots_live         = g_snapshots_live_.value();
+    s.n_snapshot_pins          = c_snapshot_pins_.value();
+    s.n_snapshot_gc            = c_snapshot_gc_.value();
     return s;
 }
 
@@ -150,14 +165,26 @@ void DistMetadataVol::background_loop() {
             if (which + 1 == comms.size()) {
                 std::vector<std::byte> raw;
                 local_.recv(st.source, rpc_request, raw);
-                return;
+                if (raw.empty()) return; // shutdown signal
+                // deferred-retry nudge: a producer-thread publish parked
+                // work for us; replay it here so request handling (and
+                // its replies) stays single-threaded
+                std::vector<Deferred> pending;
+                {
+                    Guard lock(local_.scheduler(), mutex_, "serve/deferred");
+                    pending = std::move(deferred_);
+                    deferred_.clear();
+                }
+                for (auto& d : pending)
+                    handle_request(serve_conns_[d.conn], d.src, std::move(d.payload));
+                notify_dones();
+                continue;
             }
             auto& conn = serve_conns_[which];
             auto  bb   = recv_buffer(conn.ic, st.source, rpc_request);
-            {
-                Guard lock(local_.scheduler(), mutex_, "serve/handle_request");
-                handle_request(conn, st.source, std::move(bb).take());
-            }
+            // no lock here: handle_request pins a snapshot for the query
+            // ops and takes the Guard itself only for control ops
+            handle_request(conn, st.source, std::move(bb).take());
             notify_dones();
         }
     } catch (...) {
@@ -169,8 +196,29 @@ void DistMetadataVol::background_loop() {
     }
 }
 
+void DistMetadataVol::check_pin_leaks() {
+    // finalize lint: every snapshot pin taken during the run (round pins,
+    // step pins, reader pins) must have been released by now — a leak
+    // keeps superseded versions and their data alive forever
+    if (const auto n = snapshots_.outstanding_pins(); n != 0)
+        local_.check_leak("leaked-snapshot-pin",
+                          std::to_string(n)
+                              + " snapshot pin(s) still outstanding at finish_serving "
+                                "(round or step pins never released)");
+}
+
 void DistMetadataVol::finish_serving() {
-    if (!serve_thread_.joinable()) return;
+    if (!serve_thread_.joinable()) {
+        // sync mode: every round was served to completion inside close,
+        // so the trailing round pins (kept for possible reopens of the
+        // last version) can go now
+        {
+            Guard lock(local_.scheduler(), mutex_, "finish_serving/clear_pins");
+            round_pins_.clear();
+        }
+        check_pin_leaks();
+        return;
+    }
     auto*              sched = local_.scheduler();
     std::exception_ptr err;
     try {
@@ -208,6 +256,13 @@ void DistMetadataVol::finish_serving() {
         }
         std::rethrow_exception(err);
     }
+    {
+        // every round completed (the dones wait above): no in-flight
+        // reader is left, so the trailing round pins can go
+        Guard lock(sched, mutex_, "finish_serving/clear_pins");
+        round_pins_.clear();
+    }
+    check_pin_leaks();
 }
 
 void* DistMetadataVol::file_create(const std::string& name) {
@@ -236,17 +291,20 @@ void DistMetadataVol::drop_file(const std::string& name) {
         simmpi::detail::coop_wait(sched, dones_cv_, lock, "drop_file/dones", [&] {
             return serve_error_ || dones_received_ >= dones_expected_;
         });
-    index_.erase(name);
-    // the consumer-side intersect cache survives: its entries are keyed
-    // by publish version, so a later rewrite can never serve stale sets
+    // every round is done (the wait above): this file's round pins can
+    // go, and its snapshot line is retired — the current version is
+    // superseded and GC'd as soon as the last pin drops
+    for (auto it = round_pins_.begin(); it != round_pins_.end();)
+        it = std::get<2>(it->first) == name ? round_pins_.erase(it) : std::next(it);
+    snapshots_.retire(name);
+    // the consumer-side intersect cache survives: its entries are valid
+    // for exactly one publish version, so a later rewrite can never
+    // serve stale sets
     MetadataVol::drop_file(name);
 }
 
 void DistMetadataVol::invalidate_producer_cache(const std::string& file) {
-    const std::string prefix = file + '\0';
-    auto              it     = producer_cache_.lower_bound(prefix);
-    while (it != producer_cache_.end() && it->first.compare(0, prefix.size(), prefix) == 0)
-        it = producer_cache_.erase(it);
+    producer_cache_.erase(file);
 }
 
 void DistMetadataVol::serve_to(simmpi::Comm intercomm, std::string pattern) {
@@ -275,14 +333,10 @@ void DistMetadataVol::index_file(FileEntry& entry) {
     obs::Span          span("dist.index", "lowfive",
                             {{"file", 0, obs::intern_if_enabled(entry.name)}});
 
-    index_.erase(entry.name); // a rewrite replaces the index, never appends
-    // every (re)index is a new publish: consumers key their intersect
-    // cache by this version, learned from the metadata reply
-    ++publish_versions_[entry.name];
-
     std::vector<std::pair<std::string, Object*>> dsets;
     collect_datasets(entry.root.get(), dsets);
 
+    mvcc::IndexMap index;
     for (auto& [path, node] : dsets) {
         diy::RegularDecomposer decomp(node->space.extent_bounds(), local_.size());
 
@@ -301,12 +355,21 @@ void DistMetadataVol::index_file(FileEntry& entry) {
 
         auto incoming = local_.alltoall(std::move(payloads));
 
-        auto& index = index_[entry.name][path];
+        auto& entries = index[path];
         for (int src = 0; src < local_.size(); ++src) {
             diy::BinaryBuffer bb(std::move(incoming[static_cast<std::size_t>(src)]));
-            while (!bb.exhausted()) index.emplace_back(diy::Bounds::load(bb), src);
+            while (!bb.exhausted()) entries.emplace_back(diy::Bounds::load(bb), src);
         }
     }
+
+    // publish: install an immutable snapshot (frozen tree + index) as the
+    // new current version with an atomic root swap. The superseded
+    // version stays alive — and byte-identically readable — exactly as
+    // long as some pin (a round pin, a step pin, an in-flight query)
+    // still holds it. Consumers key their intersect cache by this
+    // version, learned from the metadata reply.
+    auto pin      = snapshots_.publish(entry.name, entry.root, std::move(index), now_ns());
+    entry.version = pin->version();
 }
 
 // --- producer: serve (Algorithm 2) --------------------------------------------
@@ -355,55 +418,83 @@ bool DistMetadataVol::poll_requests() {
 void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>&& payload) {
     obs::ScopedTimerNs timer(c_t_serve_ns_);
     diy::BinaryBuffer bb{std::move(payload)};
-    const auto        op = static_cast<Op>(bb.load<std::uint8_t>());
+    const auto        op = bb.load<std::uint8_t>();
 
-    switch (op) {
-    case Op::Done: {
-        obs::instant("serve.done", "lowfive",
-                     {{"src", static_cast<std::uint64_t>(src), nullptr}});
-        ++dones_received_;
+    switch (static_cast<Op>(op)) {
+    case Op::IntersectQuery:
+    case Op::DataQuery:
+        // query hot path: answered from a pinned MVCC snapshot, no
+        // serve-mutex acquisition (the serve-lock-after-pin lint enforces
+        // this under L5_CHECK)
+        handle_read_request(conn, src, std::move(bb), op);
+        break;
+    default:
+        // control path: mutates publish/teardown state under mutex_
+        // (recursive, so the synchronous serve paths that already hold it
+        // re-enter freely)
+        handle_control_request(conn, src, std::move(bb), op);
         break;
     }
-    case Op::MetadataQuery: {
-        obs::Span   span("serve.metadata", "lowfive",
-                         {{"src", static_cast<std::uint64_t>(src), nullptr}});
-        std::string name;
-        bb.load(name);
-        auto it = files_.find(name);
-        if (it == files_.end() || !it->second.root || it->second.writable) {
-            // consumer ran ahead of the producer: retry after next close
-            diy::BinaryBuffer orig;
-            orig.save(static_cast<std::uint8_t>(Op::MetadataQuery));
-            orig.save(name);
-            std::size_t conn_idx =
-                static_cast<std::size_t>(&conn - serve_conns_.data());
-            deferred_.push_back({conn_idx, src, std::move(orig).take()});
-            break;
+}
+
+void DistMetadataVol::handle_read_request(Conn& conn, int src, diy::BinaryBuffer&& bb,
+                                          std::uint8_t op) {
+    const auto  req_id = bb.load<std::uint64_t>();
+    std::string name, dset;
+    bb.load(name);
+    bb.load(dset);
+    const auto version = bb.load<std::uint64_t>();
+
+    // pin the exact version the consumer opened: a rewrite racing this
+    // query supersedes the current snapshot but cannot free the pinned
+    // one. Fall back to the current version when the named one is
+    // already gone (possible only if the consumer broke round/step-pin
+    // discipline — the plain current read is still self-consistent).
+    auto snap = snapshots_.pin(name, version);
+    if (!snap && version != 0) {
+        // the named version may not exist HERE yet: the consumer's
+        // metadata came from a peer rank that already published it while
+        // this rank is one close behind. Serving current instead would
+        // hand out a torn (mixed-version) read across producer ranks —
+        // park the request and replay it after this rank's next publish.
+        auto cur = snapshots_.pin(name);
+        if (!cur || cur->version() < version) {
+            cur.release();
+            // park under the vol mutex and RE-CHECK there: a publish
+            // installs the snapshot and fires the deferred-retry nudge
+            // while holding this mutex, so without the re-check the
+            // publish could slip between our lock-free miss and the
+            // park — a lost wakeup that leaves the request parked
+            // forever (no later publish would replay it)
+            Guard lock(local_.scheduler(), mutex_, "serve/defer-read");
+            snap = snapshots_.pin(name, version);
+            if (!snap) {
+                cur = snapshots_.pin(name);
+                if (!cur || cur->version() < version) {
+                    cur.release();
+                    const std::size_t conn_idx =
+                        static_cast<std::size_t>(&conn - serve_conns_.data());
+                    deferred_.push_back({conn_idx, src, std::move(bb).take()});
+                    return;
+                }
+                snap = std::move(cur); // version GC'd past: current is consistent
+            }
+        } else {
+            snap = std::move(cur); // version GC'd past: current is consistent
         }
-        diy::BinaryBuffer reply;
-        std::uint64_t     version = 0;
-        if (auto vit = publish_versions_.find(name); vit != publish_versions_.end())
-            version = vit->second;
-        reply.save(version);
-        it->second.root->save_skeleton(reply);
-        send_buffer(conn.ic, src, rpc_reply, std::move(reply));
-        break;
     }
-    case Op::IntersectQuery: {
-        obs::Span   span("serve.intersect", "lowfive",
-                         {{"src", static_cast<std::uint64_t>(src), nullptr}});
-        const auto  req_id = bb.load<std::uint64_t>();
-        std::string name, dset;
-        bb.load(name);
-        bb.load(dset);
+    if (!snap) snap = snapshots_.pin(name);
+
+    if (static_cast<Op>(op) == Op::IntersectQuery) {
+        obs::Span span("serve.intersect", "lowfive",
+                       {{"src", static_cast<std::uint64_t>(src), nullptr}});
         diy::Bounds qbb = diy::Bounds::load(bb);
 
         std::vector<std::int32_t> ranks;
-        auto                      fit = index_.find(name);
-        if (fit != index_.end()) {
-            auto dit = fit->second.find(dset);
-            if (dit != fit->second.end())
-                for (const auto& [ibb, rank] : dit->second)
+        if (snap) {
+            mvcc::ReadSection section;
+            if (const auto* entries = snap->index_for(dset))
+                for (const auto& [ibb, rank] : *entries)
                     if (diy::intersects(ibb, qbb)) ranks.push_back(rank);
         }
         std::sort(ranks.begin(), ranks.end());
@@ -413,22 +504,18 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         reply.save(req_id);
         reply.save(ranks);
         send_buffer(conn.ic, src, rpc_reply, std::move(reply));
-        break;
+        return;
     }
-    case Op::DataQuery: {
-        obs::Span   span("serve.data", "lowfive",
-                         {{"src", static_cast<std::uint64_t>(src), nullptr}});
-        const auto  req_id = bb.load<std::uint64_t>();
-        std::string name, dset;
-        bb.load(name);
-        bb.load(dset);
+
+    {
+        obs::Span span("serve.data", "lowfive",
+                       {{"src", static_cast<std::uint64_t>(src), nullptr}});
         Dataspace  fs     = Dataspace::load(bb);
         const auto accept = bb.load<std::uint8_t>(); // consumer accepts codec frames
 
-        auto it = files_.find(name);
-        if (it == files_.end() || !it->second.root)
-            throw Error("lowfive: data query for unknown file '" + name + "'");
-        Object* node = it->second.root->resolve(dset);
+        if (!snap) throw Error("lowfive: data query for unknown file '" + name + "'");
+        mvcc::ReadSection section;
+        Object*           node = snap->root()->resolve(dset);
         if (!node || node->kind != ObjectKind::Dataset)
             throw Error("lowfive: data query for unknown dataset '" + dset + "'");
         const std::size_t elem = node->type.size();
@@ -471,10 +558,12 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
                     full = pb;
             if (full) {
                 reply.save<std::uint8_t>(2);
-                // non-owning alias (empty control block): a plain recv on
-                // the other side copies instead of moving the piece's
-                // bytes out from under the producer
-                zc.emplace_back(simmpi::SharedPayload{}, full);
+                // owning alias: the payload shares the snapshot's
+                // lifetime, so the piece's bytes stay valid on the wire
+                // even if the version is superseded and GC'd while the
+                // message is still in flight (a plain recv on the other
+                // side copies instead of moving them out from under us)
+                zc.emplace_back(simmpi::SharedPayload(snap.shared(), full));
                 c_zero_copy_pieces_.inc();
             } else if (compress_this) {
                 // piece payload goes out as a codec frame: u8 1, u64
@@ -520,6 +609,66 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         send_buffer(conn.ic, src, rpc_data_reply, std::move(reply));
         // zero-copy payloads follow the header in piece order
         for (auto& p : zc) conn.ic.send_shared(src, rpc_data_reply, std::move(p));
+    }
+}
+
+void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuffer&& bb,
+                                             std::uint8_t op) {
+    Guard lock(local_.scheduler(), mutex_, "serve/control");
+
+    switch (static_cast<Op>(op)) {
+    case Op::IntersectQuery:
+    case Op::DataQuery:
+        throw Error("lowfive: query op routed to the control handler");
+    case Op::Done: {
+        obs::instant("serve.done", "lowfive",
+                     {{"src", static_cast<std::uint64_t>(src), nullptr}});
+        std::string name;
+        bb.load(name);
+        const auto version = bb.load<std::uint64_t>();
+        ++dones_received_;
+        // release this (connection, rank, file)'s round pins for every
+        // version STRICTLY older than the one the round read. Dones
+        // arrive in round order and opened versions are monotone, so
+        // this rank can never read those versions again — but the named
+        // version itself may be reopened by the very next round (a
+        // consumer outpacing the producer), so its pin stays until a
+        // later Done names a newer version (or teardown clears it).
+        const std::size_t conn_idx = static_cast<std::size_t>(&conn - serve_conns_.data());
+        if (auto rit = round_pins_.find({conn_idx, src, name}); rit != round_pins_.end()) {
+            auto& pins = rit->second;
+            pins.erase(std::remove_if(pins.begin(), pins.end(),
+                                      [&](const mvcc::SnapshotPin& p) {
+                                          return p && p->version() < version;
+                                      }),
+                       pins.end());
+            if (pins.empty()) round_pins_.erase(rit);
+        }
+        break;
+    }
+    case Op::MetadataQuery: {
+        obs::Span   span("serve.metadata", "lowfive",
+                         {{"src", static_cast<std::uint64_t>(src), nullptr}});
+        std::string name;
+        bb.load(name);
+        auto it   = files_.find(name);
+        auto snap = snapshots_.pin(name);
+        if (it == files_.end() || !it->second.root || it->second.writable || !snap) {
+            // consumer ran ahead of the producer: retry after next close
+            diy::BinaryBuffer orig;
+            orig.save(static_cast<std::uint8_t>(Op::MetadataQuery));
+            orig.save(name);
+            std::size_t conn_idx =
+                static_cast<std::size_t>(&conn - serve_conns_.data());
+            deferred_.push_back({conn_idx, src, std::move(orig).take()});
+            break;
+        }
+        // reply from the snapshot so version and skeleton are one
+        // consistent publish even if a rewrite is racing us
+        diy::BinaryBuffer reply;
+        reply.save(snap->version());
+        snap->root()->save_skeleton(reply);
+        send_buffer(conn.ic, src, rpc_reply, std::move(reply));
         break;
     }
     case Op::StepNext: {
@@ -544,6 +693,12 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
             deferred_.push_back({conn_idx, src, std::move(orig).take()});
             break;
         }
+        if (r.status == stream::StepWindow::Acquire::Status::granted) {
+            // the grant IS a snapshot pin: the granted step's version
+            // cannot be GC'd out from under the consumer until released
+            const std::string sname = stream::step_name(base, r.step);
+            if (auto pin = snapshots_.pin(sname)) step_pins_[sname].push_back(std::move(pin));
+        }
         obs::instant("serve.step_next", "lowfive",
                      {{"src", static_cast<std::uint64_t>(src), nullptr},
                       {"step", r.step.valid() ? r.step.value() : 0, nullptr}});
@@ -559,6 +714,10 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         const auto sv  = bb.load<std::uint64_t>();
         auto       sit = streams_.find(base);
         const bool ok  = sit != streams_.end() && sit->second.pin(stream::StepId(sv));
+        if (ok) {
+            const std::string sname = stream::step_name(base, stream::StepId(sv));
+            if (auto pin = snapshots_.pin(sname)) step_pins_[sname].push_back(std::move(pin));
+        }
         diy::BinaryBuffer reply;
         // 2 = gone: this rank's window raced ahead and already evicted
         // the step — the consumer rolls its pins back and retries higher
@@ -578,6 +737,12 @@ void DistMetadataVol::handle_request(Conn& conn, int src, std::vector<std::byte>
         if (!rel)
             throw Error("lowfive: release of an unpinned step " + std::to_string(sv)
                         + " of stream '" + base + "'");
+        // drop the matching snapshot pin (rollback or drain alike)
+        const std::string sname = stream::step_name(base, stream::StepId(sv));
+        if (auto pit = step_pins_.find(sname); pit != step_pins_.end()) {
+            pit->second.pop_back();
+            if (pit->second.empty()) step_pins_.erase(pit);
+        }
         if (rel->first_drain && !rollback) {
             c_steps_drained_.inc();
             h_step_latency_ns_.observe(now_ns() - rel->publish_ns);
@@ -609,6 +774,20 @@ void DistMetadataVol::retry_deferred() {
     deferred_.clear();
     for (auto& d : pending)
         handle_request(serve_conns_[d.conn], d.src, std::move(d.payload));
+}
+
+void DistMetadataVol::schedule_deferred_retry_locked() {
+    if (deferred_.empty()) return;
+    if (serve_thread_.joinable() && !serve_error_) {
+        // a live background server owns request handling: hand it the
+        // replay via a one-byte self-send (the empty payload remains the
+        // shutdown signal). The per-(source, tag) FIFO guarantee means
+        // every nudge is consumed before a later shutdown send.
+        const std::byte nudge{1};
+        local_.send(local_.rank(), rpc_request, &nudge, 1);
+    } else {
+        retry_deferred();
+    }
 }
 
 // --- step-versioned streaming --------------------------------------------------
@@ -648,7 +827,7 @@ stream::StreamConfig DistMetadataVol::stream_begin(const std::string& name,
     // publish so an empty stream still answers acquires with eos
     background_ = true;
     ensure_serve_thread_locked();
-    retry_deferred(); // StepNext requests that raced ahead of the begin
+    schedule_deferred_retry_locked(); // StepNext requests that raced ahead of the begin
     return conf;
 }
 
@@ -657,7 +836,7 @@ void DistMetadataVol::stream_end(const std::string& name) {
     auto  it = streams_.find(name);
     if (it == streams_.end()) return; // already retired
     it->second.set_eos();
-    retry_deferred(); // parked acquires past the last step now see eos
+    schedule_deferred_retry_locked(); // parked acquires past the last step now see eos
     stream_room_locked(name, it->second);
     notify_dones();
 }
@@ -724,6 +903,7 @@ std::optional<stream::StepId> DistMetadataVol::stream_acquire(const std::string&
             }
             // some rank already evicted the step: roll the pins back and
             // retry strictly past it (possible only under drop/latest)
+            c_step_pin_rollbacks_.inc();
             for (int p = 0; p < pinned_until; ++p) send_release(p, true);
             min = step.next();
         }
@@ -758,11 +938,9 @@ void DistMetadataVol::stream_release(const std::string& name, stream::StepId ste
             conn.ic.send_shared(p, rpc_request, payload);
         local_.check_step("release", name, step.value());
     }
-    // the step snapshot is gone for good: its cached producer sets and
-    // version bookkeeping die with it
-    const std::string versioned = stream::step_name(name, step);
-    invalidate_producer_cache(versioned);
-    seen_versions_.erase(versioned);
+    // the step snapshot is gone for good: its cached producer sets die
+    // with it (each step file is its own cache entry)
+    invalidate_producer_cache(stream::step_name(name, step));
 }
 
 void DistMetadataVol::stream_unsubscribe(const std::string& name) {
@@ -820,7 +998,7 @@ void DistMetadataVol::publish_step(FileEntry& entry, const std::string& base,
                  {{"stream", 0, obs::intern_if_enabled(base)},
                   {"step", step.value(), nullptr}});
     local_.check_step("publish", base, step.value());
-    retry_deferred(); // grant any parked StepNext that now has its step
+    schedule_deferred_retry_locked(); // grant any parked StepNext that now has its step
     notify_dones();
 }
 
@@ -840,9 +1018,12 @@ void DistMetadataVol::stream_room_locked(const std::string& base, stream::StepWi
 
 void DistMetadataVol::gc_step_locked(const std::string& base, stream::StepWindow::Evicted ev) {
     const std::string name = stream::step_name(base, ev.step);
-    index_.erase(name);
+    step_pins_.erase(name); // evicted steps are unpinned; hygiene only
+    // retire the step's whole snapshot line — including its version
+    // counter, or a long stream accumulates one entry per step forever.
+    // The tree itself survives as long as an in-flight query pins it.
+    snapshots_.retire(name, /*forget_versions=*/true);
     files_.erase(name);
-    publish_versions_.erase(name);
     if (ev.dropped) {
         c_steps_dropped_.inc();
         obs::instant("stream.drop", "lowfive",
@@ -882,12 +1063,16 @@ void DistMetadataVol::after_file_close(FileEntry& entry) {
         }
         // plain remote file: tell every producer rank we are done with
         // it; one shared payload fans out to all of them. The intersect
-        // cache survives the close — entries are keyed by publish
-        // version, so a rewrite can never serve stale producer sets.
+        // cache survives the close — entries are valid for exactly one
+        // publish version, so a rewrite can never serve stale sets. The
+        // Done names the version this round opened: the producers keep
+        // that snapshot (and any later one) pinned, releasing only the
+        // strictly older versions this rank can never read again.
         auto& conn = consume_conns_[static_cast<std::size_t>(entry.conn)];
         diy::BinaryBuffer bb;
         bb.save(static_cast<std::uint8_t>(Op::Done));
         bb.save(entry.name);
+        bb.save(entry.version);
         auto payload = simmpi::make_shared_payload(std::move(bb).take());
         for (int p = 0; p < conn.ic.peer_size(); ++p)
             conn.ic.send_shared(p, rpc_request, payload);
@@ -911,16 +1096,26 @@ void DistMetadataVol::after_file_close(FileEntry& entry) {
 
     if (entry.memory && entry.root) {
         index_file(entry);
-        retry_deferred();
-        for (auto* c : matching) dones_expected_ += static_cast<std::uint64_t>(c->ic.peer_size());
+        // round pins: one per expected Done per (connection, rank) — the
+        // version this publish installed stays live until every consumer
+        // rank finished its round, no matter how many rewrites follow.
+        // Created here (not by a wire op) so a pin can never race GC.
+        for (auto* c : matching) {
+            const std::size_t ci = static_cast<std::size_t>(c - serve_conns_.data());
+            for (int p = 0; p < c->ic.peer_size(); ++p)
+                round_pins_[{ci, p, entry.name}].push_back(snapshots_.pin(entry.name));
+            dones_expected_ += static_cast<std::uint64_t>(c->ic.peer_size());
+        }
         if (background_) {
             // overlap mode: a background thread serves; the producer
             // returns from close immediately and keeps computing. Under a
             // deterministic scheduler the server becomes an auxiliary
             // task attached at this exact point.
             ensure_serve_thread_locked();
-        } else if (serve_on_close_) {
-            serve_until(dones_expected_);
+            schedule_deferred_retry_locked();
+        } else {
+            retry_deferred();
+            if (serve_on_close_) serve_until(dones_expected_);
         }
     } else if (local_.rank() == 0) {
         // passthru-only file: physical file is complete (collective close
@@ -979,13 +1174,14 @@ void* DistMetadataVol::file_open(const std::string& name) {
     entry.conn    = ci;
     entry.version = reply.load<std::uint64_t>();
     entry.root    = Object::load_skeleton(reply);
-    // lazy cache GC: a new publish version supersedes every cached set
-    // of the old one (the version-carrying keys already prevent stale
-    // hits — this only reclaims the dead entries)
-    if (auto sv = seen_versions_.find(name);
-        sv != seen_versions_.end() && sv->second != entry.version)
-        invalidate_producer_cache(name);
-    seen_versions_[name] = entry.version;
+    // eager cache GC: opening a newer publish version supersedes every
+    // cached producer set of the old one — evict them now so a long
+    // rewrite sequence cannot accumulate dead entries
+    auto& fc = producer_cache_[name];
+    if (fc.version != entry.version) {
+        fc.sets.clear();
+        fc.version = entry.version;
+    }
     Guard lock(local_.scheduler(), mutex_, "file_open");
     auto [it2, _] = files_.insert_or_assign(name, std::move(entry));
     return make_handle(it2->second, it2->second.root.get(), nullptr);
@@ -1016,26 +1212,27 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
     diy::Bounds            bb = filespace.bounding_box();
 
     // did an earlier read of this (file, dataset, bounds) already learn
-    // which producers answer it?
+    // which producers answer it? The file's cache is valid for exactly
+    // one publish version: a rewrite bumps it, which both prevents stale
+    // hits and evicts the dead generation eagerly.
     std::string key;
     if (query_cache_) {
         diy::BinaryBuffer kb;
         bb.save(kb);
-        key = f.name;
-        key.push_back('\0');
-        // publish version in the key: a rewrite changes it, so its sets
-        // can never answer a read of the new data (satellite of the
-        // streaming transport — step snapshots are immutable, versioned)
-        key.append(reinterpret_cast<const char*>(&f.version), sizeof f.version);
-        key.push_back('\0');
-        key += dset;
+        key = dset;
         key.push_back('\0');
         key.append(reinterpret_cast<const char*>(kb.data().data()), kb.size());
     }
     std::vector<std::int32_t> producers;
     bool                      cached = false;
+    FileCache*                fc     = nullptr;
     if (query_cache_) {
-        if (auto it = producer_cache_.find(key); it != producer_cache_.end()) {
+        fc = &producer_cache_[f.name];
+        if (fc->version != f.version) {
+            fc->sets.clear();
+            fc->version = f.version;
+        }
+        if (auto it = fc->sets.find(key); it != fc->sets.end()) {
             producers = it->second;
             cached    = true;
             c_cache_hits_.inc();
@@ -1059,6 +1256,10 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         req.save(id);
         req.save(f.name);
         req.save(dset);
+        // the version this consumer opened: the producer pins exactly
+        // that snapshot, so the reply is byte-identical to the opened
+        // file even while a rewrite is being published
+        req.save(f.version);
         filespace.save(req);
         req.save(accept_codec);
         send_buffer(conn.ic, p, rpc_request, std::move(req));
@@ -1081,6 +1282,7 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
             req.save(id);
             req.save(f.name);
             req.save(dset);
+            req.save(f.version);
             bb.save(req);
             send_buffer(conn.ic, p, rpc_request, std::move(req));
             pending.emplace(id, p);
@@ -1116,6 +1318,7 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
             req.save(id);
             req.save(f.name);
             req.save(dset);
+            req.save(f.version);
             bb.save(req);
             send_buffer(conn.ic, p, rpc_request, std::move(req));
             c_intersect_queries_.inc();
@@ -1130,7 +1333,7 @@ void DistMetadataVol::remote_dataset_read(FileEntry& f, Object* node, const Data
         producers.erase(std::unique(producers.begin(), producers.end()), producers.end());
         for (int p : producers) send_data_query(p);
     }
-    if (query_cache_ && !cached) producer_cache_[key] = producers;
+    if (query_cache_ && !cached) fc->sets[key] = producers;
 
     // Step 2: scatter the replies as they arrive
     obs::ScopedTimerNs d_timer(c_t_data_ns_);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "metadata_vol.hpp"
+#include "mvcc.hpp"
 #include "stream/step.hpp"
 #include "stream/window.hpp"
 
@@ -15,6 +16,11 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <tuple>
+
+namespace diy {
+class BinaryBuffer;
+} // namespace diy
 
 namespace lowfive {
 
@@ -180,12 +186,30 @@ public:
         std::uint64_t n_steps_drained      = 0; ///< steps fully released after an acquire
         std::uint64_t n_step_publish_waits = 0; ///< publishes that blocked on a full window
         std::uint64_t n_steps_acquired     = 0; ///< consumer side: successful next_step()s
+        std::uint64_t n_step_pin_rollbacks = 0; ///< consumer side: gone-grant rollback retries
+        // MVCC snapshot index (producer side)
+        std::int64_t  n_snapshots_live = 0; ///< versions in the live set right now
+        std::uint64_t n_snapshot_pins  = 0; ///< snapshot pins ever taken
+        std::uint64_t n_snapshot_gc    = 0; ///< versions GC'd from the live set
     };
     Stats stats() const;
 
     /// The full metrics registry behind stats(): counters (including the
     /// per-phase time_*_ns breakdown) and latency histograms.
     const obs::Registry& metrics() const { return metrics_; }
+
+    /// The MVCC snapshot store behind the serve-side index (read-only
+    /// introspection: live versions, outstanding pins). See mvcc.hpp.
+    const mvcc::SnapshotStore& snapshot_store() const { return snapshots_; }
+
+    /// Consumer-side cache size: producer sets retained across all open
+    /// remote files (each valid for exactly one publish version). For
+    /// boundedness regression tests; touched only by the consumer thread.
+    std::size_t producer_cache_sets() const {
+        std::size_t n = 0;
+        for (const auto& [file, fc] : producer_cache_) n += fc.sets.size();
+        return n;
+    }
 
     void* file_create(const std::string& name) override;
     void* file_open(const std::string& name) override;
@@ -205,7 +229,8 @@ private:
 
     int route_consume(const std::string& name) const; ///< -1 when no match
 
-    /// Algorithm 1 over the local communicator (collective).
+    /// Algorithm 1 over the local communicator (collective); publishes
+    /// the resulting index + frozen tree as a new MVCC snapshot version.
     void index_file(FileEntry& entry);
 
     /// Serve requests until `target` total done messages have arrived.
@@ -213,8 +238,21 @@ private:
     /// Handle one queued request if any; returns true when something was
     /// handled (or deferred work was completed).
     bool poll_requests();
+    /// Dispatch one request: Intersect/Data queries answer against a
+    /// pinned snapshot with no serve-mutex acquisition; everything else
+    /// (Done, MetadataQuery, stream control) runs under mutex_.
     void handle_request(Conn& conn, int src, std::vector<std::byte>&& payload);
+    void handle_read_request(Conn& conn, int src, diy::BinaryBuffer&& bb, std::uint8_t op);
+    void handle_control_request(Conn& conn, int src, diy::BinaryBuffer&& bb, std::uint8_t op);
     void retry_deferred();
+    /// Replay parked requests after a publish/stream event. With a live
+    /// background server the replay is handed to it via a one-byte
+    /// self-send nudge (request handling stays single-threaded); inline
+    /// otherwise. Requires mutex_ held.
+    void schedule_deferred_retry_locked();
+    /// Raise the leaked-snapshot-pin lint (L5_CHECK) when pins are still
+    /// outstanding at finish_serving.
+    void check_pin_leaks();
 
     void background_loop();
 
@@ -265,18 +303,26 @@ private:
     std::uint64_t            compress_min_bytes_  = 4096;
     std::uint64_t            zero_copy_min_bytes_ = 65536;
 
-    // consumer state (touched only by the consumer's own thread)
-    // producer_cache_[file \0 version \0 dset \0 bounds] = producer ranks
-    // to query; version-keyed so a rewrite can never serve stale sets
-    std::map<std::string, std::vector<std::int32_t>> producer_cache_;
-    // last publish version seen per remote file, to GC superseded cache
-    // entries lazily at reopen (the keys already prevent stale hits)
-    std::map<std::string, std::uint64_t> seen_versions_;
-    std::uint64_t                        next_req_id_ = 1;
+    // consumer state (touched only by the consumer's own thread): the
+    // producer sets learned for one remote file, valid for exactly one
+    // publish version — stale hits are impossible by construction, and a
+    // reopen at a newer version evicts the file's sets eagerly, so
+    // superseded versions never accumulate across long streams (each
+    // step's entry additionally dies at stream_release)
+    struct FileCache {
+        std::uint64_t                                    version = 0;
+        std::map<std::string, std::vector<std::int32_t>> sets; ///< dset \0 bounds → ranks
+    };
+    std::map<std::string, FileCache> producer_cache_;
+    std::uint64_t                    next_req_id_ = 1;
 
     // background serving (off by default): the serve thread and the
-    // producer thread share files_/index_/deferred_/done counters, all
-    // guarded by mutex_ (recursive: the sync path serves while holding it)
+    // producer thread share the publish/teardown control state —
+    // files_/deferred_/done counters/round & step pins/stream windows —
+    // guarded by mutex_ (recursive: the sync path serves while holding
+    // it). The query hot path (Intersect/Data) does NOT take it: it reads
+    // a pinned MVCC snapshot (snapshots_), enforced by the
+    // serve-lock-after-pin lint under L5_CHECK.
     bool                         background_ = false;
     std::thread                  serve_thread_;
     mutable std::recursive_mutex mutex_;
@@ -287,11 +333,21 @@ private:
     std::exception_ptr           serve_error_;
 
     // producer state
-    // index_[file][dset] = (bounding box, producer rank) pairs for the
-    // common-decomposition blocks this rank owns
-    std::map<std::string, std::map<std::string, std::vector<std::pair<diy::Bounds, int>>>> index_;
     std::uint64_t dones_received_ = 0;
     std::uint64_t dones_expected_ = 0;
+
+    // round pins (guarded by mutex_): one snapshot pin per expected Done
+    // per (serve connection, consumer rank, file), created at publish and
+    // popped by the Done handler — the exact version a consumer opened
+    // stays live (and byte-identically readable) until it finished its
+    // round, no matter how many rewrites landed in between
+    std::map<std::tuple<std::size_t, int, std::string>, std::vector<mvcc::SnapshotPin>>
+        round_pins_;
+    // streaming (guarded by mutex_): one snapshot pin per wire StepPin /
+    // coordinator grant per versioned step name — a StepPin IS a snapshot
+    // pin; popped by StepRelease, so window eviction only ever retires
+    // unpinned snapshots
+    std::map<std::string, std::vector<mvcc::SnapshotPin>> step_pins_;
 
     // metadata queries for files that do not exist yet (a fast consumer
     // ran ahead) and step acquires with nothing available yet; retried
@@ -311,11 +367,6 @@ private:
     // StreamDone messages that raced ahead of stream_begin (a consumer
     // subscribed and quit before the writer registered the stream)
     std::map<std::string, std::uint64_t> pending_stream_dones_;
-
-    // producer-side publish versions: bumped on every (re)index of a
-    // file, echoed in metadata replies so consumers key their intersect
-    // cache by version instead of invalidating it wholesale on close
-    std::map<std::string, std::uint64_t> publish_versions_;
 
     // metrics (always on): atomics shared between the producer thread,
     // the consumer thread, and the background serve thread — updates and
@@ -353,6 +404,19 @@ private:
     obs::Counter&   c_steps_acquired_     = metrics_.counter("n_steps_acquired");
     obs::Gauge&     g_window_occupancy_   = metrics_.gauge("stream_window_occupancy");
     obs::Histogram& h_step_latency_ns_    = metrics_.histogram("step_latency_ns");
+    obs::Counter&   c_step_pin_rollbacks_ = metrics_.counter("n_step_pin_rollbacks");
+    // MVCC snapshot lifecycle (updated by the store; resolved here so the
+    // registry member precedes the store member)
+    obs::Gauge&     g_snapshots_live_ = metrics_.gauge("n_snapshots_live");
+    obs::Counter&   c_snapshot_pins_  = metrics_.counter("n_snapshot_pins");
+    obs::Counter&   c_snapshot_gc_    = metrics_.counter("n_snapshot_gc");
+
+    // the MVCC snapshot index: every publish installs an immutable
+    // versioned snapshot here; the serve-side query path pins and reads
+    // with no serve-mutex acquisition (see mvcc.hpp). Declared after the
+    // metric refs it captures.
+    mvcc::SnapshotStore snapshots_{
+        mvcc::SnapshotStore::Metrics{&g_snapshots_live_, &c_snapshot_pins_, &c_snapshot_gc_}};
 };
 
 } // namespace lowfive

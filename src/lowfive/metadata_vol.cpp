@@ -66,7 +66,7 @@ void* MetadataVol::file_create(const std::string& name) {
     entry.memory   = matches_file(memory_, stream::base_name(name));
     entry.passthru = matches_file(passthru_, stream::base_name(name));
     entry.writable = true;
-    entry.root     = std::make_unique<Object>(ObjectKind::File, name);
+    entry.root     = std::make_shared<Object>(ObjectKind::File, name);
     if (entry.passthru) entry.native = native().file_create(name);
 
     auto [it, _] = files_.insert_or_assign(name, std::move(entry));

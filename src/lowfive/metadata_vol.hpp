@@ -77,7 +77,12 @@ protected:
 
     struct FileEntry {
         std::string                 name;
-        std::unique_ptr<h5::Object> root;    ///< in-memory replica (null for pure passthru)
+        /// In-memory replica (null for pure passthru). Shared: each MVCC
+        /// snapshot of the file (DistMetadataVol) holds the tree of the
+        /// version it published, so a rewrite or a streaming-window GC
+        /// replacing/erasing the entry never frees a tree still being
+        /// served. Frozen — never mutated — once the file is closed.
+        std::shared_ptr<h5::Object> root;
         bool                        memory   = false;
         bool                        passthru = false;
         bool                        writable = false;

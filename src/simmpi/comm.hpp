@@ -81,6 +81,14 @@ public:
     /// "release") to the checker's step-order lint (step versions must
     /// move strictly forward per rank and stream; see
     /// l5check::Checker::on_step). No-op when the checker is off.
+    /// Report a component-owned resource leak found at a finalize-like
+    /// point (l5check::Checker::on_leak); `kind` is the diagnostic kind
+    /// (e.g. "leaked-snapshot-pin"). No-op when the checker is off.
+    void check_leak(const char* kind, const std::string& message) const {
+        if (!world_) throw Error("simmpi: operation on an invalid communicator");
+        if (auto* ck = world_->checker()) ck->on_leak(world_rank(), kind, message);
+    }
+
     void check_step(const char* event, const std::string& stream, std::uint64_t step) const {
         if (!world_) throw Error("simmpi: operation on an invalid communicator");
         if (auto* ck = world_->checker()) ck->on_step(world_rank(), event, stream, step);

@@ -337,6 +337,11 @@ TEST_F(ToolsTest, TraceStepLifecycle) {
     EXPECT_NE(out.find("ts.h5"), std::string::npos) << out;
     // the lossless block-policy run delivers every step
     EXPECT_NE(out.find("published 3, drained 3, dropped 0"), std::string::npos) << out;
+    // each step snapshot's MVCC lifetime: published once, GC'd when the
+    // drained step left the window — nothing live at the end
+    EXPECT_NE(out.find("lifetime(ms)"), std::string::npos) << out;
+    EXPECT_NE(out.find("versions published 1, collected 1, still live 0"), std::string::npos)
+        << out;
     std::filesystem::remove(trace);
 }
 
@@ -348,5 +353,6 @@ TEST_F(ToolsTest, TraceStepLifecycleEmptyWithoutStreamEvents) {
     auto out = run_tool(tool_path("mh5trace") + " --steps " + trace, &rc);
     EXPECT_EQ(rc, 0) << out;
     EXPECT_NE(out.find("no streaming step events"), std::string::npos) << out;
+    EXPECT_NE(out.find("no MVCC snapshot events"), std::string::npos) << out;
     std::filesystem::remove(trace);
 }

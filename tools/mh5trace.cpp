@@ -17,7 +17,11 @@
 ///   --steps     print the streaming step lifecycle instead: every
 ///               (stream, step) pair's publish->drain latency (first
 ///               publish to last drain across ranks), eviction marks,
-///               and a per-stream published/drained/dropped summary
+///               and a per-stream published/drained/dropped summary;
+///               also prints MVCC snapshot lifetimes — every
+///               (file, version) pair's publish->GC span from the
+///               mvcc.publish / mvcc.gc instants, with versions still
+///               live at the end of the trace flagged
 
 #include <obs/json.hpp>
 
@@ -217,6 +221,82 @@ void print_steps(const std::map<std::pair<std::string, std::uint64_t>, StepLife>
                     agg.max_ms);
 }
 
+/// Lifecycle of one MVCC snapshot (file, version): the store emits
+/// mvcc.publish / mvcc.gc instants per rank; the lifetime spans first
+/// publish to last GC across ranks. A version with fewer GCs than
+/// publishes is still live somewhere at the end of the trace.
+struct SnapLife {
+    double        first_publish_us = 0;
+    double        last_gc_us       = 0;
+    std::uint64_t publishes        = 0;
+    std::uint64_t gcs              = 0;
+};
+
+std::map<std::pair<std::string, std::uint64_t>, SnapLife>
+summarize_snapshots(const std::vector<Value>& events) {
+    std::map<std::pair<std::string, std::uint64_t>, SnapLife> snaps;
+    for (const auto& ev : events) {
+        const Value* ph   = ev.find("ph");
+        const Value* name = ev.find("name");
+        const Value* ts   = ev.find("ts");
+        const Value* args = ev.find("args");
+        if (!ph || !ph->is_string() || (ph->str() != "i" && ph->str() != "I")) continue;
+        if (!name || !name->is_string() || name->str().rfind("mvcc.", 0) != 0) continue;
+        if (!args) continue;
+        const Value* file    = args->find("file");
+        const Value* version = args->find("version");
+        if (!file || !file->is_string() || !version || !version->is_number()) continue;
+        auto& life = snaps[{file->str(), static_cast<std::uint64_t>(version->number())}];
+        const double t = ts && ts->is_number() ? ts->number() : 0;
+        if (name->str() == "mvcc.publish") {
+            if (!life.publishes || t < life.first_publish_us) life.first_publish_us = t;
+            life.publishes++;
+        } else if (name->str() == "mvcc.gc") {
+            if (!life.gcs || t > life.last_gc_us) life.last_gc_us = t;
+            life.gcs++;
+        }
+    }
+    return snaps;
+}
+
+void print_snapshots(const std::map<std::pair<std::string, std::uint64_t>, SnapLife>& snaps) {
+    if (snaps.empty()) {
+        std::printf("no MVCC snapshot events (mvcc.publish/gc instants)\n");
+        return;
+    }
+    std::printf("%-24s %8s %14s %14s %14s\n", "file", "version", "publish(ms)", "gc(ms)",
+                "lifetime(ms)");
+    struct Agg {
+        std::uint64_t published = 0, collected = 0, live = 0;
+        double        total_ms = 0;
+    };
+    std::map<std::string, Agg> per_file;
+    for (const auto& [key, life] : snaps) {
+        auto& agg = per_file[key.first];
+        agg.published++;
+        if (life.gcs >= life.publishes) {
+            const double ms = (life.last_gc_us - life.first_publish_us) / 1000.0;
+            agg.collected++;
+            agg.total_ms += ms;
+            std::printf("%-24s %8llu %14.3f %14.3f %14.3f\n", key.first.c_str(),
+                        static_cast<unsigned long long>(key.second),
+                        life.first_publish_us / 1000.0, life.last_gc_us / 1000.0, ms);
+        } else {
+            agg.live++;
+            std::printf("%-24s %8llu %14.3f %14s %14s\n", key.first.c_str(),
+                        static_cast<unsigned long long>(key.second),
+                        life.first_publish_us / 1000.0, "-", "live");
+        }
+    }
+    for (const auto& [name, agg] : per_file)
+        std::printf("%s: versions published %llu, collected %llu, still live %llu, "
+                    "mean lifetime %.3f ms\n",
+                    name.c_str(), static_cast<unsigned long long>(agg.published),
+                    static_cast<unsigned long long>(agg.collected),
+                    static_cast<unsigned long long>(agg.live),
+                    agg.collected ? agg.total_ms / static_cast<double>(agg.collected) : 0.0);
+}
+
 void print_summary(const std::map<std::string, Phase>& phases) {
     std::printf("%-28s %10s %12s %12s %10s\n", "phase", "count", "total(ms)", "mean(us)", "MiB");
     for (const auto& [name, ph] : phases)
@@ -311,7 +391,10 @@ int main(int argc, char** argv) {
             std::printf("mh5trace: wrote %zu events to %s\n", merged.size(), out_path.c_str());
         }
         if (want_summary) print_summary(summarize(merged));
-        if (want_steps) print_steps(summarize_steps(merged));
+        if (want_steps) {
+            print_steps(summarize_steps(merged));
+            print_snapshots(summarize_snapshots(merged));
+        }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
