@@ -45,35 +45,43 @@ ctest --test-dir build --output-on-failure --no-tests=error --timeout 180 -j "$j
 echo "== Checked suite (L5_CHECK=1) =="
 L5_CHECK=1 ctest --test-dir build --output-on-failure --no-tests=error --timeout 180 -j "$jobs" "$@"
 
+# ... and under the predictive race/lock-order detector: any predicted
+# data race, lock-order cycle, forbidden edge, or lock-across-wait is
+# raised at the offending site and fails the test that reached it
+echo "== Race-checked suite (L5_RACE=1) =="
+L5_RACE=1 ctest --test-dir build --output-on-failure --no-tests=error --timeout 180 -j "$jobs" "$@"
+
 # deterministic-scheduler sweep: replay the hang-regression suite under a
 # handful of seeded schedules (both policies) — interleavings wall-clock
 # timing would rarely hit; any failure prints an L5_SCHED repro line.
-# --check arms the semantics checker in every explored schedule.
+# --check arms the semantics checker and --race the predictive
+# race/lock-order detector in every explored schedule; l5race findings
+# are aggregated across seeds and fail the sweep with a repro line.
 echo "== Deterministic-scheduler sweep (mh5sched) =="
-./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check \
+./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_fault_injection --gtest_brief=1
-./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check \
+./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_fault_injection --gtest_brief=1
 # the same sweep with the data-plane worker pool forced on (and a tiny
 # fan-out threshold so even small payloads use it): the pool must not
 # introduce schedule-dependent behavior into the protocol suites
 L5_DATA_THREADS=3 L5_PAR_THRESHOLD=1024 \
-    ./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check \
+    ./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_dist_vol --gtest_brief=1
 # streaming-transport sweep: the step protocol (publish/acquire/pin/
 # release, backpressure waits, drop GC) must stay hang-free and
 # policy-correct under adversarial interleavings; --check arms the
 # step-order checker in every explored schedule
-./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check \
+./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_stream --gtest_brief=1
-./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check \
+./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_stream --gtest_brief=1
 # MVCC snapshot-index sweep: versioned pins, GC on last unpin, and the
 # defer-until-published read protocol must stay torn-read-free and
 # hang-free under seeded schedules (the full 200-seed sweep runs in CI)
-./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check \
+./build/tools/mh5sched --seeds 1:5 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_mvcc --gtest_brief=1
-./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check \
+./build/tools/mh5sched --seeds 1:5 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_mvcc --gtest_brief=1
 
 if [[ $tsan -eq 1 ]]; then

@@ -22,9 +22,9 @@ jobs=$(nproc 2>/dev/null || echo 2)
 # defer-until-published replay, bounded-snapshot streaming). check.sh
 # runs 5 seeds per policy as a smoke; this is the CI-depth soak.
 echo "== MVCC schedule sweep (mh5sched, 200 seeds) =="
-./build/tools/mh5sched --seeds 1:100 --timeout 120 --jobs "$jobs" --check \
+./build/tools/mh5sched --seeds 1:100 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_mvcc --gtest_brief=1
-./build/tools/mh5sched --seeds 1:100 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check \
+./build/tools/mh5sched --seeds 1:100 --policy pct --depth 3 --timeout 120 --jobs "$jobs" --check --race \
     -- ./build/tests/test_mvcc --gtest_brief=1
 
 echo "ci.sh: all green"

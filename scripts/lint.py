@@ -30,6 +30,15 @@ raw-step-index
             typed stream::StepId, whose ordering and "none" sentinel
             carry the protocol semantics; raw integers belong only at
             the wire-serialization boundary inside .cpp files.
+tsan-supp   every suppression in scripts/tsan.supp must carry a
+            `# matches: <regex>` annotation on the line directly above,
+            and the regex must still match something under src/. A
+            suppression is a standing claim that specific code is
+            TSan-clean for a library-artifact reason; once the code it
+            points at is gone, the suppression is a blanket mute that
+            would swallow real races in whatever matches the symbol
+            next. The annotation keeps each suppression anchored to the
+            code that justifies it.
 
 A finding is suppressed by `// lint: allow-<rule>(<reason>)` on the same
 line or the line directly above; the reason is mandatory and should say
@@ -99,6 +108,49 @@ def scan_file(path, rules):
     return findings
 
 
+def audit_tsan_supp():
+    """Check scripts/tsan.supp: each suppression needs a live anchor.
+
+    A suppression line (``race:_Sp_atomic``) must be directly preceded by
+    ``# matches: <regex>``, and that regex must match at least one source
+    line under src/ — proof the code the suppression excuses still
+    exists. Returns findings in the same shape as scan_file().
+    """
+    supp = REPO / "scripts" / "tsan.supp"
+    if not supp.exists():
+        return []
+    findings = []
+    src_text = "\n".join(
+        p.read_text(encoding="utf-8", errors="replace")
+        for p in iter_sources(REPO / "src"))
+    lines = supp.read_text(encoding="utf-8", errors="replace").splitlines()
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue  # comments and blanks are not suppressions
+        prev = lines[i - 1].strip() if i else ""
+        m = re.match(r"#\s*matches:\s*(.+)", prev)
+        if not m:
+            findings.append((supp, i + 1, "tsan-supp",
+                             f"{stripped}  (missing '# matches: <regex>' "
+                             "annotation on the preceding line)"))
+            continue
+        pattern = m.group(1).strip()
+        try:
+            anchored = re.search(re.escape(pattern), src_text) or \
+                       re.search(pattern, src_text)
+        except re.error as err:
+            findings.append((supp, i, "tsan-supp",
+                             f"{stripped}  (bad annotation regex: {err})"))
+            continue
+        if not anchored:
+            findings.append((supp, i + 1, "tsan-supp",
+                             f"{stripped}  (annotation regex '{pattern}' matches "
+                             "nothing under src/ — the code this suppression "
+                             "excuses is gone; delete the suppression)"))
+    return findings
+
+
 def main():
     findings = []
 
@@ -115,6 +167,8 @@ def main():
     for path in iter_sources(REPO / "src" / "lowfive" / "stream"):
         if path.suffix == ".hpp":
             findings += scan_file(path, [("raw-step-index", RAW_STEP_INDEX.search)])
+
+    findings += audit_tsan_supp()
 
     for path, lineno, rule, line in findings:
         rel = path.relative_to(REPO)

@@ -1,0 +1,529 @@
+#include "race.hpp"
+
+#include <obs/metrics.hpp>
+#include <obs/trace.hpp>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace l5race {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+} // namespace detail
+
+namespace {
+
+using VC = std::vector<std::uint64_t>;
+
+std::uint64_t vc_at(const VC& v, int t) {
+    return t >= 0 && static_cast<std::size_t>(t) < v.size() ? v[static_cast<std::size_t>(t)] : 0;
+}
+
+void vc_join(VC& dst, const VC& src) {
+    if (src.size() > dst.size()) dst.resize(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+/// One lock the calling thread currently holds (recursion folds into
+/// `depth`). `cls` is the lockdep class; `site` the outermost acquire.
+struct HeldLock {
+    const void* addr;
+    int         depth;
+    bool        pseudo;
+    std::string cls;
+    const char* site;
+};
+
+/// Per-thread detector state. Owned thread-locally; re-registered (fresh
+/// tid + clock) whenever the global generation moves past `gen`, so
+/// threads that outlive a finalize (the main thread, worker pools) start
+/// clean in the next armed run.
+struct ThreadState {
+    int                   tid = -1;
+    VC                    vc;
+    std::vector<HeldLock> held;
+};
+
+thread_local ThreadState   t_state;
+thread_local std::uint64_t t_state_gen = ~std::uint64_t{0};
+
+/// One recorded access to a shared cell: the accessor's epoch
+/// (clock@tid), its non-pseudo lockset, and the site. `a happened-before
+/// the current thread` iff a.clock <= current.vc[a.tid].
+struct Access {
+    int                      tid = -1;
+    std::uint64_t            clock = 0;
+    std::vector<const void*> locks;
+    std::string              locks_desc;
+    std::string              site;
+};
+
+struct CellState {
+    std::optional<Access> write;
+    std::map<int, Access> reads; ///< last read per thread since the last write
+};
+
+/// A finding assembled under the state mutex but reported (repro hook,
+/// obs export, possible throw) only after it is released: the repro hook
+/// reads the scheduler (its own mutex), and scheduler code calls back
+/// into l5race while holding that mutex, so reporting under ours would
+/// be an ABBA deadlock.
+struct Pending {
+    std::string kind;
+    std::string site_a;
+    std::string site_b;
+    std::string message;
+};
+
+struct Rule {
+    std::string holder;
+    std::string acquired;
+    std::string why;
+};
+
+struct Global {
+    std::mutex mu;
+    bool       armed = false;
+    RaceConfig cfg;
+    std::function<std::string()> repro;
+    std::uint64_t gen      = 0;
+    int           next_tid = 0;
+
+    // happens-before channels
+    std::uint64_t                              next_token = 1;
+    std::unordered_map<std::uint64_t, VC>      tokens;  ///< one-shot handoffs
+    std::map<const void*, VC>                  chans;   ///< accumulating (atomics)
+    std::map<std::thread::id, VC>              exited;  ///< thread-exit -> join
+
+    // lockdep
+    std::map<const void*, std::string>              lock_class;
+    std::set<std::pair<std::string, std::string>>   edges;
+    std::map<std::string, std::set<std::string>>    adj;
+    std::vector<Rule>                               rules;
+
+    // race cells
+    std::map<std::pair<const void*, std::string>, CellState> cells;
+
+    // findings
+    std::set<std::string>   seen; ///< dedupe key kind|site_a|site_b
+    std::vector<Diagnostic> diags;
+};
+
+Global& G() {
+    static Global* g = new Global; // leaked: hooks may run during static teardown
+    return *g;
+}
+
+std::mutex              g_last_mutex;
+std::vector<Diagnostic> g_last;
+
+/// Register (or re-register after a generation bump) the calling thread.
+/// Requires G().mu held.
+ThreadState& self_locked(Global& g) {
+    if (t_state.tid < 0 || t_state_gen != g.gen) {
+        t_state     = ThreadState{};
+        t_state.tid = g.next_tid++;
+        t_state.vc.assign(static_cast<std::size_t>(t_state.tid) + 1, 0);
+        t_state.vc[static_cast<std::size_t>(t_state.tid)] = 1;
+        t_state_gen = g.gen;
+    }
+    return t_state;
+}
+
+void bump(ThreadState& ts) { ++ts.vc[static_cast<std::size_t>(ts.tid)]; }
+
+std::uint64_t epoch(const ThreadState& ts) {
+    return ts.vc[static_cast<std::size_t>(ts.tid)];
+}
+
+std::string describe_locks(const ThreadState& ts) {
+    std::string s;
+    for (const auto& h : ts.held) {
+        if (h.pseudo) continue;
+        if (!s.empty()) s += ", ";
+        s += "'" + h.cls + "'";
+        if (h.depth > 1) s += " x" + std::to_string(h.depth);
+    }
+    return s.empty() ? std::string("none") : s;
+}
+
+bool locksets_disjoint(const std::vector<const void*>& a, const std::vector<const void*>& b) {
+    for (const void* x : a)
+        for (const void* y : b)
+            if (x == y) return false;
+    return true;
+}
+
+/// Shortest class path from `from` to `to` in the order graph, or empty.
+std::vector<std::string> find_path(const std::map<std::string, std::set<std::string>>& adj,
+                                   const std::string& from, const std::string& to) {
+    std::map<std::string, std::string> parent;
+    std::deque<std::string>            q{from};
+    parent[from] = from;
+    while (!q.empty()) {
+        std::string n = q.front();
+        q.pop_front();
+        if (n == to) {
+            std::vector<std::string> path{to};
+            while (path.back() != from) path.push_back(parent[path.back()]);
+            std::reverse(path.begin(), path.end());
+            return path;
+        }
+        auto it = adj.find(n);
+        if (it == adj.end()) continue;
+        for (const auto& nxt : it->second)
+            if (parent.emplace(nxt, n).second) q.push_back(nxt);
+    }
+    return {};
+}
+
+void export_finding(const std::string& kind) {
+    const bool lockdep = kind.rfind("lockdep", 0) == 0;
+    obs::Registry::global().counter(lockdep ? "n_lockdep_cycles" : "n_race_reports").inc();
+    obs::instant(obs::intern_if_enabled(lockdep ? "lockdep.cycle" : "race.report"), "race");
+}
+
+/// Report pending findings with the state mutex released (see Pending).
+/// In raise mode the first non-duplicate finding throws RaceError.
+void flush(std::vector<Pending>&& pend) {
+    if (pend.empty()) return;
+    Global& g = G();
+    std::function<std::string()>  repro_hook;
+    RaceConfig::Action            action;
+    {
+        std::lock_guard<std::mutex> lock(g.mu);
+        repro_hook = g.repro;
+        action     = g.cfg.action;
+    }
+    for (auto& p : pend) {
+        const std::string repro = repro_hook ? repro_hook() : std::string();
+        {
+            std::lock_guard<std::mutex> lock(g.mu);
+            if (!g.armed) return;
+            if (!g.seen.insert(p.kind + "\x1f" + p.site_a + "\x1f" + p.site_b).second) continue;
+            g.diags.push_back(Diagnostic{p.kind, p.site_a, p.site_b, p.message, repro});
+        }
+        export_finding(p.kind);
+        if (action == RaceConfig::Action::raise) {
+            std::string what = "[" + p.kind + "] " + p.message;
+            if (!repro.empty()) what += " (repro: " + repro + ")";
+            throw RaceError(p.kind, what);
+        }
+    }
+}
+
+} // namespace
+
+std::string Diagnostic::text() const {
+    std::string s = "[" + kind + "] " + message;
+    if (!repro.empty()) s += " (repro: " + repro + ")";
+    return s;
+}
+
+std::optional<RaceConfig> RaceConfig::from_env() {
+    const char* s = std::getenv("L5_RACE");
+    if (!s || !*s) return std::nullopt;
+    const std::string v(s);
+    if (v == "0" || v == "off") return std::nullopt;
+    RaceConfig cfg;
+    if (v == "1" || v == "throw" || v == "raise") {
+        cfg.action = Action::raise;
+    } else if (v == "report") {
+        cfg.action = Action::report;
+    } else {
+        throw simmpi::Error("l5race: bad L5_RACE '" + v + "' (expected 0, 1, raise, or report)");
+    }
+    if (const char* out = std::getenv("L5_RACE_OUT"); out && *out) cfg.out_path = out;
+    return cfg;
+}
+
+bool arm(const RaceConfig& cfg) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (g.armed) return false;
+    g.armed = true;
+    g.cfg   = cfg;
+    detail::g_armed.store(1, std::memory_order_relaxed);
+    return true;
+}
+
+void set_repro_hook(std::function<std::string()> hook) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.repro = std::move(hook);
+}
+
+void finalize() {
+    Global&                 g = G();
+    RaceConfig              cfg;
+    std::vector<Diagnostic> diags;
+    {
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (!g.armed) return;
+        detail::g_armed.store(0, std::memory_order_relaxed);
+        g.armed = false;
+        cfg     = g.cfg;
+        diags   = std::move(g.diags);
+        g.diags.clear();
+        g.seen.clear();
+        g.tokens.clear();
+        g.chans.clear();
+        g.exited.clear();
+        g.lock_class.clear();
+        g.edges.clear();
+        g.adj.clear();
+        g.rules.clear();
+        g.cells.clear();
+        g.repro    = nullptr;
+        g.next_tid = 0;
+        g.next_token = 1;
+        ++g.gen; // invalidate every thread's cached tid/clock
+    }
+    if (cfg.action == RaceConfig::Action::report) {
+        for (const auto& d : diags) std::fprintf(stderr, "l5race: %s\n", d.text().c_str());
+    }
+    if (!cfg.out_path.empty()) {
+        // written even when empty so sweep drivers can tell "armed and
+        // clean" from "never ran"
+        std::ofstream out(cfg.out_path, std::ios::trunc);
+        for (const auto& d : diags)
+            out << d.kind << '\t' << d.site_a << '\t' << d.site_b << '\t' << d.message << '\t'
+                << d.repro << '\n';
+    }
+    {
+        std::lock_guard<std::mutex> lock(g_last_mutex);
+        g_last = std::move(diags);
+    }
+}
+
+std::vector<Diagnostic> last_race_diagnostics() {
+    std::lock_guard<std::mutex> lock(g_last_mutex);
+    return g_last;
+}
+
+namespace detail {
+
+void lock_acquired_impl(const void* m, const char* site, const char* lock_class, bool pseudo) {
+    Global&              g = G();
+    std::vector<Pending> pend;
+    {
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (!g.armed) return;
+        ThreadState& ts = self_locked(g);
+        for (auto& h : ts.held) {
+            if (h.addr == m) {
+                ++h.depth;
+                return;
+            }
+        }
+        auto        it  = g.lock_class.find(m);
+        std::string cls = lock_class      ? std::string(lock_class)
+                          : it != g.lock_class.end() ? it->second
+                                                     : std::string(site);
+        if (it == g.lock_class.end()) g.lock_class.emplace(m, cls);
+        for (const auto& h : ts.held) {
+            if (h.cls == cls) continue; // same-class pairs (instances sharing a
+                                        // fallback class) carry no order info
+            for (const auto& r : g.rules) {
+                if (r.holder == h.cls && r.acquired == cls) {
+                    pend.push_back(
+                        {"lockdep-rule", h.site, site,
+                         "acquiring '" + cls + "' at '" + site + "' while holding '" + h.cls
+                             + "' (acquired at '" + std::string(h.site)
+                             + "') violates a declared lock-order rule: " + r.why});
+                }
+            }
+            if (g.edges.emplace(h.cls, cls).second) {
+                g.adj[h.cls].insert(cls);
+                auto path = find_path(g.adj, cls, h.cls);
+                if (!path.empty()) {
+                    std::string chain = h.cls;
+                    for (const auto& n : path) chain += " -> " + n;
+                    pend.push_back(
+                        {"lockdep-cycle", h.site, site,
+                         "acquiring '" + cls + "' at '" + site + "' while holding '" + h.cls
+                             + "' (acquired at '" + std::string(h.site)
+                             + "') closes a lock-order cycle: " + chain
+                             + " — a schedule interleaving these chains deadlocks"});
+                }
+            }
+        }
+        ts.held.push_back(HeldLock{m, 1, pseudo, std::move(cls), site});
+    }
+    flush(std::move(pend));
+}
+
+void lock_released_impl(const void* m) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return;
+    ThreadState& ts = self_locked(g);
+    for (auto it = ts.held.begin(); it != ts.held.end(); ++it) {
+        if (it->addr == m) {
+            if (--it->depth == 0) ts.held.erase(it);
+            return;
+        }
+    }
+    // tolerated: the matching acquire may have thrown before registering
+}
+
+void declare_lock_impl(const void* m, const char* lock_class) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return;
+    g.lock_class[m] = lock_class;
+}
+
+void forbid_edge_impl(const char* holder_class, const char* acquired_class, const char* why) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return;
+    for (const auto& r : g.rules)
+        if (r.holder == holder_class && r.acquired == acquired_class) return;
+    g.rules.push_back(Rule{holder_class, acquired_class, why});
+}
+
+void on_access_impl(const void* obj, const char* cell, bool is_write, const char* site) {
+    Global&              g = G();
+    std::vector<Pending> pend;
+    {
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (!g.armed) return;
+        ThreadState& ts = self_locked(g);
+
+        std::vector<const void*> locks;
+        for (const auto& h : ts.held)
+            if (!h.pseudo) locks.push_back(h.addr);
+        const std::string locks_desc = describe_locks(ts);
+
+        CellState& cs = g.cells[{obj, std::string(cell)}];
+
+        // `a` is concurrent with the current access iff it is by another
+        // thread, not happens-before-ordered (epoch check), and no common
+        // lock covers both
+        auto concurrent = [&](const Access& a) {
+            return a.tid != ts.tid && a.clock > vc_at(ts.vc, a.tid)
+                   && locksets_disjoint(a.locks, locks);
+        };
+        auto report = [&](const Access& prev, const char* prev_kind, const char* cur_kind) {
+            pend.push_back(
+                {"predicted-race", prev.site, site,
+                 "predicted data race on '" + std::string(cell) + "': " + prev_kind + " at '"
+                     + prev.site + "' (locks held: " + prev.locks_desc + ") vs " + cur_kind
+                     + " at '" + site + "' (locks held: " + locks_desc
+                     + ") — no common lock and no happens-before edge orders them, so another "
+                       "feasible schedule interleaves them"});
+        };
+
+        if (cs.write && concurrent(*cs.write))
+            report(*cs.write, "write", is_write ? "write" : "read");
+        if (is_write) {
+            for (const auto& [tid, r] : cs.reads)
+                if (concurrent(r)) report(r, "read", "write");
+            cs.reads.clear();
+            cs.write = Access{ts.tid, epoch(ts), std::move(locks), locks_desc, site};
+        } else {
+            cs.reads[ts.tid] = Access{ts.tid, epoch(ts), std::move(locks), locks_desc, site};
+        }
+    }
+    flush(std::move(pend));
+}
+
+void on_cv_block_impl(const void* wait_mutex, const char* site) {
+    Global&              g = G();
+    std::vector<Pending> pend;
+    {
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (!g.armed) return;
+        ThreadState& ts = self_locked(g);
+        const char*  offender = nullptr;
+        for (const auto& h : ts.held) {
+            if (h.pseudo) continue;
+            if (h.addr != wait_mutex || h.depth != 1) {
+                offender = h.site;
+                break;
+            }
+        }
+        if (offender) {
+            pend.push_back(
+                {"lock-across-wait", offender, site,
+                 "cv wait at '" + std::string(site) + "' blocks while holding "
+                     + describe_locks(ts)
+                     + " — a waiter must hold exactly one level of the wait's own mutex (the cv "
+                       "releases only that level, so anything extra deadlocks the waker)"});
+        }
+    }
+    flush(std::move(pend));
+}
+
+std::uint64_t publish_token_impl() {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return 0;
+    ThreadState&        ts  = self_locked(g);
+    const std::uint64_t tok = g.next_token++;
+    g.tokens.emplace(tok, ts.vc);
+    bump(ts);
+    return tok;
+}
+
+void consume_token_impl(std::uint64_t token) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return;
+    ThreadState& ts = self_locked(g);
+    auto         it = g.tokens.find(token);
+    if (it == g.tokens.end()) return; // stale generation or double-consume
+    vc_join(ts.vc, it->second);
+    g.tokens.erase(it);
+}
+
+void atomic_publish_impl(const void* chan) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return;
+    ThreadState& ts = self_locked(g);
+    vc_join(g.chans[chan], ts.vc);
+    bump(ts);
+}
+
+void atomic_consume_impl(const void* chan) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return;
+    ThreadState& ts = self_locked(g);
+    auto         it = g.chans.find(chan);
+    if (it != g.chans.end()) vc_join(ts.vc, it->second);
+}
+
+void thread_exit_impl() {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return;
+    ThreadState& ts = self_locked(g);
+    vc_join(g.exited[std::this_thread::get_id()], ts.vc);
+    bump(ts);
+}
+
+void thread_joined_impl(std::thread::id id) {
+    Global&                     g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.armed) return;
+    ThreadState& ts = self_locked(g);
+    auto         it = g.exited.find(id);
+    if (it == g.exited.end()) return;
+    vc_join(ts.vc, it->second);
+    g.exited.erase(it);
+}
+
+} // namespace detail
+} // namespace l5race

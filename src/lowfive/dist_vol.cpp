@@ -98,6 +98,13 @@ DistMetadataVol::DistMetadataVol(simmpi::Comm local, h5::VolPtr passthru_vol)
     // arm the serve-lock-after-pin lint alongside the MPI-semantics
     // checker: checked runs also verify the query path stays lock-free
     if (l5check::CheckConfig::from_env()) mvcc::set_lock_lint(true);
+    // the same invariant as an l5race lock-order graph rule: acquiring
+    // the serve mutex while inside a pinned read section is forbidden
+    // even before any cycle exists
+    l5race::declare_lock(&mutex_, "dist_vol.mutex");
+    l5race::forbid_edge("mvcc.read_section", "dist_vol.mutex",
+                        "serve-lock-after-pin: the serve-side query path must stay "
+                        "lock-free past the pin");
 }
 
 void DistMetadataVol::set_compress(const std::string& file_pattern,
@@ -141,6 +148,7 @@ DistMetadataVol::~DistMetadataVol() {
 
 void DistMetadataVol::set_serve_in_background(bool v) {
     Guard lock(local_.scheduler(), mutex_, "set_serve_in_background");
+    L5_SHARED_WRITE(this, "background_", "set_serve_in_background");
     background_ = v;
 }
 
@@ -172,6 +180,7 @@ void DistMetadataVol::background_loop() {
                 std::vector<Deferred> pending;
                 {
                     Guard lock(local_.scheduler(), mutex_, "serve/deferred");
+                    L5_SHARED_WRITE(this, "deferred_", "serve/deferred");
                     pending = std::move(deferred_);
                     deferred_.clear();
                 }
@@ -190,6 +199,7 @@ void DistMetadataVol::background_loop() {
     } catch (...) {
         {
             Guard lock(local_.scheduler(), mutex_, "serve/record_error");
+            L5_SHARED_WRITE(this, "serve_error_", "serve/record_error");
             serve_error_ = std::current_exception();
         }
         notify_dones();
@@ -214,6 +224,7 @@ void DistMetadataVol::finish_serving() {
         // last version) can go now
         {
             Guard lock(local_.scheduler(), mutex_, "finish_serving/clear_pins");
+            L5_SHARED_WRITE(this, "round_pins_", "finish_serving/clear_pins");
             round_pins_.clear();
         }
         check_pin_leaks();
@@ -223,8 +234,12 @@ void DistMetadataVol::finish_serving() {
     std::exception_ptr err;
     try {
         Guard lock(sched, mutex_, "finish_serving");
-        simmpi::detail::coop_wait(sched, dones_cv_, lock, "finish_serving/dones",
-                                  [&] { return rounds_done_locked(); });
+        simmpi::detail::coop_wait(sched, dones_cv_, lock, "finish_serving/dones", [&] {
+            L5_SHARED_READ(this, "dones_", "finish_serving/dones");
+            L5_SHARED_READ(this, "streams_", "finish_serving/dones");
+            return rounds_done_locked();
+        });
+        L5_SHARED_READ(this, "serve_error_", "finish_serving/dones");
         err = serve_error_;
     } catch (...) {
         // deadline / deadlock / abort surfaced at the wait itself: the
@@ -235,6 +250,7 @@ void DistMetadataVol::finish_serving() {
     bool serve_died;
     {
         Guard lock(sched, mutex_, "finish_serving/check_error");
+        L5_SHARED_READ(this, "serve_error_", "finish_serving/check_error");
         serve_died = serve_error_ != nullptr;
     }
     if (!serve_died) {
@@ -252,6 +268,7 @@ void DistMetadataVol::finish_serving() {
     if (err) {
         {
             Guard lock(sched, mutex_, "finish_serving/clear_error");
+            L5_SHARED_WRITE(this, "serve_error_", "finish_serving/clear_error");
             serve_error_ = nullptr; // surfaced once
         }
         std::rethrow_exception(err);
@@ -260,6 +277,7 @@ void DistMetadataVol::finish_serving() {
         // every round completed (the dones wait above): no in-flight
         // reader is left, so the trailing round pins can go
         Guard lock(sched, mutex_, "finish_serving/clear_pins");
+        L5_SHARED_WRITE(this, "round_pins_", "finish_serving/clear_pins");
         round_pins_.clear();
     }
     check_pin_leaks();
@@ -289,11 +307,14 @@ void DistMetadataVol::drop_file(const std::string& name) {
     // cannot serve anything, so its error also ends the wait)
     if (serve_thread_.joinable())
         simmpi::detail::coop_wait(sched, dones_cv_, lock, "drop_file/dones", [&] {
+            L5_SHARED_READ(this, "serve_error_", "drop_file/dones");
+            L5_SHARED_READ(this, "dones_", "drop_file/dones");
             return serve_error_ || dones_received_ >= dones_expected_;
         });
     // every round is done (the wait above): this file's round pins can
     // go, and its snapshot line is retired — the current version is
     // superseded and GC'd as soon as the last pin drops
+    L5_SHARED_WRITE(this, "round_pins_", "drop_file");
     for (auto it = round_pins_.begin(); it != round_pins_.end();)
         it = std::get<2>(it->first) == name ? round_pins_.erase(it) : std::next(it);
     snapshots_.retire(name);
@@ -379,8 +400,12 @@ void DistMetadataVol::serve_all() {
     Guard lock(sched, mutex_, "serve_all");
     if (serve_thread_.joinable()) {
         // background mode: just wait for the server to drain the rounds
-        simmpi::detail::coop_wait(sched, dones_cv_, lock, "serve_all/dones",
-                                  [&] { return rounds_done_locked(); });
+        simmpi::detail::coop_wait(sched, dones_cv_, lock, "serve_all/dones", [&] {
+            L5_SHARED_READ(this, "dones_", "serve_all/dones");
+            L5_SHARED_READ(this, "streams_", "serve_all/dones");
+            return rounds_done_locked();
+        });
+        L5_SHARED_READ(this, "serve_error_", "serve_all/dones");
         if (serve_error_) std::rethrow_exception(serve_error_);
         return;
     }
@@ -392,6 +417,7 @@ void DistMetadataVol::serve_until(std::uint64_t target) {
     comms.reserve(serve_conns_.size());
     for (const auto& c : serve_conns_) comms.push_back(&c.ic);
 
+    L5_SHARED_READ(this, "dones_", "serve_until");
     while (dones_received_ < target) {
         // block (no spinning) until a request arrives on any connection
         std::size_t which = 0;
@@ -474,6 +500,7 @@ void DistMetadataVol::handle_read_request(Conn& conn, int src, diy::BinaryBuffer
                     cur.release();
                     const std::size_t conn_idx =
                         static_cast<std::size_t>(&conn - serve_conns_.data());
+                    L5_SHARED_WRITE(this, "deferred_", "serve/defer-read");
                     deferred_.push_back({conn_idx, src, std::move(bb).take()});
                     return;
                 }
@@ -626,6 +653,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
         std::string name;
         bb.load(name);
         const auto version = bb.load<std::uint64_t>();
+        L5_SHARED_WRITE(this, "dones_", "serve/done");
         ++dones_received_;
         // release this (connection, rank, file)'s round pins for every
         // version STRICTLY older than the one the round read. Dones
@@ -635,6 +663,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
         // consumer outpacing the producer), so its pin stays until a
         // later Done names a newer version (or teardown clears it).
         const std::size_t conn_idx = static_cast<std::size_t>(&conn - serve_conns_.data());
+        L5_SHARED_WRITE(this, "round_pins_", "serve/done");
         if (auto rit = round_pins_.find({conn_idx, src, name}); rit != round_pins_.end()) {
             auto& pins = rit->second;
             pins.erase(std::remove_if(pins.begin(), pins.end(),
@@ -660,6 +689,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
             orig.save(name);
             std::size_t conn_idx =
                 static_cast<std::size_t>(&conn - serve_conns_.data());
+            L5_SHARED_WRITE(this, "deferred_", "serve/metadata");
             deferred_.push_back({conn_idx, src, std::move(orig).take()});
             break;
         }
@@ -677,6 +707,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
         const auto min_raw = bb.load<std::uint64_t>();
         const auto latest  = bb.load<std::uint8_t>();
 
+        L5_SHARED_READ(this, "streams_", "serve/step_next");
         auto                        sit = streams_.find(base);
         stream::StepWindow::Acquire r; // default: retry_later
         if (sit != streams_.end()) r = sit->second.acquire(stream::StepId(min_raw), latest != 0);
@@ -690,6 +721,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
             orig.save(min_raw);
             orig.save(latest);
             std::size_t conn_idx = static_cast<std::size_t>(&conn - serve_conns_.data());
+            L5_SHARED_WRITE(this, "deferred_", "serve/step_next");
             deferred_.push_back({conn_idx, src, std::move(orig).take()});
             break;
         }
@@ -697,6 +729,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
             // the grant IS a snapshot pin: the granted step's version
             // cannot be GC'd out from under the consumer until released
             const std::string sname = stream::step_name(base, r.step);
+            L5_SHARED_WRITE(this, "step_pins_", "serve/step_next");
             if (auto pin = snapshots_.pin(sname)) step_pins_[sname].push_back(std::move(pin));
         }
         obs::instant("serve.step_next", "lowfive",
@@ -712,10 +745,12 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
         std::string base;
         bb.load(base);
         const auto sv  = bb.load<std::uint64_t>();
+        L5_SHARED_READ(this, "streams_", "serve/step_pin");
         auto       sit = streams_.find(base);
         const bool ok  = sit != streams_.end() && sit->second.pin(stream::StepId(sv));
         if (ok) {
             const std::string sname = stream::step_name(base, stream::StepId(sv));
+            L5_SHARED_WRITE(this, "step_pins_", "serve/step_pin");
             if (auto pin = snapshots_.pin(sname)) step_pins_[sname].push_back(std::move(pin));
         }
         diy::BinaryBuffer reply;
@@ -730,6 +765,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
         bb.load(base);
         const auto sv       = bb.load<std::uint64_t>();
         const auto rollback = bb.load<std::uint8_t>(); // pin rollback, not a drain
+        L5_SHARED_READ(this, "streams_", "serve/step_release");
         auto       sit      = streams_.find(base);
         if (sit == streams_.end())
             throw Error("lowfive: step release for unknown stream '" + base + "'");
@@ -739,6 +775,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
                         + " of stream '" + base + "'");
         // drop the matching snapshot pin (rollback or drain alike)
         const std::string sname = stream::step_name(base, stream::StepId(sv));
+        L5_SHARED_WRITE(this, "step_pins_", "serve/step_release");
         if (auto pit = step_pins_.find(sname); pit != step_pins_.end()) {
             pit->second.pop_back();
             if (pit->second.empty()) step_pins_.erase(pit);
@@ -755,6 +792,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
     case Op::StreamDone: {
         std::string base;
         bb.load(base);
+        L5_SHARED_READ(this, "streams_", "serve/stream_done");
         auto sit = streams_.find(base);
         if (sit == streams_.end()) {
             // consumer subscribed and quit before the writer registered
@@ -770,6 +808,7 @@ void DistMetadataVol::handle_control_request(Conn& conn, int src, diy::BinaryBuf
 }
 
 void DistMetadataVol::retry_deferred() {
+    L5_SHARED_WRITE(this, "deferred_", "retry_deferred");
     auto pending = std::move(deferred_);
     deferred_.clear();
     for (auto& d : pending)
@@ -777,7 +816,9 @@ void DistMetadataVol::retry_deferred() {
 }
 
 void DistMetadataVol::schedule_deferred_retry_locked() {
+    L5_SHARED_READ(this, "deferred_", "schedule_deferred_retry");
     if (deferred_.empty()) return;
+    L5_SHARED_READ(this, "serve_error_", "schedule_deferred_retry");
     if (serve_thread_.joinable() && !serve_error_) {
         // a live background server owns request handling: hand it the
         // replay via a one-byte self-send (the empty payload remains the
@@ -812,6 +853,7 @@ stream::StreamConfig DistMetadataVol::stream_begin(const std::string& name,
     const auto conf = (cfg ? *cfg : stream_config_for(name)).normalized();
 
     Guard lock(local_.scheduler(), mutex_, "stream_begin");
+    L5_SHARED_WRITE(this, "streams_", "stream_begin");
     if (streams_.count(name))
         throw Error("lowfive: stream '" + name + "' is already open");
     auto [it, inserted] = streams_.emplace(name, stream::StepWindow(conf));
@@ -825,6 +867,7 @@ stream::StreamConfig DistMetadataVol::stream_begin(const std::string& name,
     // streams always serve in the background: publishes return while
     // consumers drain, and the thread must exist even before the first
     // publish so an empty stream still answers acquires with eos
+    L5_SHARED_WRITE(this, "background_", "stream_begin");
     background_ = true;
     ensure_serve_thread_locked();
     schedule_deferred_retry_locked(); // StepNext requests that raced ahead of the begin
@@ -833,6 +876,7 @@ stream::StreamConfig DistMetadataVol::stream_begin(const std::string& name,
 
 void DistMetadataVol::stream_end(const std::string& name) {
     Guard lock(local_.scheduler(), mutex_, "stream_end");
+    L5_SHARED_WRITE(this, "streams_", "stream_end");
     auto  it = streams_.find(name);
     if (it == streams_.end()) return; // already retired
     it->second.set_eos();
@@ -960,6 +1004,7 @@ void DistMetadataVol::stream_unsubscribe(const std::string& name) {
 
 void DistMetadataVol::stream_admit(simmpi::detail::CoopLock<std::recursive_mutex>& lock,
                                    const std::string& base) {
+    L5_SHARED_READ(this, "streams_", "stream_admit");
     auto it = streams_.find(base);
     if (it == streams_.end())
         throw Error("lowfive: step publish for unregistered stream '" + base
@@ -973,24 +1018,31 @@ void DistMetadataVol::stream_admit(simmpi::detail::CoopLock<std::recursive_mutex
                                                                : local_.effective_deadline_ms();
         auto*      sched = local_.scheduler();
         const bool ok    = simmpi::detail::coop_wait_deadline(
-            sched, dones_cv_, lock, "stream/window", ms,
-            [&] { return serve_error_ != nullptr || window.can_admit(); });
+            sched, dones_cv_, lock, "stream/window", ms, [&] {
+                L5_SHARED_READ(this, "serve_error_", "stream/window");
+                L5_SHARED_READ(this, "streams_", "stream/window");
+                return serve_error_ != nullptr || window.can_admit();
+            });
+        L5_SHARED_READ(this, "serve_error_", "stream_admit");
         if (serve_error_) std::rethrow_exception(serve_error_);
         if (!ok)
             throw simmpi::TimeoutError(
                 ms, "stream/window (step publish backpressure on '" + base + "')", -1, -1);
     }
+    L5_SHARED_WRITE(this, "streams_", "stream_admit/make_room");
     for (auto ev : window.make_room()) gc_step_locked(base, ev);
     g_window_occupancy_.set(static_cast<std::int64_t>(window.occupancy()));
 }
 
 void DistMetadataVol::publish_step(FileEntry& entry, const std::string& base,
                                    stream::StepId step) {
+    L5_SHARED_READ(this, "streams_", "publish_step");
     auto it = streams_.find(base);
     if (it == streams_.end())
         throw Error("lowfive: step publish for unregistered stream '" + base + "'");
     auto& window = it->second;
     index_file(entry);
+    L5_SHARED_WRITE(this, "streams_", "publish_step");
     window.publish(step, now_ns());
     c_steps_published_.inc();
     g_window_occupancy_.set(static_cast<std::int64_t>(window.occupancy()));
@@ -1003,6 +1055,7 @@ void DistMetadataVol::publish_step(FileEntry& entry, const std::string& base,
 }
 
 void DistMetadataVol::stream_room_locked(const std::string& base, stream::StepWindow& window) {
+    L5_SHARED_WRITE(this, "streams_", "stream_room");
     for (auto ev : window.reap()) gc_step_locked(base, ev);
     if (window.drained()) {
         // terminal GC: eos reached, every consumer finished, nothing
@@ -1018,6 +1071,7 @@ void DistMetadataVol::stream_room_locked(const std::string& base, stream::StepWi
 
 void DistMetadataVol::gc_step_locked(const std::string& base, stream::StepWindow::Evicted ev) {
     const std::string name = stream::step_name(base, ev.step);
+    L5_SHARED_WRITE(this, "step_pins_", "gc_step");
     step_pins_.erase(name); // evicted steps are unpinned; hygiene only
     // retire the step's whole snapshot line — including its version
     // counter, or a long stream accumulates one entry per step forever.
@@ -1100,12 +1154,15 @@ void DistMetadataVol::after_file_close(FileEntry& entry) {
         // version this publish installed stays live until every consumer
         // rank finished its round, no matter how many rewrites follow.
         // Created here (not by a wire op) so a pin can never race GC.
+        L5_SHARED_WRITE(this, "round_pins_", "after_file_close");
+        L5_SHARED_WRITE(this, "dones_", "after_file_close");
         for (auto* c : matching) {
             const std::size_t ci = static_cast<std::size_t>(c - serve_conns_.data());
             for (int p = 0; p < c->ic.peer_size(); ++p)
                 round_pins_[{ci, p, entry.name}].push_back(snapshots_.pin(entry.name));
             dones_expected_ += static_cast<std::uint64_t>(c->ic.peer_size());
         }
+        L5_SHARED_READ(this, "background_", "after_file_close");
         if (background_) {
             // overlap mode: a background thread serves; the producer
             // returns from close immediately and keeps computing. Under a

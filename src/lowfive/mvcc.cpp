@@ -1,10 +1,17 @@
 #include "mvcc.hpp"
 
 #include <check/check.hpp>
+#include <check/race.hpp>
 #include <obs/metrics.hpp>
 #include <obs/trace.hpp>
 
 namespace lowfive::mvcc {
+
+namespace {
+/// Identity of the ReadSection pseudo-lock in the lockdep graph (one
+/// class process-wide; per-thread nesting is tracked in the lockset).
+const char g_read_section_tag = 0;
+} // namespace
 
 /// Copy-on-write name → current-snapshot map, swapped atomically at every
 /// publish/retire so readers pin without a lock.
@@ -33,6 +40,7 @@ struct StoreState {
     /// the mvcc.gc trace event fire exactly once per version. Requires
     /// `mutex` held.
     bool gc_locked(const std::string& name, std::uint64_t version) {
+        L5_SHARED_WRITE(this, "live", "mvcc/gc");
         auto nit = live.find(name);
         if (nit == live.end()) return false;
         auto vit = nit->second.find(version);
@@ -51,6 +59,7 @@ struct StoreState {
 
 SnapshotPin::SnapshotPin(std::shared_ptr<const Snapshot> s) : snap_(std::move(s)) {
     if (!snap_) return;
+    l5race::atomic_rmw(&snap_->pins_);
     snap_->pins_.fetch_add(1, std::memory_order_seq_cst);
     if (auto st = snap_->state_.lock()) {
         st->outstanding_pins.fetch_add(1, std::memory_order_relaxed);
@@ -64,13 +73,16 @@ void SnapshotPin::release() {
     snap_     = nullptr;
     auto st   = snap->state_.lock();
     if (st) st->outstanding_pins.fetch_sub(1, std::memory_order_relaxed);
+    l5race::atomic_rmw(&snap->pins_);
     const auto prev = snap->pins_.fetch_sub(1, std::memory_order_seq_cst);
     // last pin of a superseded version: GC it now instead of waiting for
     // the next publish (the GC-while-last-reader-unpins edge; the seq_cst
     // pair with the supersede path means exactly one side sees both
     // "pins == 0" and "superseded")
+    l5race::atomic_consume(&snap->superseded_);
     if (prev == 1 && snap->superseded_.load(std::memory_order_seq_cst) && st) {
         std::lock_guard<std::mutex> lk(st->mutex);
+        l5race::LockHold rh(&st->mutex, "mvcc/unpin-gc", "mvcc.leaf");
         if (snap->pins_.load(std::memory_order_seq_cst) == 0)
             st->gc_locked(snap->name_, snap->version_);
     }
@@ -88,21 +100,25 @@ SnapshotStore::~SnapshotStore() = default;
 SnapshotPin SnapshotStore::publish(const std::string& name, std::shared_ptr<h5::Object> root,
                                    IndexMap index, std::uint64_t publish_ns) {
     std::lock_guard<std::mutex> lk(state_->mutex);
+    l5race::LockHold rh(&state_->mutex, "mvcc/publish", "mvcc.leaf");
 
     auto snap         = std::shared_ptr<Snapshot>(new Snapshot());
     snap->name_       = name;
+    L5_SHARED_WRITE(state_.get(), "next_version", "mvcc/publish");
     snap->version_    = ++state_->next_version[name];
     snap->publish_ns_ = publish_ns;
     snap->root_       = std::move(root);
     snap->index_      = std::move(index);
     snap->state_      = state_;
 
+    l5race::atomic_consume(&state_->root);
     auto old_root = state_->root.load(std::memory_order_acquire);
     auto new_root = std::make_shared<Root>(*old_root);
     std::shared_ptr<const Snapshot> old;
     if (auto it = new_root->current.find(name); it != new_root->current.end()) old = it->second;
     new_root->current[name] = snap;
 
+    L5_SHARED_WRITE(state_.get(), "live", "mvcc/publish");
     state_->live[name][snap->version_] = snap;
     if (state_->metrics.live) state_->metrics.live->add(1);
     obs::instant("mvcc.publish", "lowfive",
@@ -111,9 +127,12 @@ SnapshotPin SnapshotStore::publish(const std::string& name, std::shared_ptr<h5::
 
     // install before superseding: a reader racing the swap pins either
     // the old version (still live until unpinned) or the new one
+    l5race::atomic_publish(&state_->root);
     state_->root.store(std::move(new_root), std::memory_order_release);
     if (old) {
+        l5race::atomic_publish(&old->superseded_);
         old->superseded_.store(true, std::memory_order_seq_cst);
+        l5race::atomic_consume(&old->pins_);
         if (old->pins_.load(std::memory_order_seq_cst) == 0)
             state_->gc_locked(old->name_, old->version_);
     }
@@ -122,20 +141,27 @@ SnapshotPin SnapshotStore::publish(const std::string& name, std::shared_ptr<h5::
 
 void SnapshotStore::retire(const std::string& name, bool forget_versions) {
     std::lock_guard<std::mutex> lk(state_->mutex);
+    l5race::LockHold rh(&state_->mutex, "mvcc/retire", "mvcc.leaf");
+    l5race::atomic_consume(&state_->root);
     auto old_root = state_->root.load(std::memory_order_acquire);
     if (auto it = old_root->current.find(name); it != old_root->current.end()) {
         auto new_root = std::make_shared<Root>(*old_root);
         auto current  = it->second;
         new_root->current.erase(name);
+        l5race::atomic_publish(&state_->root);
         state_->root.store(std::move(new_root), std::memory_order_release);
+        l5race::atomic_publish(&current->superseded_);
         current->superseded_.store(true, std::memory_order_seq_cst);
+        l5race::atomic_consume(&current->pins_);
         if (current->pins_.load(std::memory_order_seq_cst) == 0)
             state_->gc_locked(current->name_, current->version_);
     }
+    L5_SHARED_WRITE(state_.get(), "next_version", "mvcc/retire");
     if (forget_versions) state_->next_version.erase(name);
 }
 
 SnapshotPin SnapshotStore::pin(const std::string& name) const {
+    l5race::atomic_consume(&state_->root);
     auto root = state_->root.load(std::memory_order_acquire);
     auto it   = root->current.find(name);
     if (it == root->current.end()) return {};
@@ -143,6 +169,7 @@ SnapshotPin SnapshotStore::pin(const std::string& name) const {
 }
 
 SnapshotPin SnapshotStore::pin(const std::string& name, std::uint64_t version) const {
+    l5race::atomic_consume(&state_->root);
     auto root = state_->root.load(std::memory_order_acquire);
     if (auto it = root->current.find(name);
         it != root->current.end() && it->second->version_ == version)
@@ -150,6 +177,8 @@ SnapshotPin SnapshotStore::pin(const std::string& name, std::uint64_t version) c
     // superseded-but-live lookup: leaf mutex, still never the vol's
     // serve mutex (this is part of pinning, before any ReadSection)
     std::lock_guard<std::mutex> lk(state_->mutex);
+    l5race::LockHold rh(&state_->mutex, "mvcc/pin-version", "mvcc.leaf");
+    L5_SHARED_READ(state_.get(), "live", "mvcc/pin-version");
     auto nit = state_->live.find(name);
     if (nit == state_->live.end()) return {};
     auto vit = nit->second.find(version);
@@ -159,6 +188,8 @@ SnapshotPin SnapshotStore::pin(const std::string& name, std::uint64_t version) c
 
 std::size_t SnapshotStore::live_snapshots() const {
     std::lock_guard<std::mutex> lk(state_->mutex);
+    l5race::LockHold rh(&state_->mutex, "mvcc/live_snapshots", "mvcc.leaf");
+    L5_SHARED_READ(state_.get(), "live", "mvcc/live_snapshots");
     std::size_t                 n = 0;
     for (const auto& [name, versions] : state_->live) n += versions.size();
     return n;
@@ -178,8 +209,18 @@ thread_local std::size_t t_read_depth = 0;
 void set_lock_lint(bool armed) { g_lock_lint.store(armed, std::memory_order_relaxed); }
 bool lock_lint_armed() { return g_lock_lint.load(std::memory_order_relaxed); }
 
-ReadSection::ReadSection() noexcept { ++t_read_depth; }
-ReadSection::~ReadSection() { --t_read_depth; }
+ReadSection::ReadSection() {
+    // pseudo-lock: joins the lockdep graph (the serve-lock-after-pin
+    // forbidden edge hangs off this class) but never excuses races.
+    // Before the depth bump: a raise-mode throw must leave depth balanced
+    // (the dtor will not run)
+    l5race::pseudo_lock_acquired(&g_read_section_tag, "mvcc::ReadSection", "mvcc.read_section");
+    ++t_read_depth;
+}
+ReadSection::~ReadSection() {
+    l5race::pseudo_lock_released(&g_read_section_tag);
+    --t_read_depth;
+}
 
 bool in_read_section() noexcept { return t_read_depth > 0; }
 

@@ -200,10 +200,12 @@ void set_lock_lint(bool armed);
 bool lock_lint_armed();
 
 /// A pinned read section: the serve-side query path enters one right
-/// after pinning its snapshot. Thread-local depth; always cheap.
+/// after pinning its snapshot. Thread-local depth; always cheap. Also a
+/// pseudo-lock of l5race class "mvcc.read_section", so entering one may
+/// throw RaceError in raise mode on a lock-order violation.
 class ReadSection {
 public:
-    ReadSection() noexcept;
+    ReadSection();
     ~ReadSection();
     ReadSection(const ReadSection&)            = delete;
     ReadSection& operator=(const ReadSection&) = delete;

@@ -1,10 +1,12 @@
 #include "window.hpp"
 
+#include <check/race.hpp>
 #include <h5/dataspace.hpp> // h5::Error
 
 namespace lowfive::stream {
 
 bool StepWindow::can_admit() const {
+    L5_SHARED_READ(this, "window", "window/can_admit");
     if (steps_.size() < cfg_.window) return true;
     for (const auto& [step, info] : steps_)
         if (consumed(info)) return true;
@@ -12,6 +14,7 @@ bool StepWindow::can_admit() const {
 }
 
 std::vector<StepWindow::Evicted> StepWindow::make_room() {
+    L5_SHARED_WRITE(this, "window", "window/make_room");
     std::vector<Evicted> out;
     while (steps_.size() >= cfg_.window) {
         // oldest consumed step first: a clean eviction under any policy
@@ -39,6 +42,7 @@ std::vector<StepWindow::Evicted> StepWindow::make_room() {
 }
 
 std::vector<StepWindow::Evicted> StepWindow::reap() {
+    L5_SHARED_WRITE(this, "window", "window/reap");
     std::vector<Evicted> out;
     for (auto it = steps_.begin(); it != steps_.end();) {
         if (consumed(it->second)) {
@@ -61,6 +65,7 @@ std::vector<StepWindow::Evicted> StepWindow::reap() {
 }
 
 void StepWindow::publish(StepId step, std::uint64_t publish_ns) {
+    L5_SHARED_WRITE(this, "window", "window/publish");
     if (!step.valid()) throw h5::Error("lowfive: publish of an invalid step");
     if (step <= last_published_)
         throw h5::Error("lowfive: stream steps must be published in strictly increasing order");
@@ -72,6 +77,7 @@ void StepWindow::publish(StepId step, std::uint64_t publish_ns) {
 }
 
 StepWindow::Acquire StepWindow::acquire(StepId min, bool latest) {
+    L5_SHARED_WRITE(this, "window", "window/acquire");
     Acquire r;
     auto    it = steps_.lower_bound(min);
     if (it == steps_.end()) {
@@ -87,6 +93,7 @@ StepWindow::Acquire StepWindow::acquire(StepId min, bool latest) {
 }
 
 bool StepWindow::pin(StepId step) {
+    L5_SHARED_WRITE(this, "window", "window/pin");
     auto it = steps_.find(step);
     if (it == steps_.end()) return false;
     ++it->second.refs;
@@ -95,6 +102,7 @@ bool StepWindow::pin(StepId step) {
 }
 
 std::optional<StepWindow::Released> StepWindow::release(StepId step) {
+    L5_SHARED_WRITE(this, "window", "window/release");
     auto it = steps_.find(step);
     if (it == steps_.end() || it->second.refs == 0) return std::nullopt;
     --it->second.refs;
@@ -108,6 +116,7 @@ std::optional<StepWindow::Released> StepWindow::release(StepId step) {
 }
 
 bool StepWindow::drained() const {
+    L5_SHARED_READ(this, "window", "window/drained");
     if (!eos_ || dones_ < expected_) return false;
     for (const auto& [step, info] : steps_)
         if (info.refs != 0) return false;
@@ -115,6 +124,7 @@ bool StepWindow::drained() const {
 }
 
 std::vector<StepWindow::Evicted> StepWindow::clear() {
+    L5_SHARED_WRITE(this, "window", "window/clear");
     std::vector<Evicted> out;
     out.reserve(steps_.size());
     for (const auto& [step, info] : steps_)

@@ -23,6 +23,8 @@
 
 #include "step.hpp"
 
+#include <check/race.hpp>
+
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -40,7 +42,10 @@ public:
 
     /// End of stream: no further publishes; pending acquires past the
     /// last step answer "eos" instead of deferring.
-    void set_eos() { eos_ = true; }
+    void set_eos() {
+        L5_SHARED_WRITE(this, "window", "window/set_eos");
+        eos_ = true;
+    }
     bool eos() const { return eos_; }
 
     /// Consumer-population accounting: `expected` is the number of
@@ -48,7 +53,10 @@ public:
     /// begin); consumer_done() retires one (its StreamDone arrived).
     void set_expected_consumers(std::uint64_t n) { expected_ = n; }
     std::uint64_t expected_consumers() const { return expected_; }
-    void          consumer_done() { ++dones_; }
+    void          consumer_done() {
+        L5_SHARED_WRITE(this, "window", "window/consumer_done");
+        ++dones_;
+    }
     std::uint64_t done_consumers() const { return dones_; }
 
     /// Would publishing one more step succeed without evicting an

@@ -43,6 +43,7 @@ struct Envelope {
     int           tag     = 0;
     SharedPayload payload;
     std::uint64_t check_seq = 0; ///< checker tracking id (0 when the checker is off)
+    std::uint64_t race_seq  = 0; ///< l5race happens-before token (0 when disarmed)
 
     std::size_t size() const { return payload ? payload->size() : 0; }
 };

@@ -85,6 +85,28 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
         }
     }
 
+    std::optional<l5race::RaceConfig> race_cfg = opts.race;
+    if (!race_cfg) race_cfg = l5race::RaceConfig::from_env();
+    // process-wide arming: a nested run inside an already-armed one keeps
+    // the outer detector (arm() returns false) and the outer finalizes
+    const bool race_owner = race_cfg && l5race::arm(*race_cfg);
+    if (race_owner) {
+        if (sched_cfg) {
+            std::string cfg_line = sched_cfg->describe();
+            l5race::set_repro_hook([cfg_line, sched] {
+                return "L5_SCHED='" + cfg_line + "' reproduces this schedule (hash "
+                       + std::to_string(sched->schedule_hash()) + " at step "
+                       + std::to_string(sched->steps()) + ")";
+            });
+        } else {
+            l5race::set_repro_hook([] {
+                return std::string("no deterministic schedule active; rerun under "
+                                   "mh5sched --race (or set L5_SCHED=seed=N,policy=random) "
+                                   "for a replayable interleaving");
+            });
+        }
+    }
+
     std::vector<int> identity(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) identity[static_cast<std::size_t>(r)] = r;
 
@@ -94,7 +116,11 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) {
-        threads.emplace_back([&, r] {
+        // l5race: driver-thread clock flows into each rank-thread (spawn
+        // edge); the rank publishes at exit, consumed after the joins
+        const std::uint64_t race_hb = l5race::publish_token();
+        threads.emplace_back([&, r, race_hb] {
+            l5race::consume_token(race_hb);
             obs::set_thread_rank(r); // telemetry lane of this rank-thread
             // bind to the scheduler before running; unbind only after the
             // catch handler so abort/poison happens while still scheduled
@@ -127,9 +153,15 @@ void Runtime::run(int world_size, const std::function<void(Comm&, int)>& fn,
                 // poison the world so no peer is left blocked on this rank
                 world->abort(r, cause);
             }
+            l5race::thread_exit();
         });
     }
+    std::vector<std::thread::id> thread_ids;
+    thread_ids.reserve(threads.size());
+    for (const auto& t : threads) thread_ids.push_back(t.get_id());
     for (auto& t : threads) t.join();
+    for (const auto& id : thread_ids) l5race::thread_joined(id);
+    if (race_owner) l5race::finalize();
     if (sched) detail::set_last_schedule_hash(sched->schedule_hash());
     if (auto* ck = world->checker())
         // finalize lints (leaked requests, unmatched sends) run on the

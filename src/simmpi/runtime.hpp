@@ -5,6 +5,7 @@
 #include "sched.hpp"
 
 #include <check/check.hpp>
+#include <check/race.hpp>
 
 #include <functional>
 #include <optional>
@@ -39,6 +40,9 @@ public:
         /// MPI-semantics correctness checker; when unset, `L5_CHECK` is
         /// consulted (unset there leaves the checker off).
         std::optional<l5check::CheckConfig> check;
+        /// Predictive race/lock-order detector (l5race); when unset,
+        /// `L5_RACE` is consulted (unset there leaves it disarmed).
+        std::optional<l5race::RaceConfig> race;
     };
 
     /// Run `fn` on `world_size` ranks and block until all complete.

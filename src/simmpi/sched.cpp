@@ -433,9 +433,20 @@ std::string Scheduler::describe_wait(const Task& t) const {
 // --- helpers -----------------------------------------------------------------
 
 std::thread spawn_participant(Scheduler* s, const char* role, std::function<void()> fn) {
-    if (!s || !s->attached_here() || !s->usable()) return std::thread(std::move(fn));
+    // l5race happens-before: the spawner publishes its clock before the
+    // thread exists, the child consumes it first thing, and publishes on
+    // its own thread-id channel at exit (consumed by coop_join)
+    const std::uint64_t hb = l5race::publish_token();
+    if (!s || !s->attached_here() || !s->usable()) {
+        return std::thread([hb, fn = std::move(fn)] {
+            l5race::consume_token(hb);
+            fn();
+            l5race::thread_exit();
+        });
+    }
     std::uint64_t token = s->pre_spawn();
-    std::thread   t([s, role, fn = std::move(fn)] {
+    std::thread   t([s, role, hb, fn = std::move(fn)] {
+        l5race::consume_token(hb);
         s->attach_aux(role);
         try {
             fn();
@@ -444,12 +455,14 @@ std::thread spawn_participant(Scheduler* s, const char* role, std::function<void
             throw;
         }
         s->detach();
+        l5race::thread_exit();
     });
     s->wait_spawn(token);
     return t;
 }
 
 void coop_join(Scheduler* s, std::thread& t) {
+    const std::thread::id joined = t.get_id();
     if (s && s->attached_here() && s->usable()) {
         bool parked = s->leave_for(t.get_id());
         t.join();
@@ -457,6 +470,7 @@ void coop_join(Scheduler* s, std::thread& t) {
     } else {
         t.join();
     }
+    l5race::thread_joined(joined);
 }
 
 } // namespace detail

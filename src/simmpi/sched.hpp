@@ -2,6 +2,8 @@
 
 #include "error.hpp"
 
+#include <check/race.hpp>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -317,13 +319,20 @@ public:
         if (s_ && s_->attached_here() && s_->usable()) s_->coop_lock(m_, site_);
         else m_.lock();
         held_ = true;
+        // after the physical lock and held_, so a raise-mode lockdep
+        // throw unwinds through ~CoopLock and still releases the mutex
+        l5race::lock_acquired(static_cast<const void*>(&m_), site_);
     }
 
     void unlock() {
+        l5race::lock_released(static_cast<const void*>(&m_));
         held_ = false;
         m_.unlock();
         if (s_) s_->notify(&m_);
     }
+
+    /// Address identity of the backing mutex (l5race wait-lint channel).
+    Mutex& mutex() const { return m_; }
 
 private:
     Scheduler*  s_;
@@ -338,6 +347,7 @@ private:
 template <class Mutex, class Pred>
 void coop_wait(Scheduler* s, std::condition_variable_any& cv, CoopLock<Mutex>& lk,
                const char* site, Pred pred) {
+    l5race::on_cv_block(static_cast<const void*>(&lk.mutex()), site);
     while (s && s->attached_here() && s->usable() && !pred())
         s->block(lk, &cv, site, -1, -1);
     cv.wait(lk, pred); // lint: allow-bare-wait(free-running fallback of coop_wait itself)
@@ -357,6 +367,7 @@ bool coop_wait_deadline(Scheduler* s, std::condition_variable_any& cv, CoopLock<
         coop_wait(s, cv, lk, site, pred);
         return true;
     }
+    l5race::on_cv_block(static_cast<const void*>(&lk.mutex()), site);
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
     while (s && s->attached_here() && s->usable()) {

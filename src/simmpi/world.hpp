@@ -53,6 +53,11 @@ public:
     void push(Envelope&& env) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            l5race::LockHold rh(&mutex_, "Mailbox::push", "mailbox.mutex");
+            // the envelope carries the sender's clock: matching it in pop
+            // is a happens-before edge from everything before this send
+            env.race_seq = l5race::publish_token();
+            L5_SHARED_WRITE(this, "queue_", "Mailbox::push");
             queue_.push_back(std::move(env));
         }
         cv_.notify_all();
@@ -63,6 +68,8 @@ public:
     void poison(std::shared_ptr<const AbortInfo> info) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            l5race::LockHold rh(&mutex_, "Mailbox::poison", "mailbox.mutex");
+            L5_SHARED_WRITE(this, "poison_", "Mailbox::poison");
             if (!poison_) poison_ = std::move(info);
         }
         cv_.notify_all();
@@ -72,11 +79,14 @@ public:
     /// Blocks until a matching envelope is available, removes and returns it.
     Envelope pop(std::uint64_t context, int src, int tag, const Deadline& dl = {}) {
         std::unique_lock<std::mutex> lock(mutex_);
+        l5race::LockHold rh(&mutex_, "Mailbox::pop", "mailbox.mutex");
         for (;;) {
             check_poison();
             if (auto it = find(context, src, tag); it != queue_.end()) {
                 Envelope env = std::move(*it);
                 queue_.erase(it);
+                L5_SHARED_WRITE(this, "queue_", "Mailbox::pop");
+                l5race::consume_token(env.race_seq);
                 return env;
             }
             wait(lock, dl, "recv", src, tag);
@@ -86,7 +96,9 @@ public:
     /// Non-destructive probe; nullopt when no matching envelope is queued.
     std::optional<Status> probe(std::uint64_t context, int src, int tag) {
         std::lock_guard<std::mutex> lock(mutex_);
+        l5race::LockHold rh(&mutex_, "Mailbox::probe", "mailbox.mutex");
         check_poison();
+        L5_SHARED_READ(this, "queue_", "Mailbox::probe");
         if (auto it = find(context, src, tag); it != queue_.end())
             return Status{it->src, it->tag, it->size(), it->check_seq};
         return std::nullopt;
@@ -95,8 +107,10 @@ public:
     /// Blocking probe: waits until a matching envelope is queued.
     Status probe_wait(std::uint64_t context, int src, int tag, const Deadline& dl = {}) {
         std::unique_lock<std::mutex> lock(mutex_);
+        l5race::LockHold rh(&mutex_, "Mailbox::probe_wait", "mailbox.mutex");
         for (;;) {
             check_poison();
+            L5_SHARED_READ(this, "queue_", "Mailbox::probe_wait");
             if (auto it = find(context, src, tag); it != queue_.end())
                 return Status{it->src, it->tag, it->size(), it->check_seq};
             wait(lock, dl, "probe", src, tag);
@@ -110,8 +124,10 @@ public:
     Status probe_wait_any(std::span<const std::uint64_t> contexts, int src, int tag,
                           std::size_t* which, const Deadline& dl = {}) {
         std::unique_lock<std::mutex> lock(mutex_);
+        l5race::LockHold rh(&mutex_, "Mailbox::probe_wait_any", "mailbox.mutex");
         for (;;) {
             check_poison();
+            L5_SHARED_READ(this, "queue_", "Mailbox::probe_wait_any");
             for (std::size_t k = 0; k < contexts.size(); ++k) {
                 if (auto it = find(contexts[k], src, tag); it != queue_.end()) {
                     if (which) *which = k;
@@ -124,6 +140,7 @@ public:
 
 private:
     void check_poison() const {
+        L5_SHARED_READ(this, "poison_", "Mailbox::check_poison");
         if (poison_) throw AbortedError(poison_->rank, poison_->cause);
     }
 

@@ -1,0 +1,489 @@
+/// Seeded buggy mini-programs for the l5race predictive race detector:
+/// each plants one concurrency defect — an unlocked shared write, the
+/// mvcc lost-wakeup publish shape, the dones_cv_ lock-across-wait hang,
+/// a lock-order cycle, a forbidden-edge violation — and asserts the
+/// exact diagnostic kind, both access/acquire sites, and the
+/// copy-pasteable L5_SCHED repro line. Because detection is predictive
+/// (lockset + strong happens-before, not the observed interleaving), a
+/// SINGLE seed suffices for each: the bug is reported even on schedules
+/// where it does not manifest. The clean-suite tests assert the armed
+/// detector stays silent on the real dist_vol workflow and on an mvcc
+/// publish/pin hammer.
+
+#include <check/race.hpp>
+#include <lowfive/lowfive.hpp>
+#include <lowfive/mvcc.hpp>
+#include <obs/obs.hpp>
+#include <simmpi/sched.hpp>
+#include <simmpi/simmpi.hpp>
+#include <workflow/workflow.hpp>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace simmpi;
+
+namespace {
+
+/// Save/restore one environment variable around a test body.
+class EnvGuard {
+public:
+    explicit EnvGuard(const char* name) : name_(name) {
+        const char* v = std::getenv(name);
+        if (v) saved_ = v;
+    }
+    ~EnvGuard() {
+        if (saved_)
+            setenv(name_, saved_->c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+private:
+    const char*                name_;
+    std::optional<std::string> saved_;
+};
+
+Runtime::RunOptions race_raise_opts(std::uint64_t seed = 7) {
+    Runtime::RunOptions opts;
+    opts.sched       = SchedConfig{}; // deterministic: the repro line is exact
+    opts.sched->seed = seed;
+    opts.race        = l5race::RaceConfig{}; // default action: raise
+    return opts;
+}
+
+Runtime::RunOptions race_report_opts(std::uint64_t seed = 7) {
+    Runtime::RunOptions opts = race_raise_opts(seed);
+    opts.race->action        = l5race::RaceConfig::Action::report;
+    return opts;
+}
+
+/// Run `fn` on `n` ranks expecting a RaceError — raised at the access /
+/// acquire site inside a rank thread and carried as the primary cause of
+/// the RankFailure.
+template <typename Fn>
+l5race::RaceError expect_race_error(int n, Fn&& fn, Runtime::RunOptions opts) {
+    try {
+        Runtime::run(n, [&](Comm& c, int) { fn(c); }, opts);
+    } catch (const l5race::RaceError& e) {
+        return e;
+    } catch (const RankFailure& rf) {
+        try {
+            std::rethrow_exception(rf.cause());
+        } catch (const l5race::RaceError& e) {
+            return e;
+        } catch (const std::exception& e) {
+            ADD_FAILURE() << "primary cause is not a RaceError: " << e.what();
+        }
+    }
+    ADD_FAILURE() << "expected a RaceError diagnostic";
+    return l5race::RaceError("none", "no diagnostic raised");
+}
+
+} // namespace
+
+// --- predicted data races ----------------------------------------------------
+
+TEST(Race, RaiseOnUnlockedSharedWriteNamesBothSitesAndRepro) {
+    int  cell = 0;
+    auto e    = expect_race_error(
+        2,
+        [&](Comm& c) {
+            // two ranks write the same annotated cell with no lock and no
+            // ordering message between them
+            if (c.rank() == 0) {
+                L5_SHARED_WRITE(&cell, "counter", "mini/rank0_store");
+                cell = 1;
+            } else {
+                L5_SHARED_WRITE(&cell, "counter", "mini/rank1_store");
+                cell = 2;
+            }
+        },
+        race_raise_opts(7));
+    EXPECT_EQ(e.kind(), "predicted-race");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("predicted data race on 'counter'"), std::string::npos) << what;
+    EXPECT_NE(what.find("mini/rank0_store"), std::string::npos) << what;
+    EXPECT_NE(what.find("mini/rank1_store"), std::string::npos) << what;
+    EXPECT_NE(what.find("locks held: none"), std::string::npos) << what;
+    // copy-pasteable repro: the exact L5_SCHED value of this run
+    EXPECT_NE(what.find("L5_SCHED='seed=7,policy=random"), std::string::npos) << what;
+}
+
+TEST(Race, ReportModeDeduplicatesBySitePair) {
+    int cell = 0;
+    Runtime::run(
+        2,
+        [&](Comm& c, int) {
+            // the same racy site pair hit three times collapses into one
+            // diagnostic (dedupe key: kind + both sites)
+            for (int i = 0; i < 3; ++i) {
+                if (c.rank() == 0) {
+                    L5_SHARED_WRITE(&cell, "counter", "mini/rank0_store");
+                    cell = 1;
+                } else {
+                    L5_SHARED_WRITE(&cell, "counter", "mini/rank1_store");
+                    cell = 2;
+                }
+            }
+        },
+        race_report_opts(7));
+    auto diags = l5race::last_race_diagnostics();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].kind, "predicted-race");
+    EXPECT_NE(diags[0].repro.find("L5_SCHED='seed=7"), std::string::npos) << diags[0].repro;
+}
+
+TEST(Race, LockOnOneSideOnlyDoesNotExcuseTheRace) {
+    std::mutex m;
+    int        cell = 0;
+    auto       e    = expect_race_error(
+        2,
+        [&](Comm& c) {
+            if (c.rank() == 0) {
+                simmpi::detail::CoopLock<std::mutex> lk(c.scheduler(), m, "mini/locked_store");
+                L5_SHARED_WRITE(&cell, "counter", "mini/locked_store");
+                cell = 1;
+            } else {
+                L5_SHARED_WRITE(&cell, "counter", "mini/bare_store");
+                cell = 2;
+            }
+        },
+        race_raise_opts(7));
+    EXPECT_EQ(e.kind(), "predicted-race");
+    const std::string what = e.what();
+    // the diagnostic shows the asymmetric locksets — the tell of a
+    // forgotten lock on one of the two paths
+    EXPECT_NE(what.find("locks held: none"), std::string::npos) << what;
+    EXPECT_NE(what.find("mini/locked_store"), std::string::npos) << what;
+}
+
+TEST(Race, MessageHandoffCreatesHappensBeforeAndExcusesTheAccess) {
+    int cell = 0;
+    Runtime::run(
+        2,
+        [&](Comm& c, int) {
+            // the classic safe pattern: write, send, receive, read — the
+            // mailbox envelope handoff orders the two accesses, so the
+            // detector must stay silent (no false positive on
+            // message-passing synchronization)
+            if (c.rank() == 0) {
+                L5_SHARED_WRITE(&cell, "counter", "mini/pre_send_store");
+                cell = 41;
+                c.send_value(1, 7, 1);
+            } else {
+                (void)c.recv_value<int>(0, 7);
+                L5_SHARED_READ(&cell, "counter", "mini/post_recv_load");
+                EXPECT_EQ(cell, 41);
+            }
+        },
+        race_report_opts(7));
+    EXPECT_TRUE(l5race::last_race_diagnostics().empty());
+}
+
+// --- historical bug 1: the mvcc lost-wakeup publish shape --------------------
+
+TEST(Race, DetectsTheMvccLostWakeupShapeOnASingleSeed) {
+    // Reverted-in-test form of the historical mvcc lost-wakeup bug: a
+    // waker publishes state WITHOUT the waiter's mutex and only then
+    // notifies. On most schedules this works; on the schedule where the
+    // check slips between the waiter's re-check and its park, the wakeup
+    // is lost. The lockset detector predicts it from one seed: the
+    // waiter's locked pred read and the waker's bare store share no lock
+    // and no happens-before edge. (The construction below never hangs —
+    // under the serialized coop scheduler the pred re-check always sees
+    // the store — so report mode documents the prediction.)
+    Runtime::run(
+        1,
+        [&](Comm& c, int) {
+            auto*                       s = c.scheduler();
+            std::mutex                  m;
+            std::condition_variable_any cv;
+            int                         flag  = 0;
+            auto                        waker = simmpi::detail::spawn_participant(s, "waker", [&] {
+                L5_SHARED_WRITE(&flag, "flag", "mini/waker_bare_store");
+                flag = 1;
+                cv.notify_all();
+                if (s) s->notify(&cv);
+            });
+            {
+                simmpi::detail::CoopLock<std::mutex> lk(s, m, "mini/waiter_lock");
+                simmpi::detail::coop_wait(s, cv, lk, "mini/waiter_wait", [&] {
+                    L5_SHARED_READ(&flag, "flag", "mini/waiter_recheck");
+                    return flag == 1;
+                });
+            }
+            simmpi::detail::coop_join(s, waker);
+        },
+        race_report_opts(9));
+    auto diags = l5race::last_race_diagnostics();
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].kind, "predicted-race");
+    const std::string msg = diags[0].message;
+    EXPECT_NE(msg.find("'flag'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mini/waker_bare_store"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mini/waiter_recheck"), std::string::npos) << msg;
+}
+
+// --- historical bug 2: the dones_cv_ lock-across-wait hang -------------------
+
+TEST(Race, DetectsTheDonesCvHangShapeOnASingleSeed) {
+    // Reverted-in-test form of the historical dones_cv_ hang: a waiter
+    // parks on the cv while holding TWO recursion levels of the wait's
+    // own (recursive) mutex. The cv releases exactly one level, so the
+    // waker can never acquire it — a deadlock on schedules where the
+    // pred is not already true. The lint fires deterministically at the
+    // wait site, even on this seed where the pred is true and the wait
+    // returns immediately.
+    auto e = expect_race_error(
+        1,
+        [&](Comm& c) {
+            auto*                       s = c.scheduler();
+            std::recursive_mutex        m;
+            std::condition_variable_any cv;
+            simmpi::detail::CoopLock<std::recursive_mutex> outer(s, m, "mini/outer_guard");
+            simmpi::detail::CoopLock<std::recursive_mutex> inner(s, m, "mini/inner_guard");
+            simmpi::detail::coop_wait(s, cv, inner, "mini/dones_wait", [] { return true; });
+        },
+        race_raise_opts(7));
+    EXPECT_EQ(e.kind(), "lock-across-wait");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cv wait at 'mini/dones_wait'"), std::string::npos) << what;
+    EXPECT_NE(what.find("x2"), std::string::npos) << what; // the depth-2 hold
+    EXPECT_NE(what.find("exactly one level"), std::string::npos) << what;
+}
+
+TEST(Race, SingleLevelWaitOnOwnMutexIsClean) {
+    Runtime::run(
+        1,
+        [&](Comm& c, int) {
+            auto*                                s = c.scheduler();
+            std::recursive_mutex                 m;
+            std::condition_variable_any          cv;
+            simmpi::detail::CoopLock<std::recursive_mutex> lk(s, m, "mini/clean_guard");
+            simmpi::detail::coop_wait(s, cv, lk, "mini/clean_wait", [] { return true; });
+        },
+        race_report_opts(7));
+    EXPECT_TRUE(l5race::last_race_diagnostics().empty());
+}
+
+// --- lockdep: cycles and declared rules --------------------------------------
+
+TEST(Race, LockOrderCycleIsDetectedWithoutADeadlock) {
+    // AB then BA on one thread: this run cannot deadlock, but two threads
+    // running the two blocks concurrently can — the graph says so.
+    std::mutex a, b;
+    auto       e = expect_race_error(
+        1,
+        [&](Comm& c) {
+            auto* s = c.scheduler();
+            l5race::declare_lock(&a, "test.A");
+            l5race::declare_lock(&b, "test.B");
+            {
+                simmpi::detail::CoopLock<std::mutex> la(s, a, "cycle/ab_outer");
+                simmpi::detail::CoopLock<std::mutex> lb(s, b, "cycle/ab_inner");
+            }
+            {
+                simmpi::detail::CoopLock<std::mutex> lb(s, b, "cycle/ba_outer");
+                simmpi::detail::CoopLock<std::mutex> la(s, a, "cycle/ba_inner");
+            }
+        },
+        race_raise_opts(7));
+    EXPECT_EQ(e.kind(), "lockdep-cycle");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("acquiring 'test.A' at 'cycle/ba_inner'"), std::string::npos) << what;
+    EXPECT_NE(what.find("while holding 'test.B'"), std::string::npos) << what;
+    EXPECT_NE(what.find("test.B -> test.A -> test.B"), std::string::npos) << what;
+    EXPECT_NE(what.find("deadlocks"), std::string::npos) << what;
+}
+
+TEST(Race, ConsistentLockOrderBuildsNoCycle) {
+    std::mutex a, b;
+    Runtime::run(
+        1,
+        [&](Comm& c, int) {
+            auto* s = c.scheduler();
+            for (int i = 0; i < 3; ++i) {
+                simmpi::detail::CoopLock<std::mutex> la(s, a, "order/outer");
+                simmpi::detail::CoopLock<std::mutex> lb(s, b, "order/inner");
+            }
+        },
+        race_report_opts(7));
+    EXPECT_TRUE(l5race::last_race_diagnostics().empty());
+}
+
+TEST(Race, ForbiddenEdgeRuleFiresBeforeAnyCycleExists) {
+    // the serve-lock-after-pin invariant as a graph rule: acquiring a
+    // declared serve-class lock while inside an mvcc::ReadSection
+    // (pseudo-lock) is a violation on first sight
+    std::mutex m;
+    auto       e = expect_race_error(
+        1,
+        [&](Comm& c) {
+            auto* s = c.scheduler();
+            l5race::declare_lock(&m, "test.serve");
+            l5race::forbid_edge("mvcc.read_section", "test.serve",
+                                "test: the query path must stay lock-free past the pin");
+            lowfive::mvcc::ReadSection           section;
+            simmpi::detail::CoopLock<std::mutex> lk(s, m, "rule/serve_acquire");
+        },
+        race_raise_opts(7));
+    EXPECT_EQ(e.kind(), "lockdep-rule");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("acquiring 'test.serve' at 'rule/serve_acquire'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("while holding 'mvcc.read_section'"), std::string::npos) << what;
+    EXPECT_NE(what.find("violates a declared lock-order rule"), std::string::npos) << what;
+    EXPECT_NE(what.find("lock-free past the pin"), std::string::npos) << what;
+}
+
+// --- counters ----------------------------------------------------------------
+
+TEST(Race, FindingsExportTheRaceCounters) {
+    auto&      races  = obs::Registry::global().counter("n_race_reports");
+    auto&      cycles = obs::Registry::global().counter("n_lockdep_cycles");
+    const auto races0 = races.value(), cycles0 = cycles.value();
+
+    int        cell = 0;
+    std::mutex a, b;
+    Runtime::run(
+        1,
+        [&](Comm& c, int) {
+            auto* s = c.scheduler();
+            l5race::declare_lock(&a, "ctr.A");
+            l5race::declare_lock(&b, "ctr.B");
+            {
+                simmpi::detail::CoopLock<std::mutex> la(s, a, "ctr/ab_outer");
+                simmpi::detail::CoopLock<std::mutex> lb(s, b, "ctr/ab_inner");
+            }
+            {
+                simmpi::detail::CoopLock<std::mutex> lb(s, b, "ctr/ba_outer");
+                simmpi::detail::CoopLock<std::mutex> la(s, a, "ctr/ba_inner");
+            }
+            auto writer = simmpi::detail::spawn_participant(s, "writer", [&] {
+                L5_SHARED_WRITE(&cell, "cell", "ctr/thread_store");
+                cell = 1;
+            });
+            L5_SHARED_WRITE(&cell, "cell", "ctr/rank_store");
+            cell = 2;
+            simmpi::detail::coop_join(s, writer);
+        },
+        race_report_opts(7));
+    EXPECT_GE(races.value(), races0 + 1);
+    EXPECT_GE(cycles.value(), cycles0 + 1);
+}
+
+// --- clean suite: the real workflows stay silent under the armed detector ----
+
+TEST(Race, DistVolWorkflowCleanUnderArmedDetector) {
+    // the full producer/consumer protocol — Guard-covered serve state,
+    // mailbox handoffs, mvcc publish/pin, background serve thread — must
+    // produce zero predicted races and an acyclic lock-order graph
+    constexpr std::uint64_t rows = 8, cols = 4;
+    workflow::Options       opts;
+    opts.mode                  = workflow::Mode::in_situ();
+    opts.runtime               = race_raise_opts(13);
+    opts.runtime.race->action  = l5race::RaceConfig::Action::report;
+    workflow::run(
+        {
+            {"producer", 2,
+             [&](workflow::Context& ctx) {
+                 h5::File f = h5::File::create("race_clean.h5", ctx.vol);
+                 auto d = f.create_dataset("vals", h5::dt::uint64(), h5::Dataspace({rows, cols}));
+                 const std::uint64_t r0 = rows / 2 * static_cast<std::uint64_t>(ctx.rank());
+                 h5::Dataspace       sel({rows, cols});
+                 sel.select_box(std::array<std::uint64_t, 2>{r0, 0},
+                                std::array<std::uint64_t, 2>{rows / 2, cols});
+                 std::vector<std::uint64_t> vals(rows / 2 * cols);
+                 for (std::size_t i = 0; i < vals.size(); ++i)
+                     vals[i] = r0 * cols + static_cast<std::uint64_t>(i);
+                 d.write(vals.data(), sel);
+                 f.close();
+             }},
+            {"consumer", 2,
+             [&](workflow::Context& ctx) {
+                 h5::File f    = h5::File::open("race_clean.h5", ctx.vol);
+                 auto     vals = f.open_dataset("vals").read_vector<std::uint64_t>();
+                 ASSERT_EQ(vals.size(), rows * cols);
+                 f.close();
+             }},
+        },
+        {workflow::Link{0, 1, "*"}}, opts);
+    EXPECT_TRUE(l5race::last_race_diagnostics().empty());
+}
+
+TEST(Race, MvccPublishPinHammerCleanUnderArmedDetector) {
+    // raw-thread hammer on the snapshot store: publishes, exact-version
+    // pins, last-unpin GC — every internal cell is leaf-mutex covered or
+    // ordered by the seq_cst root/pins/superseded channels, so the armed
+    // detector must stay silent
+    l5race::RaceConfig cfg;
+    cfg.action = l5race::RaceConfig::Action::report;
+    ASSERT_TRUE(l5race::arm(cfg));
+    {
+        lowfive::mvcc::SnapshotStore store;
+        store.publish("f", nullptr, {}, 0).release();
+        std::vector<std::thread> readers;
+        for (int t = 0; t < 3; ++t) {
+            const auto tok = l5race::publish_token();
+            readers.emplace_back([&store, tok] {
+                l5race::consume_token(tok);
+                for (int i = 0; i < 200; ++i) {
+                    auto pin = store.pin("f");
+                    if (pin) (void)pin->version();
+                    pin.release();
+                }
+                l5race::thread_exit();
+            });
+        }
+        for (int i = 0; i < 200; ++i) store.publish("f", nullptr, {}, 0).release();
+        for (auto& r : readers) {
+            const auto id = r.get_id();
+            r.join();
+            l5race::thread_joined(id);
+        }
+        store.retire("f");
+    }
+    l5race::finalize();
+    EXPECT_TRUE(l5race::last_race_diagnostics().empty());
+}
+
+// --- configuration -----------------------------------------------------------
+
+TEST(Race, ConfigFromEnv) {
+    EnvGuard guard("L5_RACE");
+    EnvGuard out_guard("L5_RACE_OUT");
+
+    unsetenv("L5_RACE");
+    unsetenv("L5_RACE_OUT");
+    EXPECT_FALSE(l5race::RaceConfig::from_env().has_value());
+
+    setenv("L5_RACE", "0", 1);
+    EXPECT_FALSE(l5race::RaceConfig::from_env().has_value());
+    setenv("L5_RACE", "off", 1);
+    EXPECT_FALSE(l5race::RaceConfig::from_env().has_value());
+
+    setenv("L5_RACE", "1", 1);
+    auto cfg = l5race::RaceConfig::from_env();
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->action, l5race::RaceConfig::Action::raise);
+    EXPECT_TRUE(cfg->out_path.empty());
+
+    setenv("L5_RACE", "report", 1);
+    setenv("L5_RACE_OUT", "l5race.report", 1); // cwd-relative, like mh5sched scratch dirs
+    cfg = l5race::RaceConfig::from_env();
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->action, l5race::RaceConfig::Action::report);
+    EXPECT_EQ(cfg->out_path, "l5race.report");
+
+    setenv("L5_RACE", "sometimes", 1);
+    EXPECT_THROW((void)l5race::RaceConfig::from_env(), simmpi::Error);
+}

@@ -24,6 +24,11 @@
 ///   --check       arm the MPI-semantics checker (L5_CHECK=1) in every
 ///                 run, so each explored schedule is also audited for
 ///                 wildcard races, collective mismatches, and leaks
+///   --race        arm the predictive race/lock-order detector
+///                 (L5_RACE=report) in every run; per-seed reports are
+///                 aggregated, deduplicated by access-site pair, and
+///                 printed with the first seed's repro line. Any finding
+///                 makes the sweep exit nonzero.
 
 #include <limits.h>
 #include <sys/wait.h>
@@ -34,6 +39,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -51,6 +59,7 @@ struct Options {
     int           jobs       = 1;
     bool          keep_going = false;
     bool          check      = false;
+    bool          race       = false;
     std::vector<std::string> cmd;
 };
 
@@ -58,7 +67,7 @@ int usage() {
     std::fprintf(stderr,
                  "usage: mh5sched [--seeds A:B] [--policy random|pct] [--depth K] "
                  "[--horizon H] [--timeout S] [--jobs N] [--keep-going] [--check] "
-                 "-- cmd args...\n");
+                 "[--race] -- cmd args...\n");
     return 2;
 }
 
@@ -87,6 +96,19 @@ struct Failure {
     std::uint64_t seed;
     int           exit_code; ///< 124 from timeout(1) means a hang
     std::string   repro;
+};
+
+/// One deduplicated l5race finding across the sweep: the same site pair
+/// predicted racy under many seeds is reported once, with the count and
+/// the first seed's repro line.
+struct RaceFinding {
+    std::string   kind;
+    std::string   site_a;
+    std::string   site_b;
+    std::string   message;
+    std::string   repro; ///< first seed's schedule repro from the report
+    std::uint64_t first_seed = 0;
+    std::uint64_t count      = 0;
 };
 
 } // namespace
@@ -134,6 +156,8 @@ int main(int argc, char** argv) {
             opt.keep_going = true;
         } else if (arg == "--check") {
             opt.check = true;
+        } else if (arg == "--race") {
+            opt.race = true;
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
@@ -158,17 +182,18 @@ int main(int argc, char** argv) {
     }
 
     const std::uint64_t n_seeds = opt.seed_hi - opt.seed_lo + 1;
-    std::printf("mh5sched: sweeping %llu seeds (%llu:%llu, policy=%s%s) over: %s\n",
+    std::printf("mh5sched: sweeping %llu seeds (%llu:%llu, policy=%s%s%s) over: %s\n",
                 static_cast<unsigned long long>(n_seeds),
                 static_cast<unsigned long long>(opt.seed_lo),
                 static_cast<unsigned long long>(opt.seed_hi), opt.policy.c_str(),
-                opt.check ? ", check" : "", quoted_cmd.c_str());
+                opt.check ? ", check" : "", opt.race ? ", race" : "", quoted_cmd.c_str());
     std::fflush(stdout);
 
     std::atomic<std::uint64_t> next_seed{opt.seed_lo};
     std::atomic<bool>          stop{false};
     std::mutex                 report_mutex;
     std::vector<Failure>       failures;
+    std::map<std::string, RaceFinding> races; ///< keyed by kind + site pair
     std::atomic<std::uint64_t> n_run{0};
 
     auto worker = [&] {
@@ -180,18 +205,55 @@ int main(int argc, char** argv) {
             // their cwd, and parallel sweeps must not share those
             const std::string dir = "/tmp/mh5sched." + std::to_string(getpid()) + "."
                                     + std::to_string(seed);
-            const std::string check_env = opt.check ? "L5_CHECK=1 " : "";
+            const std::string report_path = dir + "/l5race.report";
+            const std::string check_env   = opt.check ? "L5_CHECK=1 " : "";
+            const std::string race_env =
+                opt.race ? "L5_RACE=report L5_RACE_OUT=" + shell_quote(report_path) + " " : "";
+            // the scratch dir is removed here (not in the shell) so the
+            // race report can be harvested after the child exits
             const std::string full = "mkdir -p " + shell_quote(dir) + " && cd " + shell_quote(dir)
-                                     + " && env " + check_env + "L5_SCHED=" + shell_quote(sched)
+                                     + " && env " + check_env + race_env
+                                     + "L5_SCHED=" + shell_quote(sched)
                                      + " timeout " + std::to_string(opt.timeout_s) + " "
-                                     + quoted_cmd + " >/dev/null 2>&1; rc=$?; cd / && rm -rf "
-                                     + shell_quote(dir) + "; exit $rc";
+                                     + quoted_cmd + " >/dev/null 2>&1";
             const int rc   = std::system(full.c_str());
             const int code = (rc == -1) ? -1 : WEXITSTATUS(rc);
             n_run.fetch_add(1, std::memory_order_relaxed);
+            if (opt.race) {
+                // harvest the per-seed report: tab-separated
+                // kind, site_a, site_b, message, repro — one finding per
+                // line. A missing file means the run died before the
+                // detector finalized (that failure is reported below).
+                std::ifstream in(report_path);
+                std::string   line;
+                while (in && std::getline(in, line)) {
+                    std::vector<std::string> f;
+                    std::size_t              pos = 0;
+                    while (f.size() < 4) {
+                        const auto tab = line.find('\t', pos);
+                        if (tab == std::string::npos) break;
+                        f.push_back(line.substr(pos, tab - pos));
+                        pos = tab + 1;
+                    }
+                    if (f.size() < 4) continue; // malformed line
+                    f.push_back(line.substr(pos));
+                    const std::string key = f[0] + '\x1f' + f[1] + '\x1f' + f[2];
+                    std::lock_guard<std::mutex> lock(report_mutex);
+                    auto [it, fresh] = races.try_emplace(key);
+                    if (fresh) {
+                        it->second = {f[0], f[1], f[2], f[3], f[4], seed, 1};
+                    } else {
+                        ++it->second.count;
+                        if (seed < it->second.first_seed) it->second.first_seed = seed;
+                    }
+                }
+            }
+            std::error_code ec;
+            std::filesystem::remove_all(dir, ec); // best-effort scratch cleanup
             if (code != 0) {
                 std::lock_guard<std::mutex> lock(report_mutex);
                 std::string repro = (opt.check ? std::string("L5_CHECK=1 ") : std::string())
+                                    + (opt.race ? std::string("L5_RACE=1 ") : std::string())
                                     + "L5_SCHED=" + shell_quote(sched) + " " + quoted_cmd;
                 std::printf("mh5sched: seed %llu %s (exit %d)\n  repro: %s\n",
                             static_cast<unsigned long long>(seed),
@@ -210,8 +272,22 @@ int main(int argc, char** argv) {
     for (int w = 0; w < n_workers; ++w) threads.emplace_back(worker);
     for (auto& t : threads) t.join();
 
-    std::printf("mh5sched: %llu/%llu seeds run, %zu failing\n",
+    if (!races.empty()) {
+        std::printf("mh5sched: %zu distinct race/lock-order finding(s) across the sweep:\n",
+                    races.size());
+        for (const auto& [key, f] : races) {
+            std::printf("  [%s] %s  vs  %s (seen in %llu seed(s), first %llu)\n    %s\n",
+                        f.kind.c_str(), f.site_a.c_str(), f.site_b.c_str(),
+                        static_cast<unsigned long long>(f.count),
+                        static_cast<unsigned long long>(f.first_seed), f.message.c_str());
+            if (!f.repro.empty()) std::printf("    %s\n", f.repro.c_str());
+            std::printf("    rerun: L5_RACE=1 L5_SCHED=%s %s\n",
+                        shell_quote(sched_value(opt, f.first_seed)).c_str(), quoted_cmd.c_str());
+        }
+    }
+    std::printf("mh5sched: %llu/%llu seeds run, %zu failing%s\n",
                 static_cast<unsigned long long>(n_run.load()),
-                static_cast<unsigned long long>(n_seeds), failures.size());
-    return failures.empty() ? 0 : 1;
+                static_cast<unsigned long long>(n_seeds), failures.size(),
+                races.empty() ? "" : ", race findings present");
+    return failures.empty() && races.empty() ? 0 : 1;
 }
